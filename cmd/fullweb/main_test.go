@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Error("unknown subcommand should error")
+	}
+	if err := run([]string{"analyze"}, &out); err == nil {
+		t.Error("analyze without -log should error")
+	}
+	if err := run([]string{"sessions"}, &out); err == nil {
+		t.Error("sessions without -log should error")
+	}
+	if err := run([]string{"generate", "-profile", "bogus"}, &out); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+func TestGenerateSessionsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "trace.log")
+	var out bytes.Buffer
+	err := run([]string{"generate",
+		"-profile", "NASA-Pub2", "-scale", "1", "-seed", "5", "-days", "2",
+		"-out", logPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(logPath)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("log not written: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"sessions", "-log", logPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"records=", "sessions=", "duration (s)", "requests", "bytes"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("sessions output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGeneratePoissonBaselineFlag(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "baseline.log")
+	var out bytes.Buffer
+	err := run([]string{"generate",
+		"-profile", "NASA-Pub2", "-scale", "1", "-seed", "5", "-days", "2",
+		"-poisson-baseline", "-out", logPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(logPath); err != nil || info.Size() == 0 {
+		t.Fatalf("baseline log not written: %v", err)
+	}
+}
+
+func TestLoadLogRejectsMissingAndEmpty(t *testing.T) {
+	if _, err := loadLog(filepath.Join(t.TempDir(), "missing.log")); err == nil {
+		t.Error("missing file should error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.log")
+	if err := os.WriteFile(empty, []byte("garbage\nmore garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadLog(empty); err == nil {
+		t.Error("log without parseable records should error")
+	}
+}
+
+func TestReliabilityAndThresholdsSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "trace.log")
+	var out bytes.Buffer
+	err := run([]string{"generate",
+		"-profile", "NASA-Pub2", "-scale", "1", "-seed", "6", "-days", "2",
+		"-out", logPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"reliability", "-log", logPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"request reliability", "session reliability", "status"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("reliability output missing %q:\n%s", want, text)
+		}
+	}
+	out.Reset()
+	if err := run([]string{"thresholds", "-log", logPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text = out.String()
+	for _, want := range []string{"threshold", "30m0s", "sessions"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("thresholds output missing %q:\n%s", want, text)
+		}
+	}
+	if err := run([]string{"reliability"}, &out); err == nil {
+		t.Error("reliability without -log should error")
+	}
+	if err := run([]string{"thresholds"}, &out); err == nil {
+		t.Error("thresholds without -log should error")
+	}
+}
+
+func TestFitSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "trace.log")
+	var out bytes.Buffer
+	err := run([]string{"generate",
+		"-profile", "NASA-Pub2", "-scale", "1", "-seed", "9", "-days", "2",
+		"-out", logPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"fit", "-log", logPath, "-server", "nasa-copy"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"nasa-copy", "requests/week", "alpha session length", "Hurst"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fit output missing %q:\n%s", want, text)
+		}
+	}
+	if err := run([]string{"fit"}, &out); err == nil {
+		t.Error("fit without -log should error")
+	}
+}
+
+func TestFitOutAndGenerateFromProfileFile(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "trace.log")
+	profilePath := filepath.Join(dir, "profile.json")
+	var out bytes.Buffer
+	err := run([]string{"generate",
+		"-profile", "NASA-Pub2", "-scale", "1", "-seed", "12", "-days", "2",
+		"-out", logPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"fit", "-log", logPath, "-server", "refit", "-out", profilePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "profile written to") {
+		t.Errorf("fit output missing confirmation:\n%s", out.String())
+	}
+	// Regenerate from the fitted profile file.
+	out.Reset()
+	regenPath := filepath.Join(dir, "regen.log")
+	err = run([]string{"generate",
+		"-profile-file", profilePath, "-scale", "1", "-seed", "13", "-days", "1",
+		"-out", regenPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(regenPath); err != nil || info.Size() == 0 {
+		t.Fatalf("regenerated log missing: %v", err)
+	}
+	// Bad profile file errors cleanly.
+	if err := run([]string{"generate", "-profile-file", filepath.Join(dir, "nope.json")}, &out); err == nil {
+		t.Error("missing profile file should error")
+	}
+}

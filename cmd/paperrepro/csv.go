@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"fullweb/internal/heavytail"
+	"fullweb/internal/lrd"
+	"fullweb/internal/repro"
+	"fullweb/internal/stats"
+)
+
+// writeFigureCSVs materializes the data series behind the paper's
+// figures as CSV files, so they can be re-plotted with any tool. Called
+// when -csv is set; one file per figure.
+func writeFigureCSVs(h *repro.Harness, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	series, err := h.Figure2()
+	if err != nil {
+		return err
+	}
+	if err := writeSeriesCSV(filepath.Join(dir, "fig2_requests_per_second.csv"), "second", "requests", series); err != nil {
+		return err
+	}
+	acfRaw, err := h.Figure3()
+	if err != nil {
+		return err
+	}
+	if err := writeSeriesCSV(filepath.Join(dir, "fig3_acf_raw.csv"), "lag", "acf", acfRaw); err != nil {
+		return err
+	}
+	acfStat, err := h.Figure5()
+	if err != nil {
+		return err
+	}
+	if err := writeSeriesCSV(filepath.Join(dir, "fig5_acf_stationary.csv"), "lag", "acf", acfStat); err != nil {
+		return err
+	}
+	whittle, err := h.Figure7()
+	if err != nil {
+		return err
+	}
+	if err := writeSweepCSV(filepath.Join(dir, "fig7_whittle_sweep.csv"), whittle); err != nil {
+		return err
+	}
+	av, err := h.Figure8()
+	if err != nil {
+		return err
+	}
+	if err := writeSweepCSV(filepath.Join(dir, "fig8_abryveitch_sweep.csv"), av); err != nil {
+		return err
+	}
+	fig11, err := h.Figure11()
+	if err != nil {
+		return err
+	}
+	if err := writeLLCDCSV(filepath.Join(dir, "fig11_llcd_session_length.csv"), fig11.Points); err != nil {
+		return err
+	}
+	fig12, err := h.Figure12()
+	if err != nil {
+		return err
+	}
+	if err := writeHillCSV(filepath.Join(dir, "fig12_hill_session_length.csv"), fig12.Plot); err != nil {
+		return err
+	}
+	fig13, err := h.Figure13()
+	if err != nil {
+		return err
+	}
+	return writeLLCDCSV(filepath.Join(dir, "fig13_llcd_requests_per_session.csv"), fig13.Points)
+}
+
+func writeCSV(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("flushing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func writeSeriesCSV(path, xName, yName string, series []float64) error {
+	rows := make([][]string, len(series))
+	for i, v := range series {
+		rows[i] = []string{strconv.Itoa(i), strconv.FormatFloat(v, 'g', -1, 64)}
+	}
+	return writeCSV(path, []string{xName, yName}, rows)
+}
+
+func writeSweepCSV(path string, points []lrd.SweepPoint) error {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			strconv.Itoa(p.M),
+			strconv.FormatFloat(p.Estimate.H, 'g', -1, 64),
+			strconv.FormatFloat(p.Estimate.CI95Low, 'g', -1, 64),
+			strconv.FormatFloat(p.Estimate.CI95High, 'g', -1, 64),
+			strconv.Itoa(p.Blocks),
+		}
+	}
+	return writeCSV(path, []string{"m", "h", "ci95_low", "ci95_high", "blocks"}, rows)
+}
+
+func writeLLCDCSV(path string, points []stats.LLCDPoint) error {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			strconv.FormatFloat(p.LogX, 'g', -1, 64),
+			strconv.FormatFloat(p.LogCCDF, 'g', -1, 64),
+		}
+	}
+	return writeCSV(path, []string{"log10_x", "log10_ccdf"}, rows)
+}
+
+func writeHillCSV(path string, plot []heavytail.HillPoint) error {
+	rows := make([][]string, len(plot))
+	for i, p := range plot {
+		rows[i] = []string{strconv.Itoa(p.K), strconv.FormatFloat(p.Alpha, 'g', -1, 64)}
+	}
+	return writeCSV(path, []string{"k", "alpha"}, rows)
+}

@@ -1,0 +1,459 @@
+// Command paperrepro regenerates every table and figure of the paper
+// from synthetic traces and prints the measured values next to the
+// published ones:
+//
+//	paperrepro -scale 0.1 -seed 1
+//	paperrepro -experiments table2,fig7
+//
+// Absolute agreement is not expected — the traces are synthetic — but
+// the shape must hold: H > 0.5 everywhere, raw H above stationary H,
+// Poisson rejected at request level, heavy tails where the paper found
+// them. See EXPERIMENTS.md for the recorded comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"fullweb/internal/core"
+	"fullweb/internal/lrd"
+	"fullweb/internal/report"
+	"fullweb/internal/repro"
+	"fullweb/internal/weblog"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(*repro.Harness, io.Writer) error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "Table 1: raw data summary", runTable1},
+		{"fig2", "Figure 2: requests per second, WVU", runFigure2},
+		{"fig3", "Figures 3 and 5: ACF before/after stationarizing, WVU", runFigures3And5},
+		{"fig4", "Figures 4 and 6: Hurst exponents, request series", runFigures4And6},
+		{"fig7", "Figures 7 and 8: aggregation sweeps, WVU", runFigures7And8},
+		{"sec42", "Section 4.2: Poisson battery, request level", runSection42},
+		{"fig9", "Figures 9 and 10: Hurst exponents, session series", runFigures9And10},
+		{"sec512", "Section 5.1.2: Poisson battery, session level", runSection512},
+		{"fig11", "Figures 11 and 12: LLCD and Hill plots, WVU session length (High)", runFigures11And12},
+		{"table2", "Table 2: session length in time", runTable2},
+		{"table3", "Table 3: requests per session", runTable3},
+		{"fig13", "Figure 13: LLCD, ClarkNet requests per session", runFigure13},
+		{"table4", "Table 4: bytes per session", runTable4},
+		{"sec521", "Section 5.2.1: curvature test, Pareto vs lognormal (Week rows)", runSection521},
+		{"intensity", "Observation 4.1(2): per-window H vs workload intensity, WVU", runIntensity},
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.1, "fraction of the paper's Table 1 volumes")
+	seed := fs.Int64("seed", 1, "random seed")
+	days := fs.Int("days", 7, "trace horizon in days")
+	list := fs.String("experiments", "all", "comma-separated experiment names or 'all'")
+	csvDir := fs.String("csv", "", "directory to write per-figure CSV data files (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wanted := map[string]bool{}
+	if *list != "all" {
+		for _, name := range strings.Split(*list, ",") {
+			wanted[strings.TrimSpace(name)] = true
+		}
+	}
+	h := repro.NewHarness(*scale, *seed)
+	h.Days = *days
+	fmt.Fprintf(out, "FULL-Web paper reproduction  scale=%v seed=%d days=%d\n", *scale, *seed, *days)
+	fmt.Fprintf(out, "(synthetic traces; compare shapes, not absolute values)\n\n")
+	ran := 0
+	for _, e := range experiments() {
+		if len(wanted) > 0 && !wanted[e.name] {
+			continue
+		}
+		fmt.Fprintf(out, "=== %s — %s ===\n", e.name, e.desc)
+		if err := e.run(h, out); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", *list)
+	}
+	if *csvDir != "" {
+		if err := writeFigureCSVs(h, *csvDir); err != nil {
+			return fmt.Errorf("csv export: %w", err)
+		}
+		fmt.Fprintf(out, "figure data written to %s\n", *csvDir)
+	}
+	return nil
+}
+
+func runTable1(h *repro.Harness, out io.Writer) error {
+	rows, err := h.Table1()
+	if err != nil {
+		return err
+	}
+	paper := repro.PaperTable1()
+	tb := report.NewTable("Server", "Requests (paper)", "Requests (measured)", "Sessions (paper)", "Sessions (measured)", "MB (paper)", "MB (measured)")
+	for i, r := range rows {
+		tb.AddRow(r.Server,
+			report.Count(int64(paper[i].Requests)), report.Count(int64(r.Requests)),
+			report.Count(int64(paper[i].Sessions)), report.Count(int64(r.Sessions)),
+			report.F2(paper[i].MB), report.F2(r.MB))
+	}
+	fmt.Fprint(out, tb.String())
+	fmt.Fprintf(out, "note: measured values are scaled by %v by construction\n", h.Scale)
+	return nil
+}
+
+func runFigure2(h *repro.Harness, out io.Writer) error {
+	series, err := h.Figure2()
+	if err != nil {
+		return err
+	}
+	max := 0.0
+	for _, v := range series {
+		if v > max {
+			max = v
+		}
+	}
+	fmt.Fprintf(out, "requests/second over %s seconds (max %.0f):\n", report.Count(int64(len(series))), max)
+	fmt.Fprintf(out, "  %s\n", report.Sparkline(series, 96))
+	fmt.Fprintln(out, "expected shape: diurnal cycle with bursty peaks (paper Figure 2)")
+	return nil
+}
+
+func runFigures3And5(h *repro.Harness, out io.Writer) error {
+	raw, err := h.Figure3()
+	if err != nil {
+		return err
+	}
+	st, err := h.Figure5()
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("lag", "ACF raw (fig 3)", "ACF stationary (fig 5)")
+	for _, lag := range []int{1, 10, 100, 500, 1000} {
+		if lag < len(raw) && lag < len(st) {
+			tb.AddRow(fmt.Sprint(lag), report.F(raw[lag]), report.F(st[lag]))
+		}
+	}
+	fmt.Fprint(out, tb.String())
+	fmt.Fprintln(out, "expected shape: both slowly decaying; stationary ACF below raw at long lags")
+	return nil
+}
+
+func hurstTable(out io.Writer, rawM, stM repro.HurstMatrix) {
+	tb := report.NewTable(append([]string{"estimator"}, func() []string {
+		var cols []string
+		for _, s := range repro.Servers() {
+			cols = append(cols, s+" raw", s+" stat")
+		}
+		return cols
+	}()...)...)
+	for _, m := range lrd.AllMethods() {
+		row := []string{m.String()}
+		for _, server := range repro.Servers() {
+			raw, okR := rawM[server].ByMethod(m)
+			st, okS := stM[server].ByMethod(m)
+			c1, c2 := "-", "-"
+			if okR {
+				c1 = report.F(raw.H)
+			}
+			if okS {
+				c2 = report.F(st.H)
+			}
+			row = append(row, c1, c2)
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Fprint(out, tb.String())
+}
+
+func runFigures4And6(h *repro.Harness, out io.Writer) error {
+	rawM, err := h.Figure4()
+	if err != nil {
+		return err
+	}
+	stM, err := h.Figure6()
+	if err != nil {
+		return err
+	}
+	hurstTable(out, rawM, stM)
+	fmt.Fprintln(out, "expected shape: H > 0.5 throughout; raw >= stationary mostly; H grows with workload")
+	return nil
+}
+
+func runFigures9And10(h *repro.Harness, out io.Writer) error {
+	rawM, err := h.Figure9()
+	if err != nil {
+		return err
+	}
+	stM, err := h.Figure10()
+	if err != nil {
+		return err
+	}
+	hurstTable(out, rawM, stM)
+	fmt.Fprintln(out, "expected shape: H > 0.5; less workload-sensitive than the request series")
+	return nil
+}
+
+func runFigures7And8(h *repro.Harness, out io.Writer) error {
+	whittle, err := h.Figure7()
+	if err != nil {
+		return err
+	}
+	av, err := h.Figure8()
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("m", "Whittle H(m)", "95% CI", "Abry-Veitch H(m)", "95% CI")
+	avByM := map[int]lrd.SweepPoint{}
+	for _, p := range av {
+		avByM[p.M] = p
+	}
+	var wLo, wHi = math.Inf(1), math.Inf(-1)
+	for _, p := range whittle {
+		wCI := fmt.Sprintf("[%s, %s]", report.F(p.Estimate.CI95Low), report.F(p.Estimate.CI95High))
+		aCell, aCI := "-", "-"
+		if a, ok := avByM[p.M]; ok {
+			aCell = report.F(a.Estimate.H)
+			aCI = fmt.Sprintf("[%s, %s]", report.F(a.Estimate.CI95Low), report.F(a.Estimate.CI95High))
+		}
+		tb.AddRow(fmt.Sprint(p.M), report.F(p.Estimate.H), wCI, aCell, aCI)
+		wLo = math.Min(wLo, p.Estimate.H)
+		wHi = math.Max(wHi, p.Estimate.H)
+	}
+	fmt.Fprint(out, tb.String())
+	ranges := repro.PaperSweepRanges()
+	fmt.Fprintf(out, "paper (WVU): Whittle H(m) in [%.3f, %.3f], Abry-Veitch in [%.3f, %.3f]\n",
+		ranges[0].WhittleLow, ranges[0].WhittleHigh, ranges[0].AbryVeitchLow, ranges[0].AbryVeitchHigh)
+	fmt.Fprintf(out, "measured:    Whittle H(m) in [%.3f, %.3f]\n", wLo, wHi)
+	return nil
+}
+
+func poissonTable(out io.Writer, v repro.PoissonVerdicts) {
+	tb := report.NewTable("server", "level", "events", "verdict (1h)", "verdict (10min)")
+	for _, server := range repro.Servers() {
+		for _, level := range []weblog.WorkloadLevel{weblog.Low, weblog.Med, weblog.High} {
+			pa, ok := v[server][level]
+			if !ok {
+				continue
+			}
+			hourly := subVerdict(pa, 4)
+			tenMin := subVerdict(pa, 24)
+			tb.AddRow(server, level.String(), report.Count(int64(pa.Events)), hourly, tenMin)
+		}
+	}
+	fmt.Fprint(out, tb.String())
+}
+
+func subVerdict(pa *core.PoissonAnalysis, sub int) string {
+	byMode, ok := pa.Runs[sub]
+	if !ok || len(byMode) == 0 {
+		return "NA"
+	}
+	accepted := true
+	for _, r := range byMode {
+		if !r.PoissonAccepted() {
+			accepted = false
+		}
+	}
+	if accepted {
+		return "accepted"
+	}
+	return "rejected"
+}
+
+func runSection42(h *repro.Harness, out io.Writer) error {
+	v, err := h.Section42()
+	if err != nil {
+		return err
+	}
+	poissonTable(out, v)
+	fmt.Fprintln(out, "paper finding: rejected for every server and interval")
+	return nil
+}
+
+func runSection512(h *repro.Harness, out io.Writer) error {
+	v, err := h.Section512()
+	if err != nil {
+		return err
+	}
+	poissonTable(out, v)
+	fmt.Fprintln(out, "paper finding: accepted only for low workloads (CSEE Low/Med); NASA-Pub2 untestable")
+	return nil
+}
+
+func runFigures11And12(h *repro.Harness, out io.Writer) error {
+	fig11, err := h.Figure11()
+	if err != nil {
+		return err
+	}
+	fig12, err := h.Figure12()
+	if err != nil {
+		return err
+	}
+	paper := repro.PaperFigure11Values()
+	tb := report.NewTable("", "paper", "measured")
+	tb.AddRow("sessions in High window", report.Count(int64(paper.Sessions)), report.Count(int64(fig11.Sessions)))
+	tb.AddRow("alpha_LLCD", report.F2(paper.Alpha), report.F(fig11.LLCD.Alpha))
+	tb.AddRow("R^2", report.F(paper.R2), report.F(fig11.LLCD.R2))
+	hill := "NS"
+	if fig12.Stable {
+		hill = report.F2(fig12.Alpha)
+	}
+	tb.AddRow("alpha_Hill", report.F2(paper.HillAlpha), hill)
+	fmt.Fprint(out, tb.String())
+	return nil
+}
+
+func measuredCell(row core.TailAnalysis) (hill, llcd, r2 string) {
+	switch row.Status {
+	case core.TailNA:
+		return "NA", "NA", "NA"
+	case core.TailNS:
+		return "NS", report.F(row.LLCD.Alpha), report.F(row.LLCD.R2)
+	default:
+		return report.F2(row.Hill.Alpha), report.F(row.LLCD.Alpha), report.F(row.LLCD.R2)
+	}
+}
+
+func paperCell(c repro.PaperCell) (hill, llcd, r2 string) {
+	if c.IsNA() {
+		return "NA", "NA", "NA"
+	}
+	if c.HillNS() {
+		return "NS", report.F(c.LLCD), report.F(c.R2)
+	}
+	return report.F2(c.Hill), report.F(c.LLCD), report.F(c.R2)
+}
+
+func tailTable(out io.Writer, paper repro.PaperTable, measured *repro.MeasuredTable) {
+	tb := report.NewTable("interval", "server", "Hill paper/meas", "LLCD paper/meas", "R^2 paper/meas")
+	for _, interval := range repro.Intervals() {
+		for _, server := range repro.Servers() {
+			pc := paper.Cells[interval][server]
+			mc := measured.Cells[interval][server]
+			ph, pl, pr := paperCell(pc)
+			mh, ml, mr := measuredCell(mc)
+			tb.AddRow(interval, server, ph+" / "+mh, pl+" / "+ml, pr+" / "+mr)
+		}
+	}
+	fmt.Fprint(out, tb.String())
+}
+
+func runTable2(h *repro.Harness, out io.Writer) error {
+	m, err := h.Table2()
+	if err != nil {
+		return err
+	}
+	tailTable(out, repro.PaperTable2(), m)
+	return nil
+}
+
+func runTable3(h *repro.Harness, out io.Writer) error {
+	m, err := h.Table3()
+	if err != nil {
+		return err
+	}
+	tailTable(out, repro.PaperTable3(), m)
+	return nil
+}
+
+func runTable4(h *repro.Harness, out io.Writer) error {
+	m, err := h.Table4()
+	if err != nil {
+		return err
+	}
+	tailTable(out, repro.PaperTable4(), m)
+	return nil
+}
+
+func runFigure13(h *repro.Harness, out io.Writer) error {
+	fig, err := h.Figure13()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ClarkNet sessions: %s; measured alpha_LLCD = %s (R^2 %s); paper Table 3 Week: 2.586\n",
+		report.Count(int64(fig.Sessions)), report.F(fig.LLCD.Alpha), report.F(fig.LLCD.R2))
+	fmt.Fprintf(out, "LLCD points: %d; tail fraction fitted: %.3f\n", len(fig.Points), fig.LLCD.TailFraction)
+	return nil
+}
+
+func runSection521(h *repro.Harness, out io.Writer) error {
+	tables := []struct {
+		name string
+		get  func() (*repro.MeasuredTable, error)
+	}{
+		{"session length", h.Table2},
+		{"requests/session", h.Table3},
+		{"bytes/session", h.Table4},
+	}
+	tb := report.NewTable("characteristic", "server", "p(Pareto)", "p(lognormal)", "verdict")
+	for _, entry := range tables {
+		m, err := entry.get()
+		if err != nil {
+			return err
+		}
+		for _, server := range repro.Servers() {
+			cell := m.Cells["Week"][server]
+			if !cell.CurvatureOK {
+				tb.AddRow(entry.name, server, "NA", "NA", "untestable")
+				continue
+			}
+			verdict := "neither rejected"
+			if cell.Curvature.RejectPareto() && cell.Curvature.RejectLognormal() {
+				verdict = "both rejected"
+			} else if cell.Curvature.RejectPareto() {
+				verdict = "Pareto rejected"
+			} else if cell.Curvature.RejectLognormal() {
+				verdict = "lognormal rejected"
+			}
+			tb.AddRow(entry.name, server,
+				report.F(cell.Curvature.PPareto), report.F(cell.Curvature.PLognormal), verdict)
+		}
+	}
+	fmt.Fprint(out, tb.String())
+	fmt.Fprintln(out, "paper finding: neither model rejectable on its (smaller, real) samples — the")
+	fmt.Fprintln(out, "ambiguity is a tail-sparsity effect: here the sparse NASA-Pub2 rows reproduce it,")
+	fmt.Fprintln(out, "while the big exactly-Pareto synthetic samples correctly reject lognormal;")
+	fmt.Fprintln(out, "sensitivity to the alpha estimate and MC sample is reproduced as unit tests")
+	return nil
+}
+
+func runIntensity(h *repro.Harness, out io.Writer) error {
+	res, err := h.Intensity()
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("server", "mean rate (req/s)", "stationary Whittle H")
+	for _, s := range res.AcrossServers {
+		tb.AddRow(s.Server, report.F2(s.MeanRate), report.F(s.H))
+	}
+	fmt.Fprint(out, tb.String())
+	fmt.Fprintln(out)
+	tb = report.NewTable("WVU window start (h)", "mean rate (req/s)", "Whittle H")
+	for _, w := range res.WithinWVU {
+		tb.AddRow(fmt.Sprint(w.Start/3600), report.F2(w.MeanRate), report.F(w.Estimate.H))
+	}
+	fmt.Fprint(out, tb.String())
+	fmt.Fprintf(out, "within-WVU rate-H correlation: %s\n", report.F2(res.Correlation))
+	fmt.Fprintln(out, "paper observation (2), section 4.1: self-similarity strengthens with workload")
+	return nil
+}

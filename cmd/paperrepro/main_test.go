@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiments", "bogus"}, &out); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunCheapExperiments(t *testing.T) {
+	// table1 + fig11 + fig13 only touch generation, sessionization and
+	// the tail estimators — no arrival batteries — so a small scale is
+	// quick while covering the paper-vs-measured rendering path.
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.03", "-seed", "2", "-experiments", "table1,fig11,fig13"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"table1", "15,785,164", // paper volume shown
+		"fig11", "alpha_LLCD",
+		"fig13", "2.586", // paper reference value
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable2Comparison(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.03", "-seed", "2", "-experiments", "table2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Paper-vs-measured cells present, including the paper's NA row for
+	// NASA Low.
+	for _, want := range []string{"Hill paper/meas", "NA /", "Week", "WVU"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table2 output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExperimentNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments() {
+		if seen[e.name] {
+			t.Errorf("duplicate experiment name %q", e.name)
+		}
+		seen[e.name] = true
+		if e.desc == "" || e.run == nil {
+			t.Errorf("experiment %q incomplete", e.name)
+		}
+	}
+	if len(seen) < 13 {
+		t.Errorf("only %d experiments registered", len(seen))
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.03", "-seed", "2", "-days", "1", "-experiments", "table1", "-csv", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig2_requests_per_second.csv",
+		"fig3_acf_raw.csv",
+		"fig5_acf_stationary.csv",
+		"fig7_whittle_sweep.csv",
+		"fig8_abryveitch_sweep.csv",
+		"fig11_llcd_session_length.csv",
+		"fig12_hill_session_length.csv",
+		"fig13_llcd_requests_per_session.csv",
+	}
+	for _, name := range want {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil || info.Size() == 0 {
+			t.Errorf("missing or empty %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Admission-control example: what the paper's Section 5.2.1 finding
+// means in practice.
+//
+// Session-based admission control (Cherkasova & Phaal) caps the number
+// of concurrent sessions. The original simulations assumed
+// exponentially distributed session lengths; the paper shows session
+// length is heavy-tailed (Pareto, often with infinite variance). This
+// example runs the same loss system under both assumptions with equal
+// mean session length and equal arrival rate.
+//
+// The punchline is subtle and worth seeing numerically: the overall
+// blocking probability barely moves (Erlang-B is insensitive to the
+// session-length distribution — the example prints the analytic value
+// next to both simulations), but rejections stop being spread evenly in
+// time. A few enormous sessions occupy slots for hours, the occupancy
+// process acquires long memory, and rejections arrive in prolonged
+// clusters. Capacity planning from the exponential model gets the
+// average right and the outages wrong.
+//
+//	go run ./examples/admission
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fullweb/internal/admission"
+	"fullweb/internal/dist"
+	"fullweb/internal/report"
+)
+
+const (
+	capacity    = 40
+	arrivalRate = 0.083   // sessions per second (offered load ~30 erlang)
+	meanLength  = 360.0   // mean session length, seconds
+	horizon     = 8000000 // simulated seconds (~92 days)
+	seed        = 7
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatal("admission: ", err)
+	}
+}
+
+func run() error {
+	// Exponential assumption of the original admission-control papers.
+	exponential, err := dist.NewExponential(1 / meanLength)
+	if err != nil {
+		return err
+	}
+	// The paper's finding: Pareto with alpha in (1, 2) — finite mean,
+	// infinite variance. alpha=1.35 keeps the mean at meanLength.
+	pareto, err := dist.NewPareto(1.35, meanLength*0.35/1.35)
+	if err != nil {
+		return err
+	}
+	offered := arrivalRate * meanLength
+	analytic, err := admission.ErlangB(offered, capacity)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loss system: capacity=%d, lambda=%.3f/s, mean session=%.0fs, offered load=%.1f erlang\n",
+		capacity, arrivalRate, meanLength, offered)
+	fmt.Printf("Erlang-B blocking (distribution-independent): %.4f\n\n", analytic)
+
+	tb := report.NewTable("session length model", "arrivals", "blocking",
+		"hourly-rejection dispersion", "max in one hour", "longest rejecting streak (h)")
+	for i, m := range []struct {
+		label string
+		d     dist.Continuous
+	}{
+		{"exponential (assumed in [5],[6])", exponential},
+		{"Pareto alpha=1.35 (measured, Table 2)", pareto},
+	} {
+		res, err := admission.Simulate(admission.Config{
+			Capacity:      capacity,
+			ArrivalRate:   arrivalRate,
+			SessionLength: m.d,
+			Horizon:       horizon,
+			Seed:          seed + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+		tb.AddRow(m.label,
+			report.Count(int64(res.Arrivals)),
+			fmt.Sprintf("%.4f", res.BlockingProbability()),
+			report.F2(res.RejectionDispersion()),
+			fmt.Sprintf("%.0f", res.MaxHourlyRejections()),
+			fmt.Sprint(res.LongestRejectingStreak()))
+	}
+	fmt.Print(tb.String())
+
+	fmt.Println("\nreading: blocking probabilities match each other and Erlang-B (insensitivity")
+	fmt.Println("to the service distribution), but under heavy-tailed session lengths the")
+	fmt.Println("rejections cluster: hourly counts are far more dispersed and outage streaks")
+	fmt.Println("far longer — tail risk an exponential-based capacity plan never sees.")
+	return nil
+}

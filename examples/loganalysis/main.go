@@ -1,0 +1,129 @@
+// Log-analysis example: characterize an on-disk Common Log Format file
+// the way the paper characterizes its four server logs.
+//
+//	go run ./examples/loganalysis [access.log]
+//
+// Without an argument the example first writes a synthetic CSEE-like log
+// to a temporary file, then analyzes that file — so it doubles as a
+// demonstration of the CLF round trip.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"fullweb/internal/lrd"
+	"fullweb/internal/report"
+	"fullweb/internal/session"
+	"fullweb/internal/stats"
+	"fullweb/internal/weblog"
+	"fullweb/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.SetFlags(0)
+		log.Fatal("loganalysis: ", err)
+	}
+}
+
+func run(args []string) error {
+	path := ""
+	if len(args) > 0 {
+		path = args[0]
+	} else {
+		generated, err := writeSampleLog()
+		if err != nil {
+			return err
+		}
+		defer os.Remove(generated)
+		path = generated
+		fmt.Printf("no log given; generated a synthetic CSEE-like trace at %s\n\n", path)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, bad, err := weblog.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parsed %s records (%d malformed lines skipped)\n",
+		report.Count(int64(len(records))), len(bad))
+	if len(records) == 0 {
+		return fmt.Errorf("nothing to analyze")
+	}
+	store := weblog.NewStore(records)
+	first, last, err := store.Span()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("span %v .. %v; %s bytes; %d error responses\n\n",
+		first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"),
+		report.Count(store.TotalBytes()), store.ErrorCount())
+
+	// Request arrival process: quick Hurst battery on the counting series.
+	counts, err := store.CountsPerSecond()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("requests/second: %s\n", report.Sparkline(counts, 80))
+	if battery, err := lrd.RunBattery(counts); err == nil {
+		tb := report.NewTable("estimator", "H", "indicates LRD")
+		for _, e := range battery.Estimates {
+			tb.AddRow(e.Method.String(), report.F(e.H), fmt.Sprint(e.Indicates()))
+		}
+		fmt.Print(tb.String())
+	} else {
+		fmt.Printf("series too short for the Hurst battery: %v\n", err)
+	}
+
+	// Sessionization summary.
+	sessions, err := session.Sessionize(records, session.DefaultThreshold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s sessions (30-minute threshold)\n", report.Count(int64(len(sessions))))
+	tb := report.NewTable("characteristic", "n", "mean", "median", "p99", "max")
+	for _, c := range []struct {
+		name   string
+		values []float64
+	}{
+		{"session length (s)", session.PositiveOnly(session.Durations(sessions))},
+		{"requests/session", session.RequestCounts(sessions)},
+		{"bytes/session", session.ByteCounts(sessions)},
+	} {
+		if len(c.values) < 2 {
+			continue
+		}
+		s, err := stats.Summarize(c.values)
+		if err != nil {
+			return err
+		}
+		p99, _ := stats.Quantile(c.values, 0.99)
+		tb.AddRow(c.name, report.Count(int64(s.N)), report.F2(s.Mean), report.F2(s.Median), report.F2(p99), report.F2(s.Max))
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func writeSampleLog() (string, error) {
+	trace, err := workload.Generate(workload.CSEE(), workload.Config{Scale: 0.05, Seed: 3, Days: 2})
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(os.TempDir(), "fullweb-example.log")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := weblog.WriteAll(f, trace.Records); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,3 @@
+module fullweb
+
+go 1.22

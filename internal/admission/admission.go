@@ -1,0 +1,176 @@
+// Package admission implements session-based admission control in the
+// style of Cherkasova & Phaal (the papers the studied work cites as
+// reference [5]/[6]): a loss system that caps the number of concurrent
+// sessions. The paper's Section 5.2.1 shows the simulations behind that
+// mechanism assumed exponential session lengths while real session
+// lengths are heavy-tailed; this package provides the simulator with
+// pluggable session-length distributions so the consequences can be
+// quantified (see examples/admission).
+package admission
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fullweb/internal/dist"
+	"fullweb/internal/stats"
+)
+
+var (
+	// ErrBadParam is returned for invalid simulator parameters.
+	ErrBadParam = errors.New("admission: invalid parameter")
+)
+
+// Config parameterizes the loss-system simulation.
+type Config struct {
+	// Capacity is the number of concurrent session slots.
+	Capacity int
+	// ArrivalRate is the session arrival rate (sessions per second,
+	// Poisson arrivals).
+	ArrivalRate float64
+	// SessionLength samples the session holding times (seconds).
+	SessionLength dist.Continuous
+	// Horizon is the simulated time in seconds.
+	Horizon float64
+	// Seed fixes the randomness.
+	Seed int64
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Arrivals and Rejected count offered and refused sessions.
+	Arrivals, Rejected int
+	// Hourly[i] is the number of rejections in hour i; the temporal
+	// structure of rejections is where heavy tails show up.
+	Hourly []float64
+}
+
+// BlockingProbability returns Rejected/Arrivals.
+func (r Result) BlockingProbability() float64 {
+	if r.Arrivals == 0 {
+		return 0
+	}
+	return float64(r.Rejected) / float64(r.Arrivals)
+}
+
+// RejectionDispersion returns the variance-to-mean ratio of the hourly
+// rejection counts: ~1 when rejections are spread Poisson-like, large
+// when they cluster into outages.
+func (r Result) RejectionDispersion() float64 {
+	m, err := stats.Mean(r.Hourly)
+	if err != nil || m == 0 {
+		return 0
+	}
+	v, err := stats.Variance(r.Hourly)
+	if err != nil {
+		return 0
+	}
+	return v / m
+}
+
+// LongestRejectingStreak returns the longest run of consecutive hours
+// with at least one rejection.
+func (r Result) LongestRejectingStreak() int {
+	best, cur := 0, 0
+	for _, v := range r.Hourly {
+		if v > 0 {
+			cur++
+			if cur > best {
+				best = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return best
+}
+
+// MaxHourlyRejections returns the worst hour.
+func (r Result) MaxHourlyRejections() float64 {
+	if len(r.Hourly) == 0 {
+		return 0
+	}
+	_, max, err := stats.MinMax(r.Hourly)
+	if err != nil {
+		return 0
+	}
+	return max
+}
+
+// departureHeap is a min-heap of session departure times.
+type departureHeap []float64
+
+func (h departureHeap) Len() int            { return len(h) }
+func (h departureHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *departureHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Simulate runs the loss system: Poisson arrivals, admit when a slot is
+// free, hold for a sampled session length, reject otherwise.
+func Simulate(cfg Config) (Result, error) {
+	if cfg.Capacity <= 0 {
+		return Result{}, fmt.Errorf("%w: capacity %d", ErrBadParam, cfg.Capacity)
+	}
+	if cfg.ArrivalRate <= 0 || math.IsNaN(cfg.ArrivalRate) {
+		return Result{}, fmt.Errorf("%w: arrival rate %v", ErrBadParam, cfg.ArrivalRate)
+	}
+	if cfg.Horizon <= 3600 || math.IsNaN(cfg.Horizon) {
+		return Result{}, fmt.Errorf("%w: horizon %v (need > 1 hour)", ErrBadParam, cfg.Horizon)
+	}
+	if cfg.SessionLength == nil {
+		return Result{}, fmt.Errorf("%w: nil session length distribution", ErrBadParam)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arrivals, err := dist.PoissonProcess(rng, cfg.ArrivalRate, cfg.Horizon)
+	if err != nil {
+		return Result{}, fmt.Errorf("admission: arrivals: %w", err)
+	}
+	res := Result{
+		Arrivals: len(arrivals),
+		Hourly:   make([]float64, int(cfg.Horizon)/3600+1),
+	}
+	var busy departureHeap
+	for _, t := range arrivals {
+		for len(busy) > 0 && busy[0] <= t {
+			heap.Pop(&busy)
+		}
+		if len(busy) < cfg.Capacity {
+			length := cfg.SessionLength.Sample(rng)
+			if length < 0 || math.IsNaN(length) {
+				return Result{}, fmt.Errorf("%w: sampled session length %v", ErrBadParam, length)
+			}
+			heap.Push(&busy, t+length)
+		} else {
+			res.Rejected++
+			res.Hourly[int(t)/3600]++
+		}
+	}
+	return res, nil
+}
+
+// ErlangB returns the Erlang-B blocking probability for the given
+// offered load (erlang) and number of servers, via the standard stable
+// recursion. By the M/G/c/c insensitivity property this is the exact
+// stationary blocking probability for ANY session-length distribution
+// with the same mean — which is why blocking alone cannot reveal the
+// heavy-tail problem.
+func ErlangB(offeredLoad float64, servers int) (float64, error) {
+	if offeredLoad <= 0 || math.IsNaN(offeredLoad) || servers <= 0 {
+		return 0, fmt.Errorf("%w: load %v servers %d", ErrBadParam, offeredLoad, servers)
+	}
+	b := 1.0
+	for k := 1; k <= servers; k++ {
+		b = offeredLoad * b / (float64(k) + offeredLoad*b)
+	}
+	return b, nil
+}

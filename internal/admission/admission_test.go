@@ -1,0 +1,149 @@
+package admission
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullweb/internal/dist"
+)
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Classic: 10 erlang on 10 servers -> B ~ 0.215; 1 erlang on 1
+	// server -> 0.5.
+	b, err := ErlangB(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-0.5) > 1e-12 {
+		t.Errorf("ErlangB(1,1) = %v", b)
+	}
+	b, err = ErlangB(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-0.21459) > 1e-4 {
+		t.Errorf("ErlangB(10,10) = %v, want ~0.2146", b)
+	}
+	if _, err := ErlangB(0, 5); !errors.Is(err, ErrBadParam) {
+		t.Error("zero load should return ErrBadParam")
+	}
+}
+
+func mustExp(t *testing.T, rate float64) dist.Exponential {
+	t.Helper()
+	d, err := dist.NewExponential(rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSimulateBlockingMatchesErlangB(t *testing.T) {
+	// Exponential sessions: the simulated blocking must match Erlang-B.
+	const (
+		capacity = 20
+		lambda   = 0.05
+		meanLen  = 300.0
+	)
+	res, err := Simulate(Config{
+		Capacity:      capacity,
+		ArrivalRate:   lambda,
+		SessionLength: mustExp(t, 1/meanLen),
+		Horizon:       4e6,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ErlangB(lambda*meanLen, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.BlockingProbability()
+	if math.Abs(got-want) > 0.25*want+0.002 {
+		t.Fatalf("simulated blocking %v vs Erlang-B %v", got, want)
+	}
+}
+
+func TestSimulateInsensitivityAcrossDistributions(t *testing.T) {
+	// M/G/c/c insensitivity: Pareto sessions with the same mean must
+	// produce (approximately) the same blocking probability.
+	const (
+		capacity = 20
+		lambda   = 0.05
+		meanLen  = 300.0
+	)
+	pareto, err := dist.NewPareto(1.6, meanLen*0.6/1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expRes, err := Simulate(Config{
+		Capacity: capacity, ArrivalRate: lambda,
+		SessionLength: mustExp(t, 1/meanLen), Horizon: 6e6, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := Simulate(Config{
+		Capacity: capacity, ArrivalRate: lambda,
+		SessionLength: pareto, Horizon: 6e6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, bp := expRes.BlockingProbability(), parRes.BlockingProbability()
+	if math.Abs(be-bp) > 0.5*be+0.003 {
+		t.Fatalf("insensitivity violated: exponential %v vs Pareto %v", be, bp)
+	}
+	// ... while the temporal clustering differs: Pareto disperses more.
+	if parRes.RejectionDispersion() <= expRes.RejectionDispersion() {
+		t.Errorf("Pareto dispersion %v not above exponential %v",
+			parRes.RejectionDispersion(), expRes.RejectionDispersion())
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	good := Config{
+		Capacity: 5, ArrivalRate: 0.1,
+		SessionLength: mustExp(t, 0.01), Horizon: 7200, Seed: 1,
+	}
+	bad := good
+	bad.Capacity = 0
+	if _, err := Simulate(bad); !errors.Is(err, ErrBadParam) {
+		t.Error("zero capacity should return ErrBadParam")
+	}
+	bad = good
+	bad.ArrivalRate = 0
+	if _, err := Simulate(bad); !errors.Is(err, ErrBadParam) {
+		t.Error("zero rate should return ErrBadParam")
+	}
+	bad = good
+	bad.Horizon = 100
+	if _, err := Simulate(bad); !errors.Is(err, ErrBadParam) {
+		t.Error("tiny horizon should return ErrBadParam")
+	}
+	bad = good
+	bad.SessionLength = nil
+	if _, err := Simulate(bad); !errors.Is(err, ErrBadParam) {
+		t.Error("nil distribution should return ErrBadParam")
+	}
+}
+
+func TestResultAccessorsEmpty(t *testing.T) {
+	var r Result
+	if r.BlockingProbability() != 0 || r.RejectionDispersion() != 0 ||
+		r.LongestRejectingStreak() != 0 || r.MaxHourlyRejections() != 0 {
+		t.Error("zero-value Result accessors should return zeros")
+	}
+}
+
+func TestLongestRejectingStreak(t *testing.T) {
+	r := Result{Hourly: []float64{0, 1, 2, 0, 3, 4, 5, 0}}
+	if got := r.LongestRejectingStreak(); got != 3 {
+		t.Errorf("streak = %d, want 3", got)
+	}
+	if got := r.MaxHourlyRejections(); got != 5 {
+		t.Errorf("max hourly = %v, want 5", got)
+	}
+}

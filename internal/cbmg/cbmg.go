@@ -1,0 +1,248 @@
+// Package cbmg implements the Customer Behavior Model Graph of Menascé
+// et al., the session representation used by the e-commerce workload
+// studies the paper discusses ([19], [20]): a first-order Markov chain
+// over page states with an entry distribution and an exit state. The
+// paper's criticism — that reporting *average* session length is
+// meaningless when the distribution has huge variance — can be
+// demonstrated directly against this model (see the tests): a CBMG's
+// geometric-tailed session lengths cannot reproduce the heavy tails of
+// Table 3.
+package cbmg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+var (
+	// ErrBadModel is returned for structurally invalid graphs.
+	ErrBadModel = errors.New("cbmg: invalid model")
+	// ErrNoSessions is returned when estimation gets no input.
+	ErrNoSessions = errors.New("cbmg: no sessions")
+)
+
+// Exit is the implicit absorbing state index used in transition rows.
+const Exit = -1
+
+// Graph is a Customer Behavior Model Graph: states 0..N-1 plus the
+// absorbing Exit state.
+type Graph struct {
+	// States names the pages/functions.
+	States []string
+	// Entry[i] is the probability a session starts in state i.
+	Entry []float64
+	// Transition[i][j] is the probability of moving from state i to
+	// state j; ExitProb[i] the probability of leaving the site from i.
+	// Each row i satisfies sum_j Transition[i][j] + ExitProb[i] = 1.
+	Transition [][]float64
+	ExitProb   []float64
+}
+
+// Validate checks stochasticity of the entry vector and every row.
+func (g *Graph) Validate() error {
+	n := len(g.States)
+	if n == 0 {
+		return fmt.Errorf("%w: no states", ErrBadModel)
+	}
+	if len(g.Entry) != n || len(g.Transition) != n || len(g.ExitProb) != n {
+		return fmt.Errorf("%w: dimension mismatch", ErrBadModel)
+	}
+	if err := stochastic(g.Entry, "entry"); err != nil {
+		return err
+	}
+	for i, row := range g.Transition {
+		if len(row) != n {
+			return fmt.Errorf("%w: row %d has %d columns", ErrBadModel, i, len(row))
+		}
+		total := g.ExitProb[i]
+		if g.ExitProb[i] < -1e-9 {
+			return fmt.Errorf("%w: negative exit probability at %d", ErrBadModel, i)
+		}
+		for j, p := range row {
+			if p < -1e-9 {
+				return fmt.Errorf("%w: negative transition %d->%d", ErrBadModel, i, j)
+			}
+			total += p
+		}
+		if math.Abs(total-1) > 1e-6 {
+			return fmt.Errorf("%w: row %d sums to %v", ErrBadModel, i, total)
+		}
+		if g.ExitProb[i] <= 0 {
+			// A state with no exit path can trap sessions forever if the
+			// reachable component has no exit at all; requiring positive
+			// exit everywhere keeps expected session length finite.
+			return fmt.Errorf("%w: state %d has zero exit probability", ErrBadModel, i)
+		}
+	}
+	return nil
+}
+
+func stochastic(p []float64, what string) error {
+	total := 0.0
+	for i, v := range p {
+		if v < -1e-9 {
+			return fmt.Errorf("%w: negative %s probability at %d", ErrBadModel, what, i)
+		}
+		total += v
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return fmt.Errorf("%w: %s sums to %v", ErrBadModel, what, total)
+	}
+	return nil
+}
+
+// ExpectedVisits returns the expected number of visits to each state per
+// session: v = e (I - P)^{-1}, solved by fixed-point iteration (the
+// spectral radius of P is < 1 because every state exits with positive
+// probability).
+func (g *Graph) ExpectedVisits() ([]float64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(g.States)
+	v := make([]float64, n)
+	copy(v, g.Entry)
+	// Iterate v_{k+1} = e + v_k P until convergence.
+	for iter := 0; iter < 100000; iter++ {
+		next := make([]float64, n)
+		copy(next, g.Entry)
+		for i := 0; i < n; i++ {
+			if v[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				next[j] += v[i] * g.Transition[i][j]
+			}
+		}
+		delta := 0.0
+		for i := range next {
+			delta += math.Abs(next[i] - v[i])
+		}
+		v = next
+		if delta < 1e-12 {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: expected-visits iteration did not converge", ErrBadModel)
+}
+
+// MeanSessionLength returns the expected number of requests per session
+// implied by the graph — the metric the paper warns against when the
+// true distribution has large variance.
+func (g *Graph) MeanSessionLength() (float64, error) {
+	v, err := g.ExpectedVisits()
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, x := range v {
+		total += x
+	}
+	return total, nil
+}
+
+// GenerateSession samples one session's state path.
+func (g *Graph) GenerateSession(rng *rand.Rand) ([]int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	state := sample(rng, g.Entry)
+	path := []int{state}
+	for {
+		r := rng.Float64()
+		if r < g.ExitProb[state] {
+			return path, nil
+		}
+		r -= g.ExitProb[state]
+		next := Exit
+		for j, p := range g.Transition[state] {
+			if r < p {
+				next = j
+				break
+			}
+			r -= p
+		}
+		if next == Exit {
+			// Rounding residue: treat as exit.
+			return path, nil
+		}
+		state = next
+		path = append(path, state)
+	}
+}
+
+func sample(rng *rand.Rand, p []float64) int {
+	r := rng.Float64()
+	for i, v := range p {
+		if r < v {
+			return i
+		}
+		r -= v
+	}
+	return len(p) - 1
+}
+
+// Estimate fits a CBMG from observed sessions, each given as a sequence
+// of state indices in [0, numStates). Add-one smoothing keeps every
+// observed state exitable.
+func Estimate(paths [][]int, states []string) (*Graph, error) {
+	n := len(states)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no states", ErrBadModel)
+	}
+	if len(paths) == 0 {
+		return nil, ErrNoSessions
+	}
+	entry := make([]float64, n)
+	trans := make([][]float64, n)
+	exit := make([]float64, n)
+	for i := range trans {
+		trans[i] = make([]float64, n)
+	}
+	for _, path := range paths {
+		if len(path) == 0 {
+			continue
+		}
+		for i, s := range path {
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("%w: state %d outside [0,%d)", ErrBadModel, s, n)
+			}
+			if i == 0 {
+				entry[s]++
+			}
+			if i == len(path)-1 {
+				exit[s]++
+			} else {
+				trans[s][path[i+1]]++
+			}
+		}
+	}
+	entryTotal := 0.0
+	for _, v := range entry {
+		entryTotal += v
+	}
+	if entryTotal == 0 {
+		return nil, ErrNoSessions
+	}
+	for i := range entry {
+		entry[i] /= entryTotal
+	}
+	for i := 0; i < n; i++ {
+		// Add-one smoothing on the exit count so ExitProb > 0 always.
+		rowTotal := exit[i] + 1
+		for j := 0; j < n; j++ {
+			rowTotal += trans[i][j]
+		}
+		for j := 0; j < n; j++ {
+			trans[i][j] /= rowTotal
+		}
+		exit[i] = (exit[i] + 1) / rowTotal
+	}
+	g := &Graph{States: states, Entry: entry, Transition: trans, ExitProb: exit}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,185 @@
+package cbmg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fullweb/internal/heavytail"
+	"fullweb/internal/stats"
+)
+
+// twoState returns a simple browse/buy graph.
+func twoState() *Graph {
+	return &Graph{
+		States: []string{"browse", "buy"},
+		Entry:  []float64{0.9, 0.1},
+		Transition: [][]float64{
+			{0.6, 0.1}, // browse -> browse/buy
+			{0.3, 0.0}, // buy -> browse
+		},
+		ExitProb: []float64{0.3, 0.7},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := twoState()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := twoState()
+	bad.ExitProb[0] = 0
+	bad.Transition[0][0] = 0.9
+	if err := bad.Validate(); !errors.Is(err, ErrBadModel) {
+		t.Error("zero exit probability should be invalid")
+	}
+	bad = twoState()
+	bad.Entry = []float64{0.5, 0.4}
+	if err := bad.Validate(); !errors.Is(err, ErrBadModel) {
+		t.Error("non-stochastic entry should be invalid")
+	}
+	bad = twoState()
+	bad.Transition[0][1] = 0.6
+	if err := bad.Validate(); !errors.Is(err, ErrBadModel) {
+		t.Error("row sum > 1 should be invalid")
+	}
+	empty := &Graph{}
+	if err := empty.Validate(); !errors.Is(err, ErrBadModel) {
+		t.Error("empty graph should be invalid")
+	}
+}
+
+func TestExpectedVisitsClosedForm(t *testing.T) {
+	// Single state with exit probability q: visits are geometric with
+	// mean 1/q.
+	g := &Graph{
+		States:     []string{"page"},
+		Entry:      []float64{1},
+		Transition: [][]float64{{0.75}},
+		ExitProb:   []float64{0.25},
+	}
+	v, err := g.ExpectedVisits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[0]-4) > 1e-9 {
+		t.Fatalf("visits = %v, want 4", v[0])
+	}
+	mean, err := g.MeanSessionLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-4) > 1e-9 {
+		t.Fatalf("mean length = %v", mean)
+	}
+}
+
+func TestGenerateMatchesExpectedVisits(t *testing.T) {
+	g := twoState()
+	want, err := g.MeanSessionLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const sessions = 20000
+	total := 0
+	for s := 0; s < sessions; s++ {
+		path, err := g.GenerateSession(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) == 0 {
+			t.Fatal("empty session generated")
+		}
+		total += len(path)
+	}
+	got := float64(total) / sessions
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("simulated mean length %v vs analytic %v", got, want)
+	}
+}
+
+func TestEstimateRecoversGenerator(t *testing.T) {
+	g := twoState()
+	rng := rand.New(rand.NewSource(2))
+	paths := make([][]int, 30000)
+	for i := range paths {
+		p, err := g.GenerateSession(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = p
+	}
+	fitted, err := Estimate(paths, g.States)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fitted.Entry[0]-0.9) > 0.02 {
+		t.Errorf("entry[browse] = %v", fitted.Entry[0])
+	}
+	if math.Abs(fitted.Transition[0][0]-0.6) > 0.02 {
+		t.Errorf("browse->browse = %v", fitted.Transition[0][0])
+	}
+	if math.Abs(fitted.ExitProb[1]-0.7) > 0.02 {
+		t.Errorf("exit[buy] = %v", fitted.ExitProb[1])
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(nil, []string{"a"}); !errors.Is(err, ErrNoSessions) {
+		t.Error("no sessions should return ErrNoSessions")
+	}
+	if _, err := Estimate([][]int{{0}}, nil); !errors.Is(err, ErrBadModel) {
+		t.Error("no states should return ErrBadModel")
+	}
+	if _, err := Estimate([][]int{{5}}, []string{"a"}); !errors.Is(err, ErrBadModel) {
+		t.Error("out-of-range state should return ErrBadModel")
+	}
+}
+
+// TestCBMGCannotReproduceHeavyTails is the paper's criticism made
+// concrete: a first-order CBMG generates geometric(-mixture) session
+// lengths whose tail decays exponentially, so the Pareto tails of
+// Table 3 are impossible — and mean-based reporting (as in [19], [20])
+// hides exactly that difference.
+func TestCBMGCannotReproduceHeavyTails(t *testing.T) {
+	g := twoState()
+	rng := rand.New(rand.NewSource(3))
+	lengths := make([]float64, 30000)
+	for i := range lengths {
+		p, err := g.GenerateSession(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lengths[i] = float64(len(p))
+	}
+	// The LLCD "alpha" fitted to a geometric tail keeps growing as the
+	// cutoff moves out (no hyperbolic regime). Compare a moderate and an
+	// extreme cutoff.
+	q50, err := stats.Quantile(lengths, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q99, err := stats.Quantile(lengths, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q99 <= q50 {
+		t.Skip("degenerate quantiles")
+	}
+	mid, err := heavytail.EstimateLLCD(lengths, q50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extreme, err := heavytail.EstimateLLCD(lengths, q99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extreme.Alpha <= mid.Alpha {
+		t.Errorf("geometric tail should steepen: mid %v vs extreme %v", mid.Alpha, extreme.Alpha)
+	}
+	if mid.Alpha < 2 {
+		t.Errorf("CBMG session lengths look heavy-tailed (alpha=%v); they must not", mid.Alpha)
+	}
+}

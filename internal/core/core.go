@@ -1,0 +1,364 @@
+// Package core assembles the paper's contribution: the FULL-Web
+// characterization pipeline. Given a Web log it performs the
+// request-level analysis of Section 4 (stationarity testing, trend and
+// periodicity removal, the five-estimator Hurst battery on raw and
+// stationary series, aggregation sweeps, and the Poisson test battery)
+// and the session-level analysis of Section 5 (the same arrival-process
+// analysis for sessions plus heavy-tail analysis of the three
+// intra-session characteristics with LLCD, Hill and curvature-test
+// cross-validation).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fullweb/internal/gof"
+	"fullweb/internal/heavytail"
+	"fullweb/internal/lrd"
+	"fullweb/internal/session"
+	"fullweb/internal/stats"
+	"fullweb/internal/timeseries"
+	"fullweb/internal/weblog"
+)
+
+// ErrNoData is returned when the log holds nothing to analyze.
+var ErrNoData = errors.New("core: no data")
+
+// Config tunes the pipeline. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// SessionThreshold delimits sessions (the paper uses 30 minutes).
+	SessionThreshold time.Duration
+	// Stationarize configures trend/periodicity removal.
+	Stationarize timeseries.StationarizeConfig
+	// ACFMaxLag bounds the autocorrelation plots (Figures 3 and 5).
+	ACFMaxLag int
+	// HillTailFraction and HillRelTol configure the Hill estimator.
+	HillTailFraction float64
+	HillRelTol       float64
+	// Curvature configures Downey's test.
+	Curvature heavytail.CurvatureConfig
+	// MinTailSample is the minimum number of positive observations an
+	// intra-session characteristic needs; below it the paper reports NA.
+	MinTailSample int
+	// SweepMinBlocks caps the aggregation sweep levels so the aggregated
+	// series keeps at least this many blocks.
+	SweepMinBlocks int
+	// WindowDuration is the typical-interval width (four hours in the
+	// paper).
+	WindowDuration time.Duration
+	// Battery configures the Poisson test batteries. The Subintervals
+	// and Mode fields are overridden per run.
+	Battery gof.BatteryConfig
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		SessionThreshold: session.DefaultThreshold,
+		Stationarize:     timeseries.DefaultStationarizeConfig(),
+		ACFMaxLag:        1000,
+		HillTailFraction: heavytail.DefaultHillTailFraction,
+		HillRelTol:       heavytail.DefaultHillRelTol,
+		Curvature:        heavytail.DefaultCurvatureConfig(),
+		MinTailSample:    100,
+		SweepMinBlocks:   512,
+		WindowDuration:   4 * time.Hour,
+		Battery:          gof.DefaultBatteryConfig(),
+	}
+}
+
+// Analyzer runs the FULL-Web pipeline.
+type Analyzer struct {
+	cfg Config
+}
+
+// NewAnalyzer validates the configuration and returns an analyzer.
+func NewAnalyzer(cfg Config) (*Analyzer, error) {
+	if cfg.SessionThreshold <= 0 {
+		return nil, fmt.Errorf("core: non-positive session threshold %v", cfg.SessionThreshold)
+	}
+	if cfg.ACFMaxLag < 1 {
+		return nil, fmt.Errorf("core: ACF max lag %d", cfg.ACFMaxLag)
+	}
+	if cfg.MinTailSample < 10 {
+		return nil, fmt.Errorf("core: MinTailSample %d too small", cfg.MinTailSample)
+	}
+	if cfg.WindowDuration <= 0 {
+		return nil, fmt.Errorf("core: non-positive window duration %v", cfg.WindowDuration)
+	}
+	return &Analyzer{cfg: cfg}, nil
+}
+
+// Config returns the analyzer's configuration.
+func (a *Analyzer) Config() Config { return a.cfg }
+
+// ArrivalAnalysis is the Section 4 / Section 5.1.1 analysis of one
+// counting series (requests or sessions initiated per second).
+type ArrivalAnalysis struct {
+	// N is the series length in seconds.
+	N int
+	// MeanPerSecond is the average event rate.
+	MeanPerSecond float64
+	// ACFRaw and ACFStationary are the autocorrelation functions before
+	// and after trend/periodicity removal (Figures 3 and 5).
+	ACFRaw        []float64
+	ACFStationary []float64
+	// RawHurst holds the five-estimator battery on the raw series
+	// (Figures 4 and 9); StationaryHurst after stationarizing (Figures 6
+	// and 10).
+	RawHurst        *lrd.BatteryResult
+	StationaryHurst *lrd.BatteryResult
+	// Stationarity records what the pipeline removed.
+	Stationarity *timeseries.StationarizeResult
+	// WhittleSweep and AbryVeitchSweep are the aggregation sweeps with
+	// confidence intervals (Figures 7 and 8).
+	WhittleSweep    []lrd.SweepPoint
+	AbryVeitchSweep []lrd.SweepPoint
+}
+
+// OverestimationCount returns how many estimators reported a higher H on
+// the raw series than on the stationary one — the paper's evidence that
+// ignoring trend and periodicity overestimates long-range dependence.
+func (a *ArrivalAnalysis) OverestimationCount() (higher, total int) {
+	if a.RawHurst == nil || a.StationaryHurst == nil {
+		return 0, 0
+	}
+	for _, raw := range a.RawHurst.Estimates {
+		st, ok := a.StationaryHurst.ByMethod(raw.Method)
+		if !ok {
+			continue
+		}
+		total++
+		if raw.H > st.H {
+			higher++
+		}
+	}
+	return higher, total
+}
+
+// AnalyzeArrivalSeries runs the arrival-process analysis on a counting
+// series with one-second bins.
+func (a *Analyzer) AnalyzeArrivalSeries(counts []float64) (*ArrivalAnalysis, error) {
+	if len(counts) < 256 {
+		return nil, fmt.Errorf("%w: %d seconds of counts", ErrNoData, len(counts))
+	}
+	res := &ArrivalAnalysis{N: len(counts)}
+	res.MeanPerSecond, _ = stats.Mean(counts)
+	maxLag := a.cfg.ACFMaxLag
+	if maxLag >= len(counts) {
+		maxLag = len(counts) - 1
+	}
+	acf, err := stats.AutocorrelationFFT(counts, maxLag)
+	if err != nil {
+		return nil, fmt.Errorf("core: raw ACF: %w", err)
+	}
+	res.ACFRaw = acf
+	if res.RawHurst, err = lrd.RunBattery(counts); err != nil {
+		return nil, fmt.Errorf("core: raw Hurst battery: %w", err)
+	}
+	if res.Stationarity, err = timeseries.Stationarize(counts, a.cfg.Stationarize); err != nil {
+		return nil, fmt.Errorf("core: stationarizing: %w", err)
+	}
+	stationary := res.Stationarity.Series
+	if maxLag >= len(stationary) {
+		maxLag = len(stationary) - 1
+	}
+	if res.ACFStationary, err = stats.AutocorrelationFFT(stationary, maxLag); err != nil {
+		return nil, fmt.Errorf("core: stationary ACF: %w", err)
+	}
+	if res.StationaryHurst, err = lrd.RunBattery(stationary); err != nil {
+		return nil, fmt.Errorf("core: stationary Hurst battery: %w", err)
+	}
+	levels := lrd.DefaultSweepLevels(len(stationary), a.cfg.SweepMinBlocks)
+	if len(levels) > 0 {
+		if res.WhittleSweep, err = lrd.AggregationSweep(stationary, lrd.Whittle, levels); err != nil {
+			return nil, fmt.Errorf("core: Whittle sweep: %w", err)
+		}
+		if res.AbryVeitchSweep, err = lrd.AggregationSweep(stationary, lrd.AbryVeitch, levels); err != nil {
+			return nil, fmt.Errorf("core: Abry-Veitch sweep: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// TailStatus mirrors the annotations of Tables 2-4.
+type TailStatus int
+
+const (
+	// TailOK means both estimators produced values.
+	TailOK TailStatus = iota + 1
+	// TailNS means the Hill plot did not stabilize ("NS" in the tables);
+	// the LLCD estimate is still reported.
+	TailNS
+	// TailNA means there were not enough observations ("NA").
+	TailNA
+)
+
+// String renders the annotation.
+func (s TailStatus) String() string {
+	switch s {
+	case TailOK:
+		return "ok"
+	case TailNS:
+		return "NS"
+	case TailNA:
+		return "NA"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// TailAnalysis is the heavy-tail analysis of one intra-session
+// characteristic on one interval: one cell group of Tables 2-4.
+type TailAnalysis struct {
+	// Name identifies the characteristic; Level the interval.
+	Name  string
+	Level string
+	// N is the number of positive observations analyzed.
+	N      int
+	Status TailStatus
+	// LLCD is the regression estimate (alpha_LLCD and R^2 in the tables).
+	LLCD heavytail.LLCDResult
+	// Hill is the Hill-plot estimate (alpha_Hill).
+	Hill heavytail.HillResult
+	// Curvature is Downey's test (Section 5.2.1's Pareto-vs-lognormal
+	// discussion); only meaningful when CurvatureOK.
+	Curvature   heavytail.CurvatureResult
+	CurvatureOK bool
+	// Moments (Dekkers-Einmahl-de Haan) and QQ (Pareto quantile plot)
+	// are additional cross-validations of the tail index, in the
+	// paper's several-methods spirit; only meaningful when the
+	// corresponding OK flag is set.
+	Moments   heavytail.MomentsResult
+	MomentsOK bool
+	QQ        heavytail.QQResult
+	QQOK      bool
+}
+
+// CrossValidated reports whether the LLCD estimate is corroborated by
+// every estimator that produced a value (Hill, moments, QQ) within the
+// given absolute tolerance.
+func (t TailAnalysis) CrossValidated(tol float64) bool {
+	if t.Status == TailNA {
+		return false
+	}
+	ref := t.LLCD.Alpha
+	check := func(v float64, ok bool) bool {
+		if !ok {
+			return true
+		}
+		d := v - ref
+		return d >= -tol && d <= tol
+	}
+	return check(t.Hill.Alpha, t.Hill.Stable) &&
+		check(t.Moments.Alpha, t.MomentsOK && t.Moments.Stable && t.Moments.Gamma > 0) &&
+		check(t.QQ.AlphaFromSlope, t.QQOK)
+}
+
+// AnalyzeTail runs LLCD, Hill and the curvature test on one
+// characteristic. Non-positive observations are dropped first (e.g.
+// zero-duration single-request sessions).
+func (a *Analyzer) AnalyzeTail(name, level string, values []float64) (TailAnalysis, error) {
+	res := TailAnalysis{Name: name, Level: level}
+	positive := session.PositiveOnly(values)
+	res.N = len(positive)
+	if res.N < a.cfg.MinTailSample {
+		res.Status = TailNA
+		return res, nil
+	}
+	llcd, err := heavytail.EstimateLLCDAuto(positive)
+	if err != nil {
+		if errors.Is(err, heavytail.ErrTooFewTail) {
+			res.Status = TailNA
+			return res, nil
+		}
+		return res, fmt.Errorf("core: %s/%s LLCD: %w", name, level, err)
+	}
+	res.LLCD = llcd
+	hill, err := heavytail.EstimateHill(positive, a.cfg.HillTailFraction, a.cfg.HillRelTol)
+	if err != nil && !errors.Is(err, heavytail.ErrTooFewTail) {
+		return res, fmt.Errorf("core: %s/%s Hill: %w", name, level, err)
+	}
+	res.Hill = hill
+	if hill.Stable {
+		res.Status = TailOK
+	} else {
+		res.Status = TailNS
+	}
+	if curv, err := heavytail.CurvatureTest(positive, a.cfg.Curvature); err == nil {
+		res.Curvature = curv
+		res.CurvatureOK = true
+	}
+	if mom, err := heavytail.EstimateMoments(positive, a.cfg.HillTailFraction, 0.5); err == nil {
+		res.Moments = mom
+		res.MomentsOK = true
+	}
+	if qq, err := heavytail.ParetoQQ(positive, a.cfg.HillTailFraction); err == nil {
+		res.QQ = qq
+		res.QQOK = true
+	}
+	return res, nil
+}
+
+// PoissonAnalysis is the Section 4.2 / 5.1.2 battery on one typical
+// window: hourly and ten-minute subdivisions under both sub-second
+// spreading assumptions.
+type PoissonAnalysis struct {
+	Level  weblog.WorkloadLevel
+	Window weblog.Window
+	// Events is the number of events in the window.
+	Events int
+	// Runs holds the batteries keyed by subinterval count then spreading
+	// mode. A missing entry means the window had too few events (the
+	// paper's "not sufficient to conduct the test").
+	Runs map[int]map[gof.SpreadMode]*gof.BatteryResult
+}
+
+// Accepted reports whether every battery that ran accepted the Poisson
+// hypothesis (and at least one ran).
+func (p *PoissonAnalysis) Accepted() bool {
+	ran := false
+	for _, byMode := range p.Runs {
+		for _, res := range byMode {
+			ran = true
+			if !res.PoissonAccepted() {
+				return false
+			}
+		}
+	}
+	return ran
+}
+
+// AnalyzePoisson runs the batteries on the events of one window.
+func (a *Analyzer) AnalyzePoisson(level weblog.WorkloadLevel, window weblog.Window, eventSeconds []int64) (*PoissonAnalysis, error) {
+	res := &PoissonAnalysis{
+		Level:  level,
+		Window: window,
+		Events: len(eventSeconds),
+		Runs:   make(map[int]map[gof.SpreadMode]*gof.BatteryResult),
+	}
+	start := window.Start.Unix()
+	duration := int64(window.Duration / time.Second)
+	for _, sub := range []int{4, 24} {
+		for _, mode := range []gof.SpreadMode{gof.SpreadUniform, gof.SpreadDeterministic} {
+			cfg := a.cfg.Battery
+			cfg.Subintervals = sub
+			cfg.Mode = mode
+			battery, err := gof.RunPoissonBattery(eventSeconds, start, duration, cfg)
+			if err != nil {
+				if errors.Is(err, gof.ErrTooFew) {
+					continue // window too sparse for this subdivision
+				}
+				return nil, fmt.Errorf("core: Poisson battery %d/%v: %w", sub, mode, err)
+			}
+			if res.Runs[sub] == nil {
+				res.Runs[sub] = make(map[gof.SpreadMode]*gof.BatteryResult)
+			}
+			res.Runs[sub][mode] = battery
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fullweb/internal/session"
+	"fullweb/internal/weblog"
+)
+
+// Characteristic names the three intra-session characteristics of
+// Section 5.2.
+const (
+	CharSessionLength      = "session-length-seconds"
+	CharRequestsPerSession = "requests-per-session"
+	CharBytesPerSession    = "bytes-per-session"
+)
+
+// IntervalName labels the rows of Tables 2-4.
+const (
+	IntervalWeek = "Week"
+)
+
+// TailTable groups the tail analyses of one characteristic across the
+// Low, Med, High and Week intervals — one of Tables 2, 3 or 4.
+type TailTable struct {
+	Characteristic string
+	// Rows is keyed by interval name ("Low", "Med", "High", "Week").
+	Rows map[string]TailAnalysis
+}
+
+// FullWebModel is the complete characterization of one server's log —
+// the paper's FULL-Web model.
+type FullWebModel struct {
+	// Server is a label for the analyzed log.
+	Server string
+	// Table1 summary.
+	Requests         int
+	Sessions         int
+	BytesTransferred int64
+	Span             time.Duration
+	// RequestArrivals is the Section 4 analysis; SessionArrivals the
+	// Section 5.1.1 analysis.
+	RequestArrivals *ArrivalAnalysis
+	SessionArrivals *ArrivalAnalysis
+	// TypicalWindows are the Low/Med/High four-hour intervals.
+	TypicalWindows map[weblog.WorkloadLevel]weblog.Window
+	// RequestPoisson and SessionPoisson are the Section 4.2 and 5.1.2
+	// batteries per typical window.
+	RequestPoisson map[weblog.WorkloadLevel]*PoissonAnalysis
+	SessionPoisson map[weblog.WorkloadLevel]*PoissonAnalysis
+	// Tails holds Tables 2-4, keyed by characteristic name.
+	Tails map[string]*TailTable
+}
+
+// Analyze runs the full FULL-Web pipeline on a log store: request-level
+// arrival analysis, sessionization, session-level arrival analysis,
+// Poisson batteries on the typical windows at both levels, and the
+// heavy-tail tables for the three intra-session characteristics.
+func (a *Analyzer) Analyze(server string, store *weblog.Store) (*FullWebModel, error) {
+	if store == nil || store.Len() == 0 {
+		return nil, ErrNoData
+	}
+	first, last, err := store.Span()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	model := &FullWebModel{
+		Server:           server,
+		Requests:         store.Len(),
+		BytesTransferred: store.TotalBytes(),
+		Span:             last.Sub(first),
+	}
+	// Request-level arrival analysis (Section 4.1).
+	counts, err := store.CountsPerSecond()
+	if err != nil {
+		return nil, fmt.Errorf("core: request series: %w", err)
+	}
+	if model.RequestArrivals, err = a.AnalyzeArrivalSeries(counts); err != nil {
+		return nil, fmt.Errorf("core: request arrivals: %w", err)
+	}
+	// Sessionization.
+	sessions, err := session.Sessionize(store.All(), a.cfg.SessionThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("core: sessionizing: %w", err)
+	}
+	model.Sessions = len(sessions)
+	// Session-level arrival analysis (Section 5.1.1).
+	sessionCounts, err := session.InitiatedPerSecond(sessions)
+	if err != nil {
+		return nil, fmt.Errorf("core: session series: %w", err)
+	}
+	if model.SessionArrivals, err = a.AnalyzeArrivalSeries(sessionCounts); err != nil {
+		return nil, fmt.Errorf("core: session arrivals: %w", err)
+	}
+	// Typical windows and Poisson batteries (Sections 4.2 and 5.1.2).
+	model.TypicalWindows, err = store.SelectTypicalWindows(a.cfg.WindowDuration)
+	if err != nil {
+		return nil, fmt.Errorf("core: window selection: %w", err)
+	}
+	model.RequestPoisson = make(map[weblog.WorkloadLevel]*PoissonAnalysis)
+	model.SessionPoisson = make(map[weblog.WorkloadLevel]*PoissonAnalysis)
+	sessionStarts := session.StartSeconds(sessions)
+	for level, window := range model.TypicalWindows {
+		reqSecs := recordSeconds(store, window)
+		pa, err := a.AnalyzePoisson(level, window, reqSecs)
+		if err != nil {
+			return nil, fmt.Errorf("core: request Poisson %v: %w", level, err)
+		}
+		model.RequestPoisson[level] = pa
+		sessSecs := secondsInWindow(sessionStarts, window)
+		spa, err := a.AnalyzePoisson(level, window, sessSecs)
+		if err != nil {
+			return nil, fmt.Errorf("core: session Poisson %v: %w", level, err)
+		}
+		model.SessionPoisson[level] = spa
+	}
+	// Tables 2-4.
+	model.Tails = make(map[string]*TailTable)
+	for _, char := range []string{CharSessionLength, CharRequestsPerSession, CharBytesPerSession} {
+		model.Tails[char] = &TailTable{
+			Characteristic: char,
+			Rows:           make(map[string]TailAnalysis),
+		}
+	}
+	addRows := func(level string, subset []session.Session) error {
+		values := map[string][]float64{
+			CharSessionLength:      session.Durations(subset),
+			CharRequestsPerSession: session.RequestCounts(subset),
+			CharBytesPerSession:    session.ByteCounts(subset),
+		}
+		for char, v := range values {
+			row, err := a.AnalyzeTail(char, level, v)
+			if err != nil {
+				return err
+			}
+			model.Tails[char].Rows[level] = row
+		}
+		return nil
+	}
+	if err := addRows(IntervalWeek, sessions); err != nil {
+		return nil, err
+	}
+	for level, window := range model.TypicalWindows {
+		subset := sessionsInWindow(sessions, window)
+		if err := addRows(level.String(), subset); err != nil {
+			return nil, err
+		}
+	}
+	return model, nil
+}
+
+// recordSeconds returns the Unix-second timestamps of the records inside
+// a window.
+func recordSeconds(store *weblog.Store, w weblog.Window) []int64 {
+	recs := store.Range(w.Start, w.Start.Add(w.Duration))
+	out := make([]int64, len(recs))
+	for i, r := range recs {
+		out[i] = r.Time.Unix()
+	}
+	return out
+}
+
+// secondsInWindow filters sorted Unix seconds to a window.
+func secondsInWindow(sorted []int64, w weblog.Window) []int64 {
+	lo, hi := w.Start.Unix(), w.Start.Add(w.Duration).Unix()
+	out := make([]int64, 0, 1024)
+	for _, s := range sorted {
+		if s >= lo && s < hi {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// sessionsInWindow returns the sessions initiated inside a window (the
+// paper assigns a session to the interval containing its start).
+func sessionsInWindow(sessions []session.Session, w weblog.Window) []session.Session {
+	end := w.Start.Add(w.Duration)
+	out := make([]session.Session, 0, 1024)
+	for _, s := range sessions {
+		if !s.Start.Before(w.Start) && s.Start.Before(end) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+// Package dist implements the probability distributions used by the
+// workload models and statistical tests in this library: exponential,
+// Pareto, lognormal, normal, and uniform, plus Poisson event-time
+// generation. Each distribution provides its CDF, quantile function,
+// moments, random sampling from a caller-supplied source, and maximum
+// likelihood fitting where the paper requires it.
+//
+// All samplers take a *rand.Rand so experiments are reproducible from
+// fixed seeds; nothing in this package touches global randomness.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fullweb/internal/spec"
+)
+
+var (
+	// ErrParam is returned when a distribution is constructed with invalid
+	// parameters.
+	ErrParam = errors.New("dist: invalid parameter")
+	// ErrEmpty is returned when a fit is attempted on no data.
+	ErrEmpty = errors.New("dist: empty sample")
+	// ErrSupport is returned when a fit is attempted on data outside the
+	// distribution's support.
+	ErrSupport = errors.New("dist: observation outside support")
+)
+
+// Continuous is the interface shared by the continuous distributions in
+// this package. Mean and Var return +Inf where the moment does not exist
+// (heavy-tailed Pareto cases).
+type Continuous interface {
+	CDF(x float64) float64
+	Quantile(p float64) (float64, error)
+	Mean() float64
+	Var() float64
+	Sample(rng *rand.Rand) float64
+}
+
+// Exponential is the exponential distribution with rate Lambda > 0.
+type Exponential struct {
+	Lambda float64
+}
+
+var _ Continuous = Exponential{}
+
+// NewExponential returns an exponential distribution with the given rate.
+func NewExponential(lambda float64) (Exponential, error) {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return Exponential{}, fmt.Errorf("%w: exponential rate %v", ErrParam, lambda)
+	}
+	return Exponential{Lambda: lambda}, nil
+}
+
+// CDF returns P[X <= x].
+func (d Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-d.Lambda * x)
+}
+
+// Quantile returns the p-quantile for p in [0, 1).
+func (d Exponential) Quantile(p float64) (float64, error) {
+	if p < 0 || p >= 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("%w: quantile probability %v", ErrParam, p)
+	}
+	return -math.Log1p(-p) / d.Lambda, nil
+}
+
+// Mean returns 1/lambda.
+func (d Exponential) Mean() float64 { return 1 / d.Lambda }
+
+// Var returns 1/lambda^2.
+func (d Exponential) Var() float64 { return 1 / (d.Lambda * d.Lambda) }
+
+// Sample draws one variate.
+func (d Exponential) Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / d.Lambda
+}
+
+// FitExponential returns the MLE exponential distribution for the sample
+// (rate = 1/mean). All observations must be positive.
+func FitExponential(x []float64) (Exponential, error) {
+	if len(x) == 0 {
+		return Exponential{}, ErrEmpty
+	}
+	sum := 0.0
+	for _, v := range x {
+		if v <= 0 || math.IsNaN(v) {
+			return Exponential{}, fmt.Errorf("%w: exponential fit needs positive data, got %v", ErrSupport, v)
+		}
+		sum += v
+	}
+	return NewExponential(float64(len(x)) / sum)
+}
+
+// Pareto is the classical Pareto distribution with shape Alpha > 0 and
+// scale (location) Xm > 0:
+//
+//	P[X <= x] = 1 - (Xm/x)^Alpha, x >= Xm.
+//
+// It is the canonical heavy-tailed model of the paper: for Alpha <= 2 the
+// variance is infinite, for Alpha <= 1 the mean is infinite too.
+type Pareto struct {
+	Alpha float64
+	Xm    float64
+}
+
+var _ Continuous = Pareto{}
+
+// NewPareto returns a Pareto distribution with the given shape and scale.
+func NewPareto(alpha, xm float64) (Pareto, error) {
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return Pareto{}, fmt.Errorf("%w: pareto shape %v", ErrParam, alpha)
+	}
+	if xm <= 0 || math.IsNaN(xm) || math.IsInf(xm, 0) {
+		return Pareto{}, fmt.Errorf("%w: pareto scale %v", ErrParam, xm)
+	}
+	return Pareto{Alpha: alpha, Xm: xm}, nil
+}
+
+// CDF returns P[X <= x].
+func (d Pareto) CDF(x float64) float64 {
+	if x <= d.Xm {
+		return 0
+	}
+	return 1 - math.Pow(d.Xm/x, d.Alpha)
+}
+
+// Quantile returns the p-quantile for p in [0, 1).
+func (d Pareto) Quantile(p float64) (float64, error) {
+	if p < 0 || p >= 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("%w: quantile probability %v", ErrParam, p)
+	}
+	return d.Xm * math.Pow(1-p, -1/d.Alpha), nil
+}
+
+// Mean returns alpha*xm/(alpha-1) for alpha > 1, +Inf otherwise.
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+// Var returns the variance for alpha > 2, +Inf otherwise.
+func (d Pareto) Var() float64 {
+	if d.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	a := d.Alpha
+	return d.Xm * d.Xm * a / ((a - 1) * (a - 1) * (a - 2))
+}
+
+// Sample draws one variate by inversion.
+func (d Pareto) Sample(rng *rand.Rand) float64 {
+	// 1 - U is uniform on (0, 1]; avoid the U==1 pole.
+	u := 1 - rng.Float64()
+	return d.Xm * math.Pow(u, -1/d.Alpha)
+}
+
+// FitPareto returns the MLE Pareto distribution for the sample:
+// xm = min(x), alpha = n / sum(log(x_i/xm)). All observations must be
+// positive and not all equal.
+func FitPareto(x []float64) (Pareto, error) {
+	if len(x) == 0 {
+		return Pareto{}, ErrEmpty
+	}
+	xm := math.Inf(1)
+	for _, v := range x {
+		if v <= 0 || math.IsNaN(v) {
+			return Pareto{}, fmt.Errorf("%w: pareto fit needs positive data, got %v", ErrSupport, v)
+		}
+		if v < xm {
+			xm = v
+		}
+	}
+	sumLog := 0.0
+	for _, v := range x {
+		sumLog += math.Log(v / xm)
+	}
+	if sumLog == 0 {
+		return Pareto{}, fmt.Errorf("%w: pareto fit on constant data", ErrSupport)
+	}
+	return NewPareto(float64(len(x))/sumLog, xm)
+}
+
+// Lognormal is the lognormal distribution: log X ~ N(Mu, Sigma^2). It is
+// the paper's competing non-heavy-tailed model for intra-session
+// characteristics.
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+var _ Continuous = Lognormal{}
+
+// NewLognormal returns a lognormal distribution with the given log-scale
+// parameters.
+func NewLognormal(mu, sigma float64) (Lognormal, error) {
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) || math.IsNaN(mu) {
+		return Lognormal{}, fmt.Errorf("%w: lognormal mu=%v sigma=%v", ErrParam, mu, sigma)
+	}
+	return Lognormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// CDF returns P[X <= x].
+func (d Lognormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return spec.NormalCDF((math.Log(x) - d.Mu) / d.Sigma)
+}
+
+// Quantile returns the p-quantile for p in (0, 1).
+func (d Lognormal) Quantile(p float64) (float64, error) {
+	z, err := spec.NormalQuantile(p)
+	if err != nil {
+		return 0, fmt.Errorf("dist: lognormal quantile: %w", err)
+	}
+	return math.Exp(d.Mu + d.Sigma*z), nil
+}
+
+// Mean returns exp(mu + sigma^2/2).
+func (d Lognormal) Mean() float64 {
+	return math.Exp(d.Mu + d.Sigma*d.Sigma/2)
+}
+
+// Var returns (exp(sigma^2)-1) * exp(2mu + sigma^2).
+func (d Lognormal) Var() float64 {
+	s2 := d.Sigma * d.Sigma
+	return math.Expm1(s2) * math.Exp(2*d.Mu+s2)
+}
+
+// Sample draws one variate.
+func (d Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
+}
+
+// FitLognormal returns the MLE lognormal distribution for the sample
+// (sample mean and population standard deviation of the logs). All
+// observations must be positive and not all equal.
+func FitLognormal(x []float64) (Lognormal, error) {
+	if len(x) == 0 {
+		return Lognormal{}, ErrEmpty
+	}
+	logs := make([]float64, len(x))
+	sum := 0.0
+	for i, v := range x {
+		if v <= 0 || math.IsNaN(v) {
+			return Lognormal{}, fmt.Errorf("%w: lognormal fit needs positive data, got %v", ErrSupport, v)
+		}
+		logs[i] = math.Log(v)
+		sum += logs[i]
+	}
+	mu := sum / float64(len(x))
+	ss := 0.0
+	for _, lv := range logs {
+		d := lv - mu
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(x)))
+	if sigma == 0 {
+		return Lognormal{}, fmt.Errorf("%w: lognormal fit on constant data", ErrSupport)
+	}
+	return NewLognormal(mu, sigma)
+}
+
+// Normal is the normal distribution with mean Mu and standard deviation
+// Sigma > 0.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+var _ Continuous = Normal{}
+
+// NewNormal returns a normal distribution.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) || math.IsNaN(mu) {
+		return Normal{}, fmt.Errorf("%w: normal mu=%v sigma=%v", ErrParam, mu, sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// CDF returns P[X <= x].
+func (d Normal) CDF(x float64) float64 {
+	return spec.NormalCDF((x - d.Mu) / d.Sigma)
+}
+
+// Quantile returns the p-quantile for p in (0, 1).
+func (d Normal) Quantile(p float64) (float64, error) {
+	z, err := spec.NormalQuantile(p)
+	if err != nil {
+		return 0, fmt.Errorf("dist: normal quantile: %w", err)
+	}
+	return d.Mu + d.Sigma*z, nil
+}
+
+// Mean returns mu.
+func (d Normal) Mean() float64 { return d.Mu }
+
+// Var returns sigma^2.
+func (d Normal) Var() float64 { return d.Sigma * d.Sigma }
+
+// Sample draws one variate.
+func (d Normal) Sample(rng *rand.Rand) float64 {
+	return d.Mu + d.Sigma*rng.NormFloat64()
+}
+
+// Uniform is the continuous uniform distribution on [A, B).
+type Uniform struct {
+	A, B float64
+}
+
+var _ Continuous = Uniform{}
+
+// NewUniform returns a uniform distribution on [a, b).
+func NewUniform(a, b float64) (Uniform, error) {
+	if !(a < b) || math.IsNaN(a) || math.IsNaN(b) {
+		return Uniform{}, fmt.Errorf("%w: uniform bounds [%v, %v)", ErrParam, a, b)
+	}
+	return Uniform{A: a, B: b}, nil
+}
+
+// CDF returns P[X <= x].
+func (d Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= d.A:
+		return 0
+	case x >= d.B:
+		return 1
+	default:
+		return (x - d.A) / (d.B - d.A)
+	}
+}
+
+// Quantile returns the p-quantile for p in [0, 1].
+func (d Uniform) Quantile(p float64) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("%w: quantile probability %v", ErrParam, p)
+	}
+	return d.A + p*(d.B-d.A), nil
+}
+
+// Mean returns (a+b)/2.
+func (d Uniform) Mean() float64 { return (d.A + d.B) / 2 }
+
+// Var returns (b-a)^2/12.
+func (d Uniform) Var() float64 { w := d.B - d.A; return w * w / 12 }
+
+// Sample draws one variate.
+func (d Uniform) Sample(rng *rand.Rand) float64 {
+	return d.A + rng.Float64()*(d.B-d.A)
+}

@@ -1,0 +1,91 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PoissonProcess generates the event times of a homogeneous Poisson
+// process with rate Lambda (events per unit time) over [0, horizon). It is
+// the baseline arrival model the paper formally rejects for Web requests.
+func PoissonProcess(rng *rand.Rand, lambda, horizon float64) ([]float64, error) {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return nil, fmt.Errorf("%w: poisson rate %v", ErrParam, lambda)
+	}
+	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		return nil, fmt.Errorf("%w: poisson horizon %v", ErrParam, horizon)
+	}
+	times := make([]float64, 0, int(lambda*horizon)+16)
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / lambda
+		if t >= horizon {
+			return times, nil
+		}
+		times = append(times, t)
+	}
+}
+
+// NonHomogeneousPoissonProcess generates event times of a Poisson process
+// with time-varying intensity rate(t) over [0, horizon), by thinning
+// (Lewis-Shedler). rateMax must bound rate(t) from above on the horizon.
+func NonHomogeneousPoissonProcess(rng *rand.Rand, rate func(t float64) float64, rateMax, horizon float64) ([]float64, error) {
+	if rateMax <= 0 || math.IsNaN(rateMax) || math.IsInf(rateMax, 0) {
+		return nil, fmt.Errorf("%w: poisson rate bound %v", ErrParam, rateMax)
+	}
+	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		return nil, fmt.Errorf("%w: poisson horizon %v", ErrParam, horizon)
+	}
+	if rate == nil {
+		return nil, fmt.Errorf("%w: nil rate function", ErrParam)
+	}
+	times := make([]float64, 0, int(rateMax*horizon/2)+16)
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / rateMax
+		if t >= horizon {
+			return times, nil
+		}
+		r := rate(t)
+		if r < 0 {
+			return nil, fmt.Errorf("%w: negative intensity %v at t=%v", ErrParam, r, t)
+		}
+		if r > rateMax*(1+1e-9) {
+			return nil, fmt.Errorf("%w: intensity %v at t=%v exceeds bound %v", ErrParam, r, t, rateMax)
+		}
+		if rng.Float64()*rateMax < r {
+			times = append(times, t)
+		}
+	}
+}
+
+// PoissonSample draws one Poisson(mean) count. For small means it uses
+// Knuth's product method; for large means a normal approximation with
+// continuity correction, which is adequate for the binned counting series
+// this library builds.
+func PoissonSample(rng *rand.Rand, mean float64) (int, error) {
+	if mean < 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return 0, fmt.Errorf("%w: poisson mean %v", ErrParam, mean)
+	}
+	if mean == 0 {
+		return 0, nil
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k, nil
+			}
+			k++
+		}
+	}
+	k := int(math.Round(mean + math.Sqrt(mean)*rng.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	return k, nil
+}

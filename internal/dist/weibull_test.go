@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestWeibullReducesToExponential(t *testing.T) {
+	// K = 1 is exponential with rate 1/lambda.
+	w, err := NewWeibull(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewExponential(0.5)
+	for _, x := range []float64{0.1, 0.5, 1, 3, 10} {
+		if math.Abs(w.CDF(x)-e.CDF(x)) > 1e-12 {
+			t.Errorf("CDF(%v): weibull %v vs exponential %v", x, w.CDF(x), e.CDF(x))
+		}
+	}
+	if math.Abs(w.Mean()-2) > 1e-9 {
+		t.Errorf("mean = %v, want 2", w.Mean())
+	}
+	if math.Abs(w.Var()-4) > 1e-9 {
+		t.Errorf("var = %v, want 4", w.Var())
+	}
+}
+
+func TestWeibullQuantileInvertsCDF(t *testing.T) {
+	w, _ := NewWeibull(0.7, 3)
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 0.999} {
+		q, err := w.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(w.CDF(q)-p) > 1e-10 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, w.CDF(q))
+		}
+	}
+	if _, err := w.Quantile(1); !errors.Is(err, ErrParam) {
+		t.Error("Quantile(1) should error")
+	}
+}
+
+func TestWeibullValidation(t *testing.T) {
+	for _, bad := range [][2]float64{{0, 1}, {-1, 1}, {1, 0}, {math.NaN(), 1}, {1, math.Inf(1)}} {
+		if _, err := NewWeibull(bad[0], bad[1]); !errors.Is(err, ErrParam) {
+			t.Errorf("NewWeibull(%v, %v) should error", bad[0], bad[1])
+		}
+	}
+}
+
+func TestFitWeibullRecovers(t *testing.T) {
+	for _, k := range []float64{0.6, 1.0, 2.5} {
+		d, err := NewWeibull(k, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := sampleN(d, 30000, int64(k*1000))
+		fit, err := FitWeibull(x)
+		if err != nil {
+			t.Fatalf("k=%v: %v", k, err)
+		}
+		if math.Abs(fit.K-k) > 0.08*k+0.02 {
+			t.Errorf("k=%v: fitted shape %v", k, fit.K)
+		}
+		if math.Abs(fit.Lambda-4) > 0.3 {
+			t.Errorf("k=%v: fitted scale %v", k, fit.Lambda)
+		}
+	}
+}
+
+func TestFitWeibullErrors(t *testing.T) {
+	if _, err := FitWeibull(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty fit should return ErrEmpty")
+	}
+	if _, err := FitWeibull([]float64{1, -1}); !errors.Is(err, ErrSupport) {
+		t.Error("negative data should return ErrSupport")
+	}
+}
+
+func TestWeibullNotHeavyTailed(t *testing.T) {
+	// Sanity for the tail-estimator contrast class: the Weibull CCDF
+	// decays faster than any power law, so the local LLCD slope steepens
+	// with x. Check the analytic slope d log CCDF / d log x = -k*(x/l)^k
+	// becomes more negative.
+	w, _ := NewWeibull(0.7, 1)
+	slope := func(x float64) float64 {
+		return -w.K * math.Pow(x/w.Lambda, w.K)
+	}
+	if !(slope(10) < slope(1) && slope(100) < slope(10)) {
+		t.Error("Weibull LLCD slope should steepen with x")
+	}
+}

@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfPMF(t *testing.T) {
+	z, err := NewZipf(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights 1, 1/2, 1/3; total 11/6.
+	want := []float64{6.0 / 11, 3.0 / 11, 2.0 / 11}
+	for k := 1; k <= 3; k++ {
+		if math.Abs(z.PMF(k)-want[k-1]) > 1e-12 {
+			t.Errorf("PMF(%d) = %v, want %v", k, z.PMF(k), want[k-1])
+		}
+	}
+	if z.PMF(0) != 0 || z.PMF(4) != 0 {
+		t.Error("out-of-range PMF should be 0")
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); !errors.Is(err, ErrParam) {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewZipf(10, 0); !errors.Is(err, ErrParam) {
+		t.Error("s=0 should error")
+	}
+}
+
+func TestZipfSampleFrequencies(t *testing.T) {
+	z, err := NewZipf(100, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 101)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := z.Sample(rng)
+		if k < 1 || k > 100 {
+			t.Fatalf("sample %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Empirical frequencies of the head ranks match the PMF within
+	// binomial noise.
+	for k := 1; k <= 5; k++ {
+		got := float64(counts[k]) / n
+		want := z.PMF(k)
+		se := math.Sqrt(want * (1 - want) / n)
+		if math.Abs(got-want) > 6*se {
+			t.Errorf("rank %d frequency %v, want %v", k, got, want)
+		}
+	}
+	// Popularity decreasing in rank (head vs tail).
+	if counts[1] <= counts[50] || counts[50] <= 0 {
+		t.Errorf("rank 1 count %d vs rank 50 count %d", counts[1], counts[50])
+	}
+}

@@ -1,0 +1,265 @@
+package gof
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fullweb/internal/stats"
+)
+
+// SpreadMode selects how events sharing a one-second timestamp are
+// distributed within the second before inter-arrival analysis. The paper
+// runs the whole battery under both assumptions (Section 4.2) and reports
+// that the verdicts agree.
+type SpreadMode int
+
+const (
+	// SpreadUniform places same-second events at independent uniform
+	// offsets within the second (then sorts them).
+	SpreadUniform SpreadMode = iota + 1
+	// SpreadDeterministic spaces same-second events evenly across the
+	// second.
+	SpreadDeterministic
+)
+
+// String names the mode.
+func (m SpreadMode) String() string {
+	switch m {
+	case SpreadUniform:
+		return "uniform"
+	case SpreadDeterministic:
+		return "deterministic"
+	default:
+		return fmt.Sprintf("spread(%d)", int(m))
+	}
+}
+
+// SpreadWithinSecond converts integer-second event timestamps (sorted or
+// not) into strictly increasing fractional times by distributing
+// same-second events per mode. rng is required for SpreadUniform and
+// ignored otherwise.
+func SpreadWithinSecond(seconds []int64, mode SpreadMode, rng *rand.Rand) ([]float64, error) {
+	if len(seconds) == 0 {
+		return nil, fmt.Errorf("%w: no events", ErrTooFew)
+	}
+	if mode != SpreadUniform && mode != SpreadDeterministic {
+		return nil, fmt.Errorf("%w: spread mode %d", ErrBadParam, int(mode))
+	}
+	if mode == SpreadUniform && rng == nil {
+		return nil, fmt.Errorf("%w: uniform spreading needs a random source", ErrBadParam)
+	}
+	sorted := make([]int64, len(seconds))
+	copy(sorted, seconds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]float64, 0, len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		k := j - i
+		base := float64(sorted[i])
+		switch mode {
+		case SpreadUniform:
+			offsets := make([]float64, k)
+			for o := range offsets {
+				offsets[o] = rng.Float64()
+			}
+			sort.Float64s(offsets)
+			for _, off := range offsets {
+				out = append(out, base+off)
+			}
+		case SpreadDeterministic:
+			for o := 0; o < k; o++ {
+				out = append(out, base+(float64(o)+0.5)/float64(k))
+			}
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// InterArrivals returns the successive differences of sorted event times.
+func InterArrivals(times []float64) ([]float64, error) {
+	if len(times) < 2 {
+		return nil, fmt.Errorf("%w: %d events", ErrTooFew, len(times))
+	}
+	out := make([]float64, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		d := times[i] - times[i-1]
+		if d < 0 {
+			return nil, fmt.Errorf("%w: unsorted event times at index %d", ErrBadParam, i)
+		}
+		out[i-1] = d
+	}
+	return out, nil
+}
+
+// IntervalVerdict holds the per-subinterval statistics of the battery.
+type IntervalVerdict struct {
+	// N is the number of inter-arrival observations.
+	N int
+	// Rho is the lag-one autocorrelation of the inter-arrivals.
+	Rho float64
+	// RhoInBand reports |Rho| < 1.96/sqrt(N), the independence criterion.
+	RhoInBand bool
+	// AD is the Anderson-Darling exponentiality result.
+	AD ADResult
+}
+
+// BatteryResult is the verdict of the paper's Poisson test battery on one
+// window.
+type BatteryResult struct {
+	Mode SpreadMode
+	// Intervals holds the per-subinterval statistics (only subintervals
+	// with enough events are tested).
+	Intervals []IntervalVerdict
+	// Tested is the number of usable subintervals (the binomial n).
+	Tested int
+	// IndependencePValue is P[S = s] for S ~ B(n, 0.95) with s the count
+	// of subintervals whose lag-one autocorrelation is inside the 95%
+	// band; below 0.05 the inter-arrivals are declared dependent.
+	IndependencePValue float64
+	IndependenceReject bool
+	// PositiveCorrelationPValue is P[X = x] for X ~ B(n, 0.5) with x the
+	// count of positive autocorrelations; below 0.025 the inter-arrivals
+	// are significantly positively correlated. Similarly for negative.
+	PositiveCorrelationPValue float64
+	PositivelyCorrelated      bool
+	NegativeCorrelationPValue float64
+	NegativelyCorrelated      bool
+	// ExponentialPValue is P[Z = z] for Z ~ B(n, 0.95) with z the count
+	// of subintervals passing Anderson-Darling; below 0.05 the
+	// inter-arrivals are declared non-exponential.
+	ExponentialPValue float64
+	ExponentialReject bool
+}
+
+// PoissonAccepted reports the battery's overall verdict: the window is
+// indistinguishable from a piecewise Poisson process when neither the
+// independence battery, nor the sign tests, nor the exponentiality
+// battery rejects.
+func (r *BatteryResult) PoissonAccepted() bool {
+	return !r.IndependenceReject &&
+		!r.PositivelyCorrelated && !r.NegativelyCorrelated &&
+		!r.ExponentialReject
+}
+
+// BatteryConfig configures the Poisson battery.
+type BatteryConfig struct {
+	// Subintervals is the number of equal subdivisions of the window
+	// (4 one-hour pieces of a four-hour interval in the paper's main
+	// analysis, 24 ten-minute pieces in the finer one).
+	Subintervals int
+	// MinEvents is the minimum number of events a subinterval needs to be
+	// tested; subintervals below it are skipped (the paper drops the
+	// NASA-Pub2 Low interval for exactly this reason).
+	MinEvents int
+	// Mode selects the sub-second spreading assumption.
+	Mode SpreadMode
+	// Seed drives uniform spreading.
+	Seed int64
+}
+
+// DefaultBatteryConfig returns the paper's primary configuration: four
+// subintervals, uniform spreading.
+func DefaultBatteryConfig() BatteryConfig {
+	return BatteryConfig{Subintervals: 4, MinEvents: 50, Mode: SpreadUniform, Seed: 1}
+}
+
+// RunPoissonBattery applies the paper's test procedure to the events of
+// one window: the window [start, start+duration) is divided into
+// cfg.Subintervals equal pieces with approximately constant rate; each
+// piece is tested for independent (lag-one autocorrelation) and
+// exponential (Anderson-Darling) inter-arrival times; and the
+// per-subinterval outcomes are combined with binomial tests.
+//
+// seconds holds the event timestamps at one-second granularity.
+func RunPoissonBattery(seconds []int64, start, duration int64, cfg BatteryConfig) (*BatteryResult, error) {
+	if cfg.Subintervals < 2 {
+		return nil, fmt.Errorf("%w: %d subintervals", ErrBadParam, cfg.Subintervals)
+	}
+	if cfg.MinEvents < 10 {
+		return nil, fmt.Errorf("%w: MinEvents %d (need >= 10)", ErrBadParam, cfg.MinEvents)
+	}
+	if duration <= 0 || duration%int64(cfg.Subintervals) != 0 {
+		return nil, fmt.Errorf("%w: duration %d not divisible into %d subintervals", ErrBadParam, duration, cfg.Subintervals)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	times, err := SpreadWithinSecond(seconds, cfg.Mode, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gof: battery spreading: %w", err)
+	}
+	res := &BatteryResult{Mode: cfg.Mode}
+	sub := float64(duration) / float64(cfg.Subintervals)
+	lo := 0
+	for i := 0; i < cfg.Subintervals; i++ {
+		hiT := float64(start) + float64(i+1)*sub
+		hi := lo
+		for hi < len(times) && times[hi] < hiT {
+			hi++
+		}
+		seg := times[lo:hi]
+		lo = hi
+		if len(seg) < cfg.MinEvents {
+			continue
+		}
+		inter, err := InterArrivals(seg)
+		if err != nil {
+			continue
+		}
+		rho, err := stats.Lag1Autocorrelation(inter)
+		if err != nil {
+			continue
+		}
+		ad, err := AndersonDarlingExponential(inter)
+		if err != nil {
+			continue
+		}
+		res.Intervals = append(res.Intervals, IntervalVerdict{
+			N:         len(inter),
+			Rho:       rho,
+			RhoInBand: math.Abs(rho) < 1.96/math.Sqrt(float64(len(inter))),
+			AD:        ad,
+		})
+	}
+	res.Tested = len(res.Intervals)
+	if res.Tested < 2 {
+		return nil, fmt.Errorf("%w: only %d of %d subintervals have >= %d events", ErrTooFew, res.Tested, cfg.Subintervals, cfg.MinEvents)
+	}
+	var inBand, positive, negative, adPass int
+	for _, iv := range res.Intervals {
+		if iv.RhoInBand {
+			inBand++
+		}
+		if iv.Rho > 0 {
+			positive++
+		}
+		if iv.Rho < 0 {
+			negative++
+		}
+		if !iv.AD.Reject {
+			adPass++
+		}
+	}
+	n := res.Tested
+	if res.IndependencePValue, err = stats.BinomialPMF(n, inBand, 0.95); err != nil {
+		return nil, fmt.Errorf("gof: battery independence: %w", err)
+	}
+	res.IndependenceReject = res.IndependencePValue < 0.05
+	if res.PositiveCorrelationPValue, err = stats.BinomialUpperTail(n, positive, 0.5); err != nil {
+		return nil, fmt.Errorf("gof: battery sign test: %w", err)
+	}
+	res.PositivelyCorrelated = res.PositiveCorrelationPValue < 0.025
+	if res.NegativeCorrelationPValue, err = stats.BinomialUpperTail(n, negative, 0.5); err != nil {
+		return nil, fmt.Errorf("gof: battery sign test: %w", err)
+	}
+	res.NegativelyCorrelated = res.NegativeCorrelationPValue < 0.025
+	if res.ExponentialPValue, err = stats.BinomialPMF(n, adPass, 0.95); err != nil {
+		return nil, fmt.Errorf("gof: battery exponentiality: %w", err)
+	}
+	res.ExponentialReject = res.ExponentialPValue < 0.05
+	return res, nil
+}

@@ -1,0 +1,83 @@
+package gof
+
+import (
+	"fmt"
+	"math"
+
+	"fullweb/internal/spec"
+	"fullweb/internal/stats"
+)
+
+// RunsResult is the outcome of a Wald-Wolfowitz runs test for
+// randomness.
+type RunsResult struct {
+	// Runs is the observed number of runs of consecutive
+	// above/below-median observations; ExpectedRuns the value under
+	// independence.
+	Runs         int
+	ExpectedRuns float64
+	// Z is the normal-approximation test statistic; PValue two-sided.
+	Z      float64
+	PValue float64
+	// Reject reports rejection of the randomness null at 5%.
+	Reject bool
+}
+
+// RunsTest applies the Wald-Wolfowitz runs test around the median: too
+// few runs indicate positive serial dependence (bursts — the signature
+// of LRD inter-arrivals), too many indicate alternation. A
+// distribution-free complement to the autocorrelation-based checks of
+// the Poisson battery.
+func RunsTest(x []float64) (RunsResult, error) {
+	if len(x) < 20 {
+		return RunsResult{}, fmt.Errorf("%w: runs test needs >= 20 observations, got %d", ErrTooFew, len(x))
+	}
+	med, err := stats.Median(x)
+	if err != nil {
+		return RunsResult{}, fmt.Errorf("gof: runs median: %w", err)
+	}
+	// Classify observations; values equal to the median are dropped (the
+	// standard treatment for ties).
+	var signs []bool
+	for _, v := range x {
+		switch {
+		case v > med:
+			signs = append(signs, true)
+		case v < med:
+			signs = append(signs, false)
+		}
+	}
+	nPlus, nMinus := 0, 0
+	for _, s := range signs {
+		if s {
+			nPlus++
+		} else {
+			nMinus++
+		}
+	}
+	if nPlus == 0 || nMinus == 0 {
+		return RunsResult{}, fmt.Errorf("%w: runs test needs both signs present", ErrTooFew)
+	}
+	runs := 1
+	for i := 1; i < len(signs); i++ {
+		if signs[i] != signs[i-1] {
+			runs++
+		}
+	}
+	np, nm := float64(nPlus), float64(nMinus)
+	n := np + nm
+	expected := 2*np*nm/n + 1
+	variance := 2 * np * nm * (2*np*nm - n) / (n * n * (n - 1))
+	if variance <= 0 {
+		return RunsResult{}, fmt.Errorf("%w: degenerate runs variance", ErrTooFew)
+	}
+	z := (float64(runs) - expected) / math.Sqrt(variance)
+	p := 2 * (1 - spec.NormalCDF(math.Abs(z)))
+	return RunsResult{
+		Runs:         runs,
+		ExpectedRuns: expected,
+		Z:            z,
+		PValue:       p,
+		Reject:       p < 0.05,
+	}, nil
+}

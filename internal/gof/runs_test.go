@@ -1,0 +1,71 @@
+package gof
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestRunsTestAcceptsIID(t *testing.T) {
+	rejections := 0
+	const reps = 40
+	for r := 0; r < reps; r++ {
+		rng := rand.New(rand.NewSource(int64(r + 1)))
+		x := make([]float64, 500)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		res, err := RunsTest(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject {
+			rejections++
+		}
+	}
+	if rejections > 8 {
+		t.Fatalf("runs test rejected iid data %d/%d times", rejections, reps)
+	}
+}
+
+func TestRunsTestRejectsBursts(t *testing.T) {
+	// Strongly positively dependent data: long runs of same sign.
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 1000)
+	for i := 1; i < len(x); i++ {
+		x[i] = 0.95*x[i-1] + rng.NormFloat64()
+	}
+	res, err := RunsTest(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject {
+		t.Fatalf("runs test accepted AR(0.95) data: z=%v p=%v", res.Z, res.PValue)
+	}
+	if res.Z >= 0 {
+		t.Errorf("bursty data should have too FEW runs (z < 0), got z=%v", res.Z)
+	}
+}
+
+func TestRunsTestRejectsAlternation(t *testing.T) {
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = float64(i%2)*2 - 1 + 0.001*float64(i%7)
+	}
+	res, err := RunsTest(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject || res.Z <= 0 {
+		t.Fatalf("alternating data: z=%v p=%v", res.Z, res.PValue)
+	}
+}
+
+func TestRunsTestErrors(t *testing.T) {
+	if _, err := RunsTest(make([]float64, 5)); !errors.Is(err, ErrTooFew) {
+		t.Error("tiny sample should return ErrTooFew")
+	}
+	if _, err := RunsTest(make([]float64, 50)); !errors.Is(err, ErrTooFew) {
+		t.Error("constant sample should return ErrTooFew (all ties dropped)")
+	}
+}

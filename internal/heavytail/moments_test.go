@@ -1,0 +1,97 @@
+package heavytail
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMomentsRecoversPareto(t *testing.T) {
+	for _, alpha := range []float64{1.0, 1.6, 2.4} {
+		x := paretoSample(t, alpha, 1, 30000, int64(alpha*500))
+		res, err := EstimateMoments(x, 0.14, 0.5)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if !res.Stable {
+			t.Fatalf("alpha=%v: moments plot did not stabilize", alpha)
+		}
+		if math.Abs(res.Gamma-1/alpha) > 0.15/alpha+0.05 {
+			t.Errorf("alpha=%v: gamma %v, want ~%v", alpha, res.Gamma, 1/alpha)
+		}
+		if math.Abs(res.Alpha-alpha) > 0.3*alpha {
+			t.Errorf("alpha=%v: moments alpha %v", alpha, res.Alpha)
+		}
+	}
+}
+
+func TestMomentsAgreesWithHillOnPareto(t *testing.T) {
+	// The third cross-validation: moments vs Hill vs LLCD all close on
+	// exact Pareto data.
+	x := paretoSample(t, 1.67, 1, 30000, 42)
+	mom, err := EstimateMoments(x, DefaultHillTailFraction, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hill, err := EstimateHill(x, DefaultHillTailFraction, DefaultHillRelTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llcd, err := EstimateLLCDAuto(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mom.Stable || !hill.Stable {
+		t.Fatalf("stability: moments %v hill %v", mom.Stable, hill.Stable)
+	}
+	if math.Abs(mom.Alpha-hill.Alpha) > 0.4 {
+		t.Errorf("moments %v vs hill %v", mom.Alpha, hill.Alpha)
+	}
+	if math.Abs(mom.Alpha-llcd.Alpha) > 0.5 {
+		t.Errorf("moments %v vs llcd %v", mom.Alpha, llcd.Alpha)
+	}
+}
+
+func TestMomentsLightTailGammaNonPositive(t *testing.T) {
+	// On a uniform sample (bounded support, gamma = -1) the estimator
+	// must NOT report a heavy tail.
+	x := make([]float64, 20000)
+	for i := range x {
+		x[i] = 1 + float64(i%1000)/1000
+	}
+	plot, err := MomentsPlot(x, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At large k the gamma estimates should be clearly below the
+	// heavy-tail region (gamma near 0 or negative).
+	last := plot[len(plot)-1]
+	if last.Gamma > 0.2 {
+		t.Errorf("bounded data gamma = %v, expected <= ~0", last.Gamma)
+	}
+	if !math.IsInf(last.Alpha, 1) && last.Alpha < 5 {
+		t.Errorf("bounded data alpha = %v looks heavy", last.Alpha)
+	}
+}
+
+func TestMomentsErrors(t *testing.T) {
+	if _, err := MomentsPlot([]float64{1, 2}, 2); !errors.Is(err, ErrTooFewTail) {
+		t.Error("tiny sample should return ErrTooFewTail")
+	}
+	if _, err := MomentsPlot([]float64{1, 2, 3}, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("kMax < 2 should return ErrBadParam")
+	}
+	if _, err := MomentsPlot([]float64{1, -2, 3}, 2); !errors.Is(err, ErrSupport) {
+		t.Error("negative data should return ErrSupport")
+	}
+	x := paretoSample(t, 1.5, 1, 1000, 7)
+	if _, err := EstimateMoments(x, 0, 0.3); !errors.Is(err, ErrBadParam) {
+		t.Error("zero tail fraction should return ErrBadParam")
+	}
+	if _, err := EstimateMoments(x, 0.14, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("zero tolerance should return ErrBadParam")
+	}
+	if _, err := EstimateMoments(x[:30], 0.14, 0.3); !errors.Is(err, ErrTooFewTail) {
+		t.Error("too-small sample should return ErrTooFewTail")
+	}
+}

@@ -1,0 +1,85 @@
+package heavytail
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fullweb/internal/stats"
+)
+
+// QQPoint is one point of a quantile-quantile plot.
+type QQPoint struct {
+	Theoretical float64
+	Empirical   float64
+}
+
+// QQResult holds a QQ diagnostic: the plot points and the linearity of
+// their relationship (R^2 of the points' least-squares line). A Pareto
+// QQ plot (log empirical quantiles vs exponential theoretical quantiles)
+// close to a straight line supports the hyperbolic-tail hypothesis; its
+// slope estimates 1/alpha.
+type QQResult struct {
+	Points []QQPoint
+	// Slope of the least-squares line; for the Pareto QQ plot,
+	// AlphaFromSlope = 1/Slope estimates the tail index.
+	Slope          float64
+	AlphaFromSlope float64
+	R2             float64
+}
+
+// ParetoQQ builds the Pareto quantile plot of the upper tailFraction of
+// the sample: for the k largest order statistics X_(1) >= ... >= X_(k),
+// the points are (log((k+1)/i), log(X_(i)/X_(k+1))). Under a Pareto tail
+// with index alpha these align on a line of slope 1/alpha — yet another
+// cross-validation of the LLCD/Hill/moments estimates, reading the same
+// hypothesis off a different plot.
+func ParetoQQ(x []float64, tailFraction float64) (QQResult, error) {
+	if tailFraction <= 0 || tailFraction > 1 || math.IsNaN(tailFraction) {
+		return QQResult{}, fmt.Errorf("%w: tail fraction %v", ErrBadParam, tailFraction)
+	}
+	n := len(x)
+	k := int(float64(n) * tailFraction)
+	if k < 10 {
+		return QQResult{}, fmt.Errorf("%w: tail fraction %v leaves k=%d", ErrTooFewTail, tailFraction, k)
+	}
+	for _, v := range x {
+		if v <= 0 || math.IsNaN(v) {
+			return QQResult{}, fmt.Errorf("%w: got %v", ErrSupport, v)
+		}
+	}
+	desc := make([]float64, n)
+	copy(desc, x)
+	sort.Sort(sort.Reverse(sort.Float64Slice(desc)))
+	ref := desc[k] // X_(k+1)
+	if ref <= 0 {
+		return QQResult{}, fmt.Errorf("%w: non-positive reference order statistic", ErrSupport)
+	}
+	points := make([]QQPoint, 0, k)
+	xs := make([]float64, 0, k)
+	ys := make([]float64, 0, k)
+	for i := 1; i <= k; i++ {
+		emp := math.Log(desc[i-1] / ref)
+		if emp <= 0 {
+			continue // ties with the reference carry no information
+		}
+		theo := math.Log(float64(k+1) / float64(i))
+		points = append(points, QQPoint{Theoretical: theo, Empirical: emp})
+		xs = append(xs, theo)
+		ys = append(ys, emp)
+	}
+	if len(points) < 5 {
+		return QQResult{}, fmt.Errorf("%w: %d usable QQ points", ErrTooFewTail, len(points))
+	}
+	fit, err := stats.LinearRegression(xs, ys)
+	if err != nil {
+		return QQResult{}, fmt.Errorf("heavytail: QQ regression: %w", err)
+	}
+	res := QQResult{Points: points, Slope: fit.Slope, R2: fit.R2}
+	if fit.Slope > 0 {
+		res.AlphaFromSlope = 1 / fit.Slope
+	} else {
+		res.AlphaFromSlope = math.Inf(1)
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package heavytail
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestParetoQQRecoversAlpha(t *testing.T) {
+	for _, alpha := range []float64{1.0, 1.7, 2.5} {
+		x := paretoSample(t, alpha, 1, 30000, int64(alpha*333))
+		res, err := ParetoQQ(x, 0.14)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if math.Abs(res.AlphaFromSlope-alpha) > 0.25*alpha {
+			t.Errorf("alpha=%v: QQ slope alpha %v", alpha, res.AlphaFromSlope)
+		}
+		if res.R2 < 0.97 {
+			t.Errorf("alpha=%v: QQ R2 %v, want near 1 on exact Pareto", alpha, res.R2)
+		}
+	}
+}
+
+func TestParetoQQLognormalBends(t *testing.T) {
+	// Lognormal data produce a visibly less linear Pareto QQ plot on a
+	// deep tail cut than exact Pareto data do.
+	lgn := lognormalSample(t, 0, 1, 30000, 9)
+	resL, err := ParetoQQ(lgn, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := paretoSample(t, 1.7, 1, 30000, 10)
+	resP, err := ParetoQQ(par, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resL.R2 >= resP.R2 {
+		t.Errorf("lognormal QQ R2 %v not below Pareto %v", resL.R2, resP.R2)
+	}
+}
+
+func TestParetoQQAgreesWithHill(t *testing.T) {
+	x := paretoSample(t, 1.58, 1, 30000, 11)
+	qq, err := ParetoQQ(x, DefaultHillTailFraction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hill, err := EstimateHill(x, DefaultHillTailFraction, DefaultHillRelTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hill.Stable && math.Abs(qq.AlphaFromSlope-hill.Alpha) > 0.35 {
+		t.Errorf("QQ %v vs Hill %v", qq.AlphaFromSlope, hill.Alpha)
+	}
+}
+
+func TestParetoQQErrors(t *testing.T) {
+	x := paretoSample(t, 1.5, 1, 1000, 12)
+	if _, err := ParetoQQ(x, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("zero tail fraction should return ErrBadParam")
+	}
+	if _, err := ParetoQQ(x[:20], 0.14); !errors.Is(err, ErrTooFewTail) {
+		t.Error("tiny sample should return ErrTooFewTail")
+	}
+	bad := append([]float64{-1}, x...)
+	if _, err := ParetoQQ(bad, 0.14); !errors.Is(err, ErrSupport) {
+		t.Error("negative data should return ErrSupport")
+	}
+}

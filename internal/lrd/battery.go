@@ -1,0 +1,152 @@
+package lrd
+
+import (
+	"fmt"
+	"math"
+
+	"fullweb/internal/timeseries"
+)
+
+// Estimator is the common signature of the Hurst estimators.
+type Estimator func(x []float64) (Estimate, error)
+
+// EstimatorFor returns the estimator function for a method.
+func EstimatorFor(m Method) (Estimator, error) {
+	switch m {
+	case AggregatedVariance:
+		return EstimateAggregatedVariance, nil
+	case RS:
+		return EstimateRS, nil
+	case Periodogram:
+		return EstimatePeriodogram, nil
+	case Whittle:
+		return EstimateWhittle, nil
+	case AbryVeitch:
+		return EstimateAbryVeitch, nil
+	case Higuchi:
+		return EstimateHiguchi, nil
+	case DFA:
+		return EstimateDFA, nil
+	default:
+		return nil, fmt.Errorf("%w: method %d", ErrBadParam, int(m))
+	}
+}
+
+// BatteryResult holds the estimates of all five methods on one series,
+// as plotted in Figures 4, 6, 9 and 10 of the paper.
+type BatteryResult struct {
+	Estimates []Estimate
+}
+
+// ByMethod returns the estimate for a method and whether it was computed.
+func (b *BatteryResult) ByMethod(m Method) (Estimate, bool) {
+	for _, e := range b.Estimates {
+		if e.Method == m {
+			return e, true
+		}
+	}
+	return Estimate{}, false
+}
+
+// AllIndicateLRD reports whether every computed estimate indicates
+// long-range dependence (0.5 < H < 1).
+func (b *BatteryResult) AllIndicateLRD() bool {
+	if len(b.Estimates) == 0 {
+		return false
+	}
+	for _, e := range b.Estimates {
+		if !e.Indicates() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunBattery applies all five Hurst estimators to x. Estimators that fail
+// on this particular series (too short, degenerate) are skipped; the
+// error is non-nil only when every estimator fails. Non-finite values in
+// the input are rejected up front — a NaN would otherwise silently
+// poison every spectral statistic.
+func RunBattery(x []float64) (*BatteryResult, error) {
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite value %v at index %d", ErrBadParam, v, i)
+		}
+	}
+	res := &BatteryResult{}
+	var firstErr error
+	for _, m := range AllMethods() {
+		est, err := EstimatorFor(m)
+		if err != nil {
+			return nil, err
+		}
+		e, err := est(x)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("lrd: %v: %w", m, err)
+			}
+			continue
+		}
+		res.Estimates = append(res.Estimates, e)
+	}
+	if len(res.Estimates) == 0 {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// SweepPoint is one point of an aggregation sweep: the estimate on the
+// m-aggregated series.
+type SweepPoint struct {
+	M        int
+	Estimate Estimate
+	// Blocks is the length of the aggregated series the estimate used.
+	Blocks int
+}
+
+// AggregationSweep applies one estimator to the m-aggregated series
+// X^{(m)} for each aggregation level in ms (Figures 7 and 8 of the
+// paper). Levels for which the aggregated series is too short for the
+// estimator are skipped. The mathematical definition of long-range
+// dependence being asymptotic, a roughly constant H(m) across levels is
+// the evidence the paper looks for.
+func AggregationSweep(x []float64, method Method, ms []int) ([]SweepPoint, error) {
+	est, err := EstimatorFor(method)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%w: empty aggregation level list", ErrBadParam)
+	}
+	out := make([]SweepPoint, 0, len(ms))
+	for _, m := range ms {
+		agg, err := timeseries.Aggregate(x, m)
+		if err != nil {
+			continue
+		}
+		e, err := est(agg)
+		if err != nil {
+			continue
+		}
+		out = append(out, SweepPoint{M: m, Estimate: e, Blocks: len(agg)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no aggregation level produced an estimate", ErrTooShort)
+	}
+	return out, nil
+}
+
+// DefaultSweepLevels returns the aggregation levels used for the paper's
+// Figures 7 and 8, capped so the aggregated series keeps at least
+// minBlocks blocks.
+func DefaultSweepLevels(n, minBlocks int) []int {
+	candidates := []int{1, 2, 5, 10, 20, 50, 100, 200, 300, 400, 500, 600}
+	out := make([]int, 0, len(candidates))
+	for _, m := range candidates {
+		if minBlocks > 0 && n/m < minBlocks {
+			break
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package lrd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fullweb/internal/stats"
+)
+
+// Two further time-domain Hurst estimators beyond the paper's five,
+// provided because the LRD-methodology literature the paper leans on
+// (Taqqu & Teverovsky 1998; Karagiannis et al. 2002, whose SELFIS tool
+// the paper used) ships them and because cross-validating estimators is
+// the paper's own medicine: Higuchi's fractal-dimension method and
+// detrended fluctuation analysis (DFA). Both operate on the cumulative
+// sum of the (count) series.
+
+const (
+	// Higuchi is Higuchi's fractal dimension estimator.
+	Higuchi Method = iota + 100
+	// DFA is detrended fluctuation analysis (order 1).
+	DFA
+)
+
+// methodNameExtra resolves the names of the extra estimators; wired into
+// Method.String via the switch there being non-exhaustive.
+func methodNameExtra(m Method) (string, bool) {
+	switch m {
+	case Higuchi:
+		return "Higuchi", true
+	case DFA:
+		return "DFA", true
+	default:
+		return "", false
+	}
+}
+
+// EstimateHiguchi estimates H with Higuchi's method: the curve length
+// L(k) of the cumulative series sampled at lag k scales as k^{-D} with
+// fractal dimension D = 2 - H for fGn-like input. The slope of
+// log L(k) vs log k over a geometric k grid gives -D.
+func EstimateHiguchi(x []float64) (Estimate, error) {
+	n := len(x)
+	if n < 128 {
+		return Estimate{}, fmt.Errorf("%w: Higuchi needs >= 128 points, got %d", ErrTooShort, n)
+	}
+	// Cumulative sum of the centered series: Higuchi operates on the
+	// "path" of the noise. Centering removes the deterministic drift a
+	// nonzero mean would add to every curve length (which biases the
+	// fractal dimension toward 1) and makes constant input degenerate
+	// instead of spuriously reporting H = 1.
+	mean, err := stats.Mean(x)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("lrd: higuchi: %w", err)
+	}
+	path := make([]float64, n)
+	cum := 0.0
+	for i, v := range x {
+		cum += v - mean
+		path[i] = cum
+	}
+	ks := logSpacedInts(1, n/8, 20)
+	logK := make([]float64, 0, len(ks))
+	logL := make([]float64, 0, len(ks))
+	for _, k := range ks {
+		total := 0.0
+		used := 0
+		for m := 0; m < k; m++ {
+			segments := (n - 1 - m) / k
+			if segments < 1 {
+				continue
+			}
+			length := 0.0
+			for i := 1; i <= segments; i++ {
+				length += math.Abs(path[m+i*k] - path[m+(i-1)*k])
+			}
+			// Higuchi's normalization.
+			length *= float64(n-1) / (float64(segments) * float64(k) * float64(k))
+			total += length
+			used++
+		}
+		if used == 0 || total <= 0 {
+			continue
+		}
+		logK = append(logK, math.Log10(float64(k)))
+		logL = append(logL, math.Log10(total/float64(used)))
+	}
+	if len(logK) < 3 {
+		return Estimate{}, ErrDegenerate
+	}
+	fit, err := stats.LinearRegression(logK, logL)
+	if err != nil {
+		if errors.Is(err, stats.ErrConstant) {
+			return Estimate{}, ErrDegenerate
+		}
+		return Estimate{}, fmt.Errorf("lrd: higuchi regression: %w", err)
+	}
+	d := -fit.Slope // fractal dimension
+	return Estimate{
+		Method: Higuchi,
+		H:      2 - d,
+		StdErr: fit.SlopeSE,
+		R2:     fit.R2,
+	}, nil
+}
+
+// EstimateDFA estimates H with order-1 detrended fluctuation analysis:
+// the root-mean-square fluctuation F(s) of the linearly detrended
+// cumulative series over boxes of size s scales as s^H for fGn input.
+func EstimateDFA(x []float64) (Estimate, error) {
+	n := len(x)
+	if n < 256 {
+		return Estimate{}, fmt.Errorf("%w: DFA needs >= 256 points, got %d", ErrTooShort, n)
+	}
+	mean, err := stats.Mean(x)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("lrd: dfa: %w", err)
+	}
+	profile := make([]float64, n)
+	cum := 0.0
+	for i, v := range x {
+		cum += v - mean
+		profile[i] = cum
+	}
+	sizes := logSpacedInts(8, n/4, 20)
+	logS := make([]float64, 0, len(sizes))
+	logF := make([]float64, 0, len(sizes))
+	for _, s := range sizes {
+		boxes := n / s
+		if boxes < 2 {
+			continue
+		}
+		sumSq := 0.0
+		for b := 0; b < boxes; b++ {
+			seg := profile[b*s : (b+1)*s]
+			sumSq += detrendedResidualVariance(seg)
+		}
+		f := math.Sqrt(sumSq / float64(boxes))
+		if f <= 0 {
+			continue
+		}
+		logS = append(logS, math.Log10(float64(s)))
+		logF = append(logF, math.Log10(f))
+	}
+	if len(logS) < 3 {
+		return Estimate{}, ErrDegenerate
+	}
+	fit, err := stats.LinearRegression(logS, logF)
+	if err != nil {
+		if errors.Is(err, stats.ErrConstant) {
+			return Estimate{}, ErrDegenerate
+		}
+		return Estimate{}, fmt.Errorf("lrd: dfa regression: %w", err)
+	}
+	return Estimate{
+		Method: DFA,
+		H:      fit.Slope,
+		StdErr: fit.SlopeSE,
+		R2:     fit.R2,
+	}, nil
+}
+
+// detrendedResidualVariance returns the mean squared residual of seg
+// around its least-squares line.
+func detrendedResidualVariance(seg []float64) float64 {
+	m := len(seg)
+	// Closed-form OLS over x = 0..m-1.
+	fm := float64(m)
+	sx := fm * (fm - 1) / 2
+	sxx := fm * (fm - 1) * (2*fm - 1) / 6
+	var sy, sxy float64
+	for i, v := range seg {
+		sy += v
+		sxy += float64(i) * v
+	}
+	det := fm*sxx - sx*sx
+	if det == 0 {
+		return 0
+	}
+	slope := (fm*sxy - sx*sy) / det
+	intercept := (sy - slope*sx) / fm
+	ss := 0.0
+	for i, v := range seg {
+		r := v - intercept - slope*float64(i)
+		ss += r * r
+	}
+	return ss / fm
+}
+
+// ExtendedMethods lists the paper's five estimators plus the two extras.
+func ExtendedMethods() []Method {
+	return append(AllMethods(), Higuchi, DFA)
+}

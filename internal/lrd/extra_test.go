@@ -1,0 +1,86 @@
+package lrd
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestHiguchiRecovery(t *testing.T) {
+	// Higuchi is noisier than the spectral methods; moderate tolerance.
+	for i, h := range []float64{0.5, 0.7, 0.9} {
+		checkRecovery(t, EstimateHiguchi, h, 0.12, int64(i+70))
+	}
+}
+
+func TestDFARecovery(t *testing.T) {
+	for i, h := range []float64{0.5, 0.7, 0.9} {
+		checkRecovery(t, EstimateDFA, h, 0.1, int64(i+80))
+	}
+}
+
+func TestExtraEstimatorsTooShort(t *testing.T) {
+	short := make([]float64, 50)
+	if _, err := EstimateHiguchi(short); !errors.Is(err, ErrTooShort) {
+		t.Error("Higuchi on short input should return ErrTooShort")
+	}
+	if _, err := EstimateDFA(short); !errors.Is(err, ErrTooShort) {
+		t.Error("DFA on short input should return ErrTooShort")
+	}
+}
+
+func TestExtraEstimatorsConstant(t *testing.T) {
+	constant := make([]float64, 1024)
+	for i := range constant {
+		constant[i] = 3
+	}
+	if _, err := EstimateDFA(constant); err == nil {
+		t.Error("DFA on constant input should error")
+	}
+	// Higuchi on a constant path has zero curve length everywhere.
+	if _, err := EstimateHiguchi(constant); err == nil {
+		t.Error("Higuchi on constant input should error")
+	}
+}
+
+func TestExtraMethodStringsAndLookup(t *testing.T) {
+	if Higuchi.String() != "Higuchi" || DFA.String() != "DFA" {
+		t.Errorf("names: %q, %q", Higuchi.String(), DFA.String())
+	}
+	for _, m := range []Method{Higuchi, DFA} {
+		est, err := EstimatorFor(m)
+		if err != nil || est == nil {
+			t.Errorf("EstimatorFor(%v): %v", m, err)
+		}
+	}
+	if len(ExtendedMethods()) != 7 {
+		t.Errorf("ExtendedMethods = %d entries, want 7", len(ExtendedMethods()))
+	}
+}
+
+func TestExtraEstimatorsAgreeWithWhittle(t *testing.T) {
+	// Cross-validation in the paper's spirit: on exact fGn all seven
+	// estimators should land in a common neighborhood.
+	const h = 0.75
+	x := groundTruth(t, h, 1<<15, 90)
+	for _, m := range ExtendedMethods() {
+		est, err := EstimatorFor(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := est(x)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if math.Abs(e.H-h) > 0.15 {
+			t.Errorf("%v: H = %v, planted %v", m, e.H, h)
+		}
+	}
+}
+
+func TestDetrendedResidualVarianceExactLine(t *testing.T) {
+	seg := []float64{1, 3, 5, 7, 9}
+	if v := detrendedResidualVariance(seg); v > 1e-18 {
+		t.Errorf("residual variance on exact line = %v", v)
+	}
+}

@@ -1,0 +1,61 @@
+package lrd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fullweb/internal/fft"
+	"fullweb/internal/stats"
+)
+
+// PeriodogramFraction is the fraction of the lowest Fourier frequencies
+// used by the periodogram estimator; the spectral power law
+// f(lambda) ~ lambda^{1-2H} only holds near the origin.
+const PeriodogramFraction = 0.1
+
+// EstimatePeriodogram estimates H by regressing the log periodogram on
+// the log frequency over the lowest PeriodogramFraction of the Fourier
+// frequencies: the slope is 1 - 2H.
+func EstimatePeriodogram(x []float64) (Estimate, error) {
+	if len(x) < 128 {
+		return Estimate{}, fmt.Errorf("%w: periodogram needs >= 128 points, got %d", ErrTooShort, len(x))
+	}
+	freqs, ords, err := fft.Periodogram(x)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("lrd: periodogram: %w", err)
+	}
+	cut := int(float64(len(freqs)) * PeriodogramFraction)
+	if cut < 8 {
+		cut = 8
+	}
+	if cut > len(freqs) {
+		cut = len(freqs)
+	}
+	logF := make([]float64, 0, cut)
+	logI := make([]float64, 0, cut)
+	for j := 0; j < cut; j++ {
+		if ords[j] <= 0 {
+			continue
+		}
+		logF = append(logF, math.Log10(freqs[j]))
+		logI = append(logI, math.Log10(ords[j]))
+	}
+	if len(logF) < 3 {
+		return Estimate{}, ErrDegenerate
+	}
+	fit, err := stats.LinearRegression(logF, logI)
+	if err != nil {
+		if errors.Is(err, stats.ErrConstant) {
+			return Estimate{}, ErrDegenerate
+		}
+		return Estimate{}, fmt.Errorf("lrd: periodogram regression: %w", err)
+	}
+	h := (1 - fit.Slope) / 2
+	return Estimate{
+		Method: Periodogram,
+		H:      h,
+		StdErr: fit.SlopeSE / 2,
+		R2:     fit.R2,
+	}, nil
+}

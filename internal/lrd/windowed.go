@@ -1,0 +1,86 @@
+package lrd
+
+import (
+	"fmt"
+
+	"fullweb/internal/stats"
+)
+
+// WindowEstimate is the Hurst estimate of one window of a counting
+// series, together with the window's mean intensity.
+type WindowEstimate struct {
+	// Start is the window's offset (in samples) into the series.
+	Start int
+	// MeanRate is the window's average count per sample.
+	MeanRate float64
+	Estimate Estimate
+}
+
+// WindowedHurst splits the series into consecutive windows of
+// windowSize samples and estimates H in each with the given method.
+// This is the per-interval view behind the paper's observation (2) —
+// "the degree of self-similarity increases with the workload intensity"
+// — and behind Crovella & Bestavros's finding that busy hours are
+// self-similar while quiet ones need not be. Windows on which the
+// estimator fails (e.g. almost empty) are skipped.
+func WindowedHurst(x []float64, method Method, windowSize int) ([]WindowEstimate, error) {
+	if windowSize < 128 {
+		return nil, fmt.Errorf("%w: window size %d (need >= 128)", ErrBadParam, windowSize)
+	}
+	if len(x) < windowSize {
+		return nil, fmt.Errorf("%w: %d samples for window size %d", ErrTooShort, len(x), windowSize)
+	}
+	est, err := EstimatorFor(method)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WindowEstimate, 0, len(x)/windowSize)
+	for start := 0; start+windowSize <= len(x); start += windowSize {
+		seg := x[start : start+windowSize]
+		mean, err := stats.Mean(seg)
+		if err != nil {
+			continue
+		}
+		e, err := est(seg)
+		if err != nil {
+			continue
+		}
+		out = append(out, WindowEstimate{Start: start, MeanRate: mean, Estimate: e})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no window produced an estimate", ErrDegenerate)
+	}
+	return out, nil
+}
+
+// IntensityCorrelation returns the Pearson correlation between the
+// windows' mean rates and their H estimates — positive under the
+// paper's observation that self-similarity strengthens with workload.
+func IntensityCorrelation(windows []WindowEstimate) (float64, error) {
+	if len(windows) < 3 {
+		return 0, fmt.Errorf("%w: %d windows", ErrTooShort, len(windows))
+	}
+	rates := make([]float64, len(windows))
+	hs := make([]float64, len(windows))
+	for i, w := range windows {
+		rates[i] = w.MeanRate
+		hs[i] = w.Estimate.H
+	}
+	fit, err := stats.LinearRegression(rates, hs)
+	if err != nil {
+		return 0, fmt.Errorf("lrd: intensity correlation: %w", err)
+	}
+	// Convert the regression to a correlation coefficient.
+	sdR, err := stats.StdDev(rates)
+	if err != nil {
+		return 0, err
+	}
+	sdH, err := stats.StdDev(hs)
+	if err != nil {
+		return 0, err
+	}
+	if sdH == 0 {
+		return 0, nil
+	}
+	return fit.Slope * sdR / sdH, nil
+}

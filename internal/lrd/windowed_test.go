@@ -1,0 +1,102 @@
+package lrd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fullweb/internal/fgn"
+)
+
+func TestWindowedHurstOnHomogeneousFGN(t *testing.T) {
+	// Every window of exact fGn carries the same H.
+	const h = 0.8
+	x := groundTruth(t, h, 1<<15, 200)
+	windows, err := WindowedHurst(x, Whittle, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 8 {
+		t.Fatalf("%d windows, want 8", len(windows))
+	}
+	for _, w := range windows {
+		if math.Abs(w.Estimate.H-h) > 0.12 {
+			t.Errorf("window at %d: H = %v", w.Start, w.Estimate.H)
+		}
+	}
+}
+
+func TestWindowedHurstIntensityCorrelation(t *testing.T) {
+	// Build a series whose LRD strength grows with intensity: quiet
+	// windows are white, busy windows are strongly LRD — the structure
+	// the paper and Crovella & Bestavros report. The correlation between
+	// rate and H must come out positive.
+	rng := rand.New(rand.NewSource(201))
+	const (
+		windowSize = 1 << 12
+		numWindows = 10
+	)
+	x := make([]float64, windowSize*numWindows)
+	for w := 0; w < numWindows; w++ {
+		busy := w%2 == 1
+		base := 10.0
+		if busy {
+			base = 100
+			noise, err := fgn.Generate(rng, 0.9, windowSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < windowSize; i++ {
+				x[w*windowSize+i] = base + 20*noise[i]
+			}
+		} else {
+			for i := 0; i < windowSize; i++ {
+				x[w*windowSize+i] = base + rng.NormFloat64()
+			}
+		}
+	}
+	windows, err := WindowedHurst(x, Whittle, windowSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := IntensityCorrelation(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr < 0.8 {
+		t.Fatalf("intensity-H correlation %v, want strongly positive", corr)
+	}
+}
+
+func TestWindowedHurstErrors(t *testing.T) {
+	x := groundTruth(t, 0.7, 1024, 202)
+	if _, err := WindowedHurst(x, Whittle, 64); !errors.Is(err, ErrBadParam) {
+		t.Error("tiny window should return ErrBadParam")
+	}
+	if _, err := WindowedHurst(x[:100], Whittle, 512); !errors.Is(err, ErrTooShort) {
+		t.Error("short series should return ErrTooShort")
+	}
+	if _, err := WindowedHurst(x, Method(42), 512); !errors.Is(err, ErrBadParam) {
+		t.Error("unknown method should return ErrBadParam")
+	}
+}
+
+func TestIntensityCorrelationErrors(t *testing.T) {
+	if _, err := IntensityCorrelation(nil); !errors.Is(err, ErrTooShort) {
+		t.Error("empty windows should return ErrTooShort")
+	}
+	// Constant H across windows: correlation is 0, not an error.
+	windows := []WindowEstimate{
+		{MeanRate: 1, Estimate: Estimate{H: 0.7}},
+		{MeanRate: 2, Estimate: Estimate{H: 0.7}},
+		{MeanRate: 3, Estimate: Estimate{H: 0.7}},
+	}
+	corr, err := IntensityCorrelation(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr != 0 {
+		t.Fatalf("constant-H correlation = %v, want 0", corr)
+	}
+}

@@ -1,0 +1,73 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fullweb/internal/stats"
+)
+
+// LatencyResult summarizes per-request response times from a
+// discrete-event single-server FIFO simulation.
+type LatencyResult struct {
+	Requests int
+	// MeanWait and quantiles describe time-in-queue (excluding service).
+	MeanWait float64
+	P50Wait  float64
+	P95Wait  float64
+	P99Wait  float64
+	MaxWait  float64
+	// Utilization is total service demand over the simulated span.
+	Utilization float64
+}
+
+// SimulateFIFO runs a single-server FIFO queue at the individual-request
+// level: requests arrive at the given times (sorted ascending) and each
+// needs the corresponding service time. This complements FluidQueue with
+// the user-facing metric — per-request waiting time — which is what the
+// Web performance models of Section 4.2 ultimately mispredict under
+// non-Poisson arrivals.
+func SimulateFIFO(arrivals, service []float64) (LatencyResult, error) {
+	n := len(arrivals)
+	if n == 0 {
+		return LatencyResult{}, fmt.Errorf("%w: no arrivals", ErrBadParam)
+	}
+	if len(service) != n {
+		return LatencyResult{}, fmt.Errorf("%w: %d arrivals vs %d service times", ErrBadParam, n, len(service))
+	}
+	waits := make([]float64, n)
+	free := 0.0 // time the server becomes free
+	totalService := 0.0
+	for i := 0; i < n; i++ {
+		if i > 0 && arrivals[i] < arrivals[i-1] {
+			return LatencyResult{}, fmt.Errorf("%w: arrivals unsorted at %d", ErrBadParam, i)
+		}
+		if service[i] < 0 || math.IsNaN(service[i]) {
+			return LatencyResult{}, fmt.Errorf("%w: service time %v at %d", ErrBadParam, service[i], i)
+		}
+		start := math.Max(arrivals[i], free)
+		waits[i] = start - arrivals[i]
+		free = start + service[i]
+		totalService += service[i]
+	}
+	span := math.Max(free, arrivals[n-1]) - arrivals[0]
+	if span <= 0 {
+		span = totalService
+	}
+	sorted := append([]float64(nil), waits...)
+	sort.Float64s(sorted)
+	mean, _ := stats.Mean(waits)
+	p50, _ := stats.Quantile(sorted, 0.5)
+	p95, _ := stats.Quantile(sorted, 0.95)
+	p99, _ := stats.Quantile(sorted, 0.99)
+	return LatencyResult{
+		Requests:    n,
+		MeanWait:    mean,
+		P50Wait:     p50,
+		P95Wait:     p95,
+		P99Wait:     p99,
+		MaxWait:     sorted[n-1],
+		Utilization: totalService / span,
+	}, nil
+}

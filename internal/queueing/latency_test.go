@@ -1,0 +1,99 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fullweb/internal/dist"
+)
+
+func TestSimulateFIFODeterministic(t *testing.T) {
+	// Two back-to-back requests: the second waits for the first.
+	res, err := SimulateFIFO([]float64{0, 1}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request 0 waits 0; request 1 arrives at 1, server free at 3 -> waits 2.
+	if res.MeanWait != 1 || res.MaxWait != 2 {
+		t.Fatalf("waits: mean %v max %v", res.MeanWait, res.MaxWait)
+	}
+	if res.Requests != 2 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+}
+
+func TestSimulateFIFOMatchesMM1(t *testing.T) {
+	// M/M/1 at rho=0.7: mean wait in queue = rho/(mu-lambda).
+	const (
+		lambda = 7.0
+		mu     = 10.0
+	)
+	rng := rand.New(rand.NewSource(1))
+	arrivals, err := dist.PoissonProcess(rng, lambda, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := make([]float64, len(arrivals))
+	for i := range service {
+		service[i] = rng.ExpFloat64() / mu
+	}
+	res, err := SimulateFIFO(arrivals, service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.7 / (mu - lambda)
+	if math.Abs(res.MeanWait-want) > 0.15*want {
+		t.Fatalf("simulated Wq %v vs analytic %v", res.MeanWait, want)
+	}
+	if math.Abs(res.Utilization-0.7) > 0.03 {
+		t.Fatalf("utilization %v", res.Utilization)
+	}
+}
+
+func TestSimulateFIFOHeavyTailedServiceHurtsTail(t *testing.T) {
+	// Same utilization, heavy-tailed service: tail waits explode relative
+	// to exponential service (the M/G/1 effect the paper's criticized
+	// models get wrong when variance is infinite).
+	const lambda = 5.0
+	rng := rand.New(rand.NewSource(2))
+	arrivals, err := dist.PoissonProcess(rng, lambda, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanService := 0.14 // rho = 0.7
+	expWaits := make([]float64, len(arrivals))
+	parWaits := make([]float64, len(arrivals))
+	par, _ := dist.NewPareto(1.5, meanService/3)
+	for i := range arrivals {
+		expWaits[i] = rng.ExpFloat64() * meanService
+		parWaits[i] = par.Sample(rng)
+	}
+	expRes, err := SimulateFIFO(arrivals, expWaits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := SimulateFIFO(arrivals, parWaits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRes.P99Wait < 2*expRes.P99Wait {
+		t.Fatalf("heavy-tailed p99 %v not >> exponential p99 %v", parRes.P99Wait, expRes.P99Wait)
+	}
+}
+
+func TestSimulateFIFOValidation(t *testing.T) {
+	if _, err := SimulateFIFO(nil, nil); !errors.Is(err, ErrBadParam) {
+		t.Error("empty input should return ErrBadParam")
+	}
+	if _, err := SimulateFIFO([]float64{0, 1}, []float64{1}); !errors.Is(err, ErrBadParam) {
+		t.Error("length mismatch should return ErrBadParam")
+	}
+	if _, err := SimulateFIFO([]float64{1, 0}, []float64{1, 1}); !errors.Is(err, ErrBadParam) {
+		t.Error("unsorted arrivals should return ErrBadParam")
+	}
+	if _, err := SimulateFIFO([]float64{0}, []float64{-1}); !errors.Is(err, ErrBadParam) {
+		t.Error("negative service should return ErrBadParam")
+	}
+}

@@ -1,0 +1,54 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMC is the M/M/c queue: Poisson arrivals at rate Lambda, c servers
+// with exponential service at rate Mu each — the multi-server capacity
+// model behind "how many workers does this site need".
+type MMC struct {
+	Lambda, Mu float64
+	Servers    int
+}
+
+// NewMMC validates and returns an M/M/c model.
+func NewMMC(lambda, mu float64, servers int) (MMC, error) {
+	if lambda <= 0 || mu <= 0 || math.IsNaN(lambda) || math.IsNaN(mu) {
+		return MMC{}, fmt.Errorf("%w: lambda=%v mu=%v", ErrBadParam, lambda, mu)
+	}
+	if servers <= 0 {
+		return MMC{}, fmt.Errorf("%w: servers %d", ErrBadParam, servers)
+	}
+	if lambda >= mu*float64(servers) {
+		return MMC{}, fmt.Errorf("%w: rho=%v", ErrUnstable, lambda/(mu*float64(servers)))
+	}
+	return MMC{Lambda: lambda, Mu: mu, Servers: servers}, nil
+}
+
+// Utilization returns rho = lambda / (c*mu).
+func (q MMC) Utilization() float64 {
+	return q.Lambda / (q.Mu * float64(q.Servers))
+}
+
+// ErlangC returns the probability an arriving customer must wait, via
+// the numerically stable Erlang-B recursion and the B-to-C conversion.
+func (q MMC) ErlangC() float64 {
+	a := q.Lambda / q.Mu // offered load in erlang
+	b := 1.0
+	for k := 1; k <= q.Servers; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Utilization()
+	return b / (1 - rho*(1-b))
+}
+
+// MeanWait returns the mean waiting time in queue:
+// W_q = C(c, a) / (c*mu - lambda).
+func (q MMC) MeanWait() float64 {
+	return q.ErlangC() / (q.Mu*float64(q.Servers) - q.Lambda)
+}
+
+// MeanQueueLength returns the mean number waiting (Little's law).
+func (q MMC) MeanQueueLength() float64 { return q.Lambda * q.MeanWait() }

@@ -1,0 +1,74 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMMCReducesToMM1(t *testing.T) {
+	// With one server, Erlang-C equals rho and the waiting time matches
+	// M/M/1's W_q = rho/(mu-lambda).
+	q, err := NewMMC(8, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.ErlangC()-0.8) > 1e-12 {
+		t.Errorf("ErlangC = %v, want 0.8", q.ErlangC())
+	}
+	wantWq := 0.8 / (10 - 8)
+	if math.Abs(q.MeanWait()-wantWq) > 1e-12 {
+		t.Errorf("Wq = %v, want %v", q.MeanWait(), wantWq)
+	}
+}
+
+func TestMMCKnownValue(t *testing.T) {
+	// Classic Erlang-C example: a=2 erlang, c=3 servers ->
+	// C = B/(1-rho(1-B)) with B = ErlangB(2,3) = 4/19, rho = 2/3.
+	q, err := NewMMC(2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := 4.0 / 19.0
+	want := b / (1 - (2.0/3.0)*(1-b))
+	if math.Abs(q.ErlangC()-want) > 1e-12 {
+		t.Errorf("ErlangC = %v, want %v", q.ErlangC(), want)
+	}
+}
+
+func TestMMCMoreServersShorterWait(t *testing.T) {
+	prev := math.Inf(1)
+	for c := 6; c <= 12; c++ {
+		q, err := NewMMC(5, 1, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := q.MeanWait()
+		if w >= prev {
+			t.Fatalf("wait did not decrease at c=%d: %v >= %v", c, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestMMCValidation(t *testing.T) {
+	if _, err := NewMMC(10, 1, 10); !errors.Is(err, ErrUnstable) {
+		t.Error("rho = 1 should return ErrUnstable")
+	}
+	if _, err := NewMMC(1, 1, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("zero servers should return ErrBadParam")
+	}
+	if _, err := NewMMC(-1, 1, 2); !errors.Is(err, ErrBadParam) {
+		t.Error("negative lambda should return ErrBadParam")
+	}
+}
+
+func TestMMCLittleLaw(t *testing.T) {
+	q, err := NewMMC(12, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.MeanQueueLength()-q.Lambda*q.MeanWait()) > 1e-12 {
+		t.Error("Little's law violated")
+	}
+}

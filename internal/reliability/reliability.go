@@ -1,0 +1,126 @@
+// Package reliability implements the error and reliability analysis
+// stage of the paper's pipeline (Figure 1). The paper's companion
+// studies ([11], [12]) characterize Web server reliability through the
+// request error rate and the session error rate; this package computes
+// both, classifies errors by status class, and examines the temporal
+// structure of errors (bursts of failures matter more to dependability
+// than their average rate).
+package reliability
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"fullweb/internal/session"
+	"fullweb/internal/stats"
+	"fullweb/internal/weblog"
+)
+
+// ErrNoData is returned when there is nothing to analyze.
+var ErrNoData = errors.New("reliability: no data")
+
+// StatusCount pairs an HTTP status code with its occurrence count.
+type StatusCount struct {
+	Status int
+	Count  int
+}
+
+// Report is the reliability characterization of one log.
+type Report struct {
+	// Requests and Errors count all records and the 4xx/5xx subset.
+	Requests int
+	Errors   int
+	// ClientErrors (4xx) and ServerErrors (5xx).
+	ClientErrors int
+	ServerErrors int
+	// TopErrors lists the most frequent error statuses, descending.
+	TopErrors []StatusCount
+	// RequestReliability is 1 - Errors/Requests, the probability a
+	// request succeeds.
+	RequestReliability float64
+	// Sessions and ErrorFreeSessions count all sessions and those that
+	// completed without a single failed request; SessionReliability is
+	// their ratio — the session-level dependability measure of the
+	// paper's companion studies.
+	Sessions           int
+	ErrorFreeSessions  int
+	SessionReliability float64
+	// ErrorsPerHour is the hourly error counting series and
+	// ErrorDispersion its variance-to-mean ratio: values well above 1
+	// mean failures arrive in bursts.
+	ErrorsPerHour   []float64
+	ErrorDispersion float64
+}
+
+// Analyze computes the reliability report from a log and its
+// sessionization. sessions may be nil, in which case the records are
+// sessionized with the default threshold.
+func Analyze(records []weblog.Record, sessions []session.Session) (Report, error) {
+	if len(records) == 0 {
+		return Report{}, ErrNoData
+	}
+	if sessions == nil {
+		var err error
+		sessions, err = session.Sessionize(records, session.DefaultThreshold)
+		if err != nil {
+			return Report{}, fmt.Errorf("reliability: sessionizing: %w", err)
+		}
+	}
+	rep := Report{Requests: len(records), Sessions: len(sessions)}
+	statusCounts := make(map[int]int)
+	var first, last time.Time
+	for i, r := range records {
+		if i == 0 || r.Time.Before(first) {
+			first = r.Time
+		}
+		if i == 0 || r.Time.After(last) {
+			last = r.Time
+		}
+		if !r.IsError() {
+			continue
+		}
+		rep.Errors++
+		statusCounts[r.Status]++
+		if r.Status < 500 {
+			rep.ClientErrors++
+		} else {
+			rep.ServerErrors++
+		}
+	}
+	rep.RequestReliability = 1 - float64(rep.Errors)/float64(rep.Requests)
+	for status, count := range statusCounts {
+		rep.TopErrors = append(rep.TopErrors, StatusCount{Status: status, Count: count})
+	}
+	sort.Slice(rep.TopErrors, func(i, j int) bool {
+		if rep.TopErrors[i].Count != rep.TopErrors[j].Count {
+			return rep.TopErrors[i].Count > rep.TopErrors[j].Count
+		}
+		return rep.TopErrors[i].Status < rep.TopErrors[j].Status
+	})
+	for _, s := range sessions {
+		if s.Errors == 0 {
+			rep.ErrorFreeSessions++
+		}
+	}
+	if rep.Sessions > 0 {
+		rep.SessionReliability = float64(rep.ErrorFreeSessions) / float64(rep.Sessions)
+	}
+	// Hourly error series.
+	hours := int(last.Sub(first)/time.Hour) + 1
+	rep.ErrorsPerHour = make([]float64, hours)
+	for _, r := range records {
+		if r.IsError() {
+			rep.ErrorsPerHour[int(r.Time.Sub(first)/time.Hour)]++
+		}
+	}
+	if len(rep.ErrorsPerHour) >= 2 {
+		m, errMean := stats.Mean(rep.ErrorsPerHour)
+		v, errVar := stats.Variance(rep.ErrorsPerHour)
+		if errMean == nil && errVar == nil && m > 0 {
+			rep.ErrorDispersion = v / m
+		}
+	}
+	return rep, nil
+}

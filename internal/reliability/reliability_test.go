@@ -1,0 +1,136 @@
+package reliability
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"fullweb/internal/session"
+	"fullweb/internal/weblog"
+	"fullweb/internal/workload"
+)
+
+func rec(host string, sec int64, status int) weblog.Record {
+	return weblog.Record{
+		Host: host, Time: time.Unix(sec, 0).UTC(),
+		Method: "GET", Path: "/", Proto: "HTTP/1.0",
+		Status: status, Bytes: 100,
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	records := []weblog.Record{
+		rec("a", 0, 200),
+		rec("a", 10, 404),
+		rec("b", 20, 200),
+		rec("b", 30, 200),
+		rec("c", 40, 500),
+		rec("c", 50, 503),
+	}
+	rep, err := Analyze(records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 6 || rep.Errors != 3 {
+		t.Fatalf("requests/errors = %d/%d", rep.Requests, rep.Errors)
+	}
+	if rep.ClientErrors != 1 || rep.ServerErrors != 2 {
+		t.Fatalf("client/server errors = %d/%d", rep.ClientErrors, rep.ServerErrors)
+	}
+	if math.Abs(rep.RequestReliability-0.5) > 1e-12 {
+		t.Fatalf("request reliability = %v", rep.RequestReliability)
+	}
+	// Sessions: a (with error), b (clean), c (two errors) => 1/3 clean.
+	if rep.Sessions != 3 || rep.ErrorFreeSessions != 1 {
+		t.Fatalf("sessions = %d, error-free = %d", rep.Sessions, rep.ErrorFreeSessions)
+	}
+	if math.Abs(rep.SessionReliability-1.0/3) > 1e-12 {
+		t.Fatalf("session reliability = %v", rep.SessionReliability)
+	}
+	// Top errors sorted by count (ties by status): 404, 500, 503 all 1,
+	// so ordering is by status.
+	if len(rep.TopErrors) != 3 || rep.TopErrors[0].Status != 404 {
+		t.Fatalf("top errors = %+v", rep.TopErrors)
+	}
+}
+
+func TestAnalyzeTopErrorOrdering(t *testing.T) {
+	records := []weblog.Record{
+		rec("a", 0, 404), rec("a", 1, 404), rec("a", 2, 500),
+	}
+	rep, err := Analyze(records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TopErrors[0].Status != 404 || rep.TopErrors[0].Count != 2 {
+		t.Fatalf("top errors = %+v", rep.TopErrors)
+	}
+}
+
+func TestAnalyzeEmptyAndPrecomputedSessions(t *testing.T) {
+	if _, err := Analyze(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Error("empty records should return ErrNoData")
+	}
+	records := []weblog.Record{rec("a", 0, 200), rec("a", 5, 200)}
+	sessions, err := session.Sessionize(records, session.DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(records, sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 1 || rep.SessionReliability != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestAnalyzeHourlySeries(t *testing.T) {
+	var records []weblog.Record
+	// Errors only in hour 0 and hour 2.
+	records = append(records, rec("a", 0, 500), rec("a", 10, 500))
+	records = append(records, rec("b", 3700, 200))
+	records = append(records, rec("c", 7300, 404))
+	rep, err := Analyze(records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ErrorsPerHour) != 3 {
+		t.Fatalf("hours = %d", len(rep.ErrorsPerHour))
+	}
+	if rep.ErrorsPerHour[0] != 2 || rep.ErrorsPerHour[1] != 0 || rep.ErrorsPerHour[2] != 1 {
+		t.Fatalf("hourly = %v", rep.ErrorsPerHour)
+	}
+	if rep.ErrorDispersion <= 0 {
+		t.Fatalf("dispersion = %v", rep.ErrorDispersion)
+	}
+}
+
+func TestAnalyzeSyntheticTrace(t *testing.T) {
+	// The workload generator plants ~4% errors (1% 5xx, 3% 404); the
+	// report should land near those rates.
+	trace, err := workload.Generate(workload.NASAPub2(), workload.Config{Scale: 1, Seed: 8, Days: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(trace.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRate := 1 - rep.RequestReliability
+	if errRate < 0.02 || errRate > 0.07 {
+		t.Errorf("error rate %v, expected ~0.04", errRate)
+	}
+	if rep.ServerErrors == 0 || rep.ClientErrors == 0 {
+		t.Error("both error classes should appear")
+	}
+	if rep.SessionReliability <= 0 || rep.SessionReliability >= 1 {
+		t.Errorf("session reliability %v should be strictly inside (0,1)", rep.SessionReliability)
+	}
+	// With ~10 requests per session at 4% error rate, a substantial
+	// fraction of sessions sees at least one error.
+	if rep.SessionReliability > 0.95 {
+		t.Errorf("session reliability %v implausibly high", rep.SessionReliability)
+	}
+}

@@ -1,0 +1,137 @@
+// Package report renders analysis results as aligned plain-text tables
+// and series listings mirroring the paper's tables and figures. It is
+// shared by the CLI tools, the reproduction harness, and the examples.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table builder.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// F formats a float with 3 decimal places, the paper's convention for
+// tail indices and R^2.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// F2 formats a float with 2 decimal places.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Count formats an integer with thousands separators as in Table 1.
+func Count(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if n < 0 {
+		return "-" + Count(-n)
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	return strings.Join(parts, ",")
+}
+
+// Sparkline renders a quick ASCII impression of a series, sampled down
+// to width points — enough to see a diurnal cycle or an ACF decay in a
+// terminal.
+func Sparkline(series []float64, width int) string {
+	if len(series) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(series) {
+		width = len(series)
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	min, max := series[0], series[0]
+	for _, v := range series {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	span := max - min
+	var sb strings.Builder
+	for i := 0; i < width; i++ {
+		lo := i * len(series) / width
+		hi := (i + 1) * len(series) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range series[lo:hi] {
+			sum += v
+		}
+		avg := sum / float64(hi-lo)
+		idx := 0
+		if span > 0 {
+			idx = int((avg - min) / span * float64(len(glyphs)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		sb.WriteRune(glyphs[idx])
+	}
+	return sb.String()
+}

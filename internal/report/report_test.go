@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Server", "Requests")
+	tb.AddRow("WVU", "15,785,164")
+	tb.AddRow("NASA-Pub2", "39,137")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4 (header, separator, 2 rows)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Server") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "WVU") || !strings.Contains(lines[3], "NASA-Pub2") {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+	// All rows align: the second column starts at the same offset.
+	idx0 := strings.Index(lines[0], "Requests")
+	idx2 := strings.Index(lines[2], "15,785,164")
+	if idx0 != idx2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx0, idx2, out)
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tb := NewTable("A", "B", "C")
+	tb.AddRow("x")
+	out := tb.String()
+	if !strings.Contains(out, "x") {
+		t.Fatalf("row missing: %s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.6704) != "1.670" {
+		t.Errorf("F = %q", F(1.6704))
+	}
+	if F2(0.849) != "0.85" {
+		t.Errorf("F2 = %q", F2(0.849))
+	}
+	cases := map[int64]string{
+		0:        "0",
+		999:      "999",
+		1000:     "1,000",
+		15785164: "15,785,164",
+		-39137:   "-39,137",
+	}
+	for n, want := range cases {
+		if got := Count(n); got != want {
+			t.Errorf("Count(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("sparkline runes = %d, want 8", utf8.RuneCountInString(s))
+	}
+	if s[:3] == s[len(s)-3:] {
+		t.Error("rising series should not produce uniform sparkline")
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty series should render empty")
+	}
+	if Sparkline([]float64{1, 2}, 0) != "" {
+		t.Error("zero width should render empty")
+	}
+	// Constant series renders without panicking and with uniform glyphs.
+	c := Sparkline([]float64{5, 5, 5, 5}, 4)
+	if utf8.RuneCountInString(c) != 4 {
+		t.Errorf("constant sparkline = %q", c)
+	}
+}
+
+// Property: sparkline width is min(width, len) in runes for any input.
+func TestSparklineWidthProperty(t *testing.T) {
+	f := func(raw []float64, w uint8) bool {
+		width := int(w%40) + 1
+		s := Sparkline(raw, width)
+		want := width
+		if len(raw) == 0 {
+			want = 0
+		} else if len(raw) < width {
+			want = len(raw)
+		}
+		return utf8.RuneCountInString(s) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,574 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fullweb/internal/core"
+	"fullweb/internal/heavytail"
+	"fullweb/internal/lrd"
+	"fullweb/internal/session"
+	"fullweb/internal/stats"
+	"fullweb/internal/weblog"
+	"fullweb/internal/workload"
+)
+
+// ErrUnknownServer is returned for a server name outside the paper's
+// four.
+var ErrUnknownServer = errors.New("repro: unknown server")
+
+// Harness regenerates the paper's experiments from synthetic traces.
+// Traces and derived artifacts are generated lazily and cached, so
+// experiments sharing a server reuse the work. A Harness is safe for
+// sequential use only.
+type Harness struct {
+	// Scale multiplies the paper's Table 1 volumes (DESIGN.md documents
+	// the default 0.1 substitution); Seed fixes all randomness.
+	Scale float64
+	Seed  int64
+	// Days shortens the horizon from the paper's one week; 0 means 7.
+	// Mainly for fast test runs — the published comparisons use 7.
+	Days int
+	// AnalyzerConfig tunes the pipeline; zero value means
+	// core.DefaultConfig.
+	AnalyzerConfig *core.Config
+
+	mu      sync.Mutex
+	servers map[string]*serverData
+}
+
+type serverData struct {
+	profile  workload.Profile
+	trace    *workload.Trace
+	store    *weblog.Store
+	sessions []session.Session
+
+	requestArrivals *core.ArrivalAnalysis
+	sessionArrivals *core.ArrivalAnalysis
+	windows         map[weblog.WorkloadLevel]weblog.Window
+}
+
+// NewHarness returns a harness at the given scale and seed.
+func NewHarness(scale float64, seed int64) *Harness {
+	return &Harness{Scale: scale, Seed: seed, servers: make(map[string]*serverData)}
+}
+
+func (h *Harness) analyzer() (*core.Analyzer, error) {
+	cfg := core.DefaultConfig()
+	if h.AnalyzerConfig != nil {
+		cfg = *h.AnalyzerConfig
+	}
+	return core.NewAnalyzer(cfg)
+}
+
+func (h *Harness) profileFor(server string) (workload.Profile, error) {
+	for _, p := range workload.AllProfiles() {
+		if p.Name == server {
+			return p, nil
+		}
+	}
+	return workload.Profile{}, fmt.Errorf("%w: %q", ErrUnknownServer, server)
+}
+
+// server lazily generates and caches the trace and sessionization of one
+// server.
+func (h *Harness) server(name string) (*serverData, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if sd, ok := h.servers[name]; ok {
+		return sd, nil
+	}
+	profile, err := h.profileFor(name)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := workload.Generate(profile, workload.Config{Scale: h.Scale, Seed: h.Seed, Days: h.Days})
+	if err != nil {
+		return nil, fmt.Errorf("repro: generating %s: %w", name, err)
+	}
+	store := weblog.NewStore(trace.Records)
+	sessions, err := session.Sessionize(trace.Records, session.DefaultThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("repro: sessionizing %s: %w", name, err)
+	}
+	sd := &serverData{profile: profile, trace: trace, store: store, sessions: sessions}
+	h.servers[name] = sd
+	return sd, nil
+}
+
+// requestArrivals lazily runs the Section 4 arrival analysis.
+func (h *Harness) requestArrivals(name string) (*core.ArrivalAnalysis, error) {
+	sd, err := h.server(name)
+	if err != nil {
+		return nil, err
+	}
+	if sd.requestArrivals != nil {
+		return sd.requestArrivals, nil
+	}
+	a, err := h.analyzer()
+	if err != nil {
+		return nil, err
+	}
+	counts, err := sd.store.CountsPerSecond()
+	if err != nil {
+		return nil, fmt.Errorf("repro: %s request series: %w", name, err)
+	}
+	res, err := a.AnalyzeArrivalSeries(counts)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %s request arrivals: %w", name, err)
+	}
+	sd.requestArrivals = res
+	return res, nil
+}
+
+// sessionArrivals lazily runs the Section 5.1.1 arrival analysis.
+func (h *Harness) sessionArrivals(name string) (*core.ArrivalAnalysis, error) {
+	sd, err := h.server(name)
+	if err != nil {
+		return nil, err
+	}
+	if sd.sessionArrivals != nil {
+		return sd.sessionArrivals, nil
+	}
+	a, err := h.analyzer()
+	if err != nil {
+		return nil, err
+	}
+	counts, err := session.InitiatedPerSecond(sd.sessions)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %s session series: %w", name, err)
+	}
+	res, err := a.AnalyzeArrivalSeries(counts)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %s session arrivals: %w", name, err)
+	}
+	sd.sessionArrivals = res
+	return res, nil
+}
+
+func (h *Harness) typicalWindows(name string) (map[weblog.WorkloadLevel]weblog.Window, error) {
+	sd, err := h.server(name)
+	if err != nil {
+		return nil, err
+	}
+	if sd.windows != nil {
+		return sd.windows, nil
+	}
+	a, err := h.analyzer()
+	if err != nil {
+		return nil, err
+	}
+	windows, err := sd.store.SelectTypicalWindows(a.Config().WindowDuration)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %s windows: %w", name, err)
+	}
+	sd.windows = windows
+	return windows, nil
+}
+
+// Table1Row is one measured row of Table 1.
+type Table1Row struct {
+	Server   string
+	Requests int
+	Sessions int
+	MB       float64
+}
+
+// Table1 regenerates Table 1: the one-week volumes of the four synthetic
+// traces (scaled by h.Scale).
+func (h *Harness) Table1() ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, 4)
+	for _, name := range Servers() {
+		sd, err := h.server(name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Server:   name,
+			Requests: sd.store.Len(),
+			Sessions: len(sd.sessions),
+			MB:       float64(sd.store.TotalBytes()) / 1e6,
+		})
+	}
+	return rows, nil
+}
+
+// Figure2 returns the WVU requests-per-second series (the time-series
+// plot of Figure 2).
+func (h *Harness) Figure2() ([]float64, error) {
+	sd, err := h.server("WVU")
+	if err != nil {
+		return nil, err
+	}
+	counts, err := sd.store.CountsPerSecond()
+	if err != nil {
+		return nil, fmt.Errorf("repro: figure 2: %w", err)
+	}
+	return counts, nil
+}
+
+// Figure3 returns the raw ACF of the WVU request series (Figure 3).
+func (h *Harness) Figure3() ([]float64, error) {
+	ra, err := h.requestArrivals("WVU")
+	if err != nil {
+		return nil, err
+	}
+	return ra.ACFRaw, nil
+}
+
+// Figure5 returns the ACF after trend and periodicity removal (Figure 5).
+func (h *Harness) Figure5() ([]float64, error) {
+	ra, err := h.requestArrivals("WVU")
+	if err != nil {
+		return nil, err
+	}
+	return ra.ACFStationary, nil
+}
+
+// HurstMatrix maps server name to the five-estimator battery.
+type HurstMatrix map[string]*lrd.BatteryResult
+
+// Figure4 regenerates Figure 4: Hurst estimates on the raw request
+// series of all four servers.
+func (h *Harness) Figure4() (HurstMatrix, error) {
+	return h.hurstMatrix(h.requestArrivals, true)
+}
+
+// Figure6 regenerates Figure 6: Hurst estimates on the stationary
+// request series.
+func (h *Harness) Figure6() (HurstMatrix, error) {
+	return h.hurstMatrix(h.requestArrivals, false)
+}
+
+// Figure9 regenerates Figure 9: Hurst estimates on the raw
+// sessions-initiated series.
+func (h *Harness) Figure9() (HurstMatrix, error) {
+	return h.hurstMatrix(h.sessionArrivals, true)
+}
+
+// Figure10 regenerates Figure 10: Hurst estimates on the stationary
+// sessions-initiated series.
+func (h *Harness) Figure10() (HurstMatrix, error) {
+	return h.hurstMatrix(h.sessionArrivals, false)
+}
+
+func (h *Harness) hurstMatrix(get func(string) (*core.ArrivalAnalysis, error), raw bool) (HurstMatrix, error) {
+	out := make(HurstMatrix, 4)
+	for _, name := range Servers() {
+		aa, err := get(name)
+		if err != nil {
+			return nil, err
+		}
+		if raw {
+			out[name] = aa.RawHurst
+		} else {
+			out[name] = aa.StationaryHurst
+		}
+	}
+	return out, nil
+}
+
+// Figure7 returns the Whittle aggregation sweep of the stationary WVU
+// request series (Figure 7).
+func (h *Harness) Figure7() ([]lrd.SweepPoint, error) {
+	ra, err := h.requestArrivals("WVU")
+	if err != nil {
+		return nil, err
+	}
+	return ra.WhittleSweep, nil
+}
+
+// Figure8 returns the Abry-Veitch aggregation sweep (Figure 8).
+func (h *Harness) Figure8() ([]lrd.SweepPoint, error) {
+	ra, err := h.requestArrivals("WVU")
+	if err != nil {
+		return nil, err
+	}
+	return ra.AbryVeitchSweep, nil
+}
+
+// PoissonVerdicts maps server -> workload level -> the battery analysis.
+type PoissonVerdicts map[string]map[weblog.WorkloadLevel]*core.PoissonAnalysis
+
+// Section42 regenerates the Section 4.2 experiment: the Poisson battery
+// on request arrivals in the Low, Med and High windows of each server.
+// The paper's finding: rejected everywhere.
+func (h *Harness) Section42() (PoissonVerdicts, error) {
+	return h.poissonVerdicts(func(sd *serverData, w weblog.Window) []int64 {
+		recs := sd.store.Range(w.Start, w.Start.Add(w.Duration))
+		secs := make([]int64, len(recs))
+		for i, r := range recs {
+			secs[i] = r.Time.Unix()
+		}
+		return secs
+	})
+}
+
+// Section512 regenerates the Section 5.1.2 experiment: the Poisson
+// battery on session initiations. The paper's finding: accepted only for
+// the low-workload intervals (fewer than ~1000 sessions per four hours).
+func (h *Harness) Section512() (PoissonVerdicts, error) {
+	return h.poissonVerdicts(func(sd *serverData, w weblog.Window) []int64 {
+		end := w.Start.Add(w.Duration)
+		var secs []int64
+		for _, s := range sd.sessions {
+			if !s.Start.Before(w.Start) && s.Start.Before(end) {
+				secs = append(secs, s.Start.Unix())
+			}
+		}
+		return secs
+	})
+}
+
+func (h *Harness) poissonVerdicts(events func(*serverData, weblog.Window) []int64) (PoissonVerdicts, error) {
+	a, err := h.analyzer()
+	if err != nil {
+		return nil, err
+	}
+	out := make(PoissonVerdicts, 4)
+	for _, name := range Servers() {
+		sd, err := h.server(name)
+		if err != nil {
+			return nil, err
+		}
+		windows, err := h.typicalWindows(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = make(map[weblog.WorkloadLevel]*core.PoissonAnalysis, 3)
+		for level, w := range windows {
+			pa, err := a.AnalyzePoisson(level, w, events(sd, w))
+			if err != nil {
+				return nil, fmt.Errorf("repro: %s %v Poisson battery: %w", name, level, err)
+			}
+			out[name][level] = pa
+		}
+	}
+	return out, nil
+}
+
+// Figure11Result bundles the LLCD analysis of the WVU High-interval
+// session lengths with the plot points.
+type Figure11Result struct {
+	Sessions int
+	LLCD     heavytail.LLCDResult
+	Points   []stats.LLCDPoint
+}
+
+// Figure11 regenerates Figure 11: the LLCD plot and tail fit of WVU
+// session length in the High four-hour interval.
+func (h *Harness) Figure11() (*Figure11Result, error) {
+	durations, err := h.wvuHighDurations()
+	if err != nil {
+		return nil, err
+	}
+	llcd, err := heavytail.EstimateLLCDAuto(durations)
+	if err != nil {
+		return nil, fmt.Errorf("repro: figure 11 fit: %w", err)
+	}
+	e, err := stats.NewECDF(durations)
+	if err != nil {
+		return nil, fmt.Errorf("repro: figure 11 ecdf: %w", err)
+	}
+	return &Figure11Result{
+		Sessions: len(durations),
+		LLCD:     llcd,
+		Points:   e.LLCD(),
+	}, nil
+}
+
+// Figure12 regenerates Figure 12: the Hill plot of the same data,
+// restricted to the upper 14% tail.
+func (h *Harness) Figure12() (heavytail.HillResult, error) {
+	durations, err := h.wvuHighDurations()
+	if err != nil {
+		return heavytail.HillResult{}, err
+	}
+	res, err := heavytail.EstimateHill(durations, heavytail.DefaultHillTailFraction, heavytail.DefaultHillRelTol)
+	if err != nil {
+		return heavytail.HillResult{}, fmt.Errorf("repro: figure 12: %w", err)
+	}
+	return res, nil
+}
+
+func (h *Harness) wvuHighDurations() ([]float64, error) {
+	sd, err := h.server("WVU")
+	if err != nil {
+		return nil, err
+	}
+	windows, err := h.typicalWindows("WVU")
+	if err != nil {
+		return nil, err
+	}
+	w := windows[weblog.High]
+	end := w.Start.Add(w.Duration)
+	var durations []float64
+	for _, s := range sd.sessions {
+		if !s.Start.Before(w.Start) && s.Start.Before(end) {
+			if d := s.Duration().Seconds(); d > 0 {
+				durations = append(durations, d)
+			}
+		}
+	}
+	if len(durations) == 0 {
+		return nil, fmt.Errorf("repro: no WVU High sessions")
+	}
+	return durations, nil
+}
+
+// Figure13 regenerates Figure 13: the LLCD plot of ClarkNet session
+// length in number of requests over the whole week.
+func (h *Harness) Figure13() (*Figure11Result, error) {
+	sd, err := h.server("ClarkNet")
+	if err != nil {
+		return nil, err
+	}
+	counts := session.PositiveOnly(session.RequestCounts(sd.sessions))
+	llcd, err := heavytail.EstimateLLCDAuto(counts)
+	if err != nil {
+		return nil, fmt.Errorf("repro: figure 13 fit: %w", err)
+	}
+	e, err := stats.NewECDF(counts)
+	if err != nil {
+		return nil, fmt.Errorf("repro: figure 13 ecdf: %w", err)
+	}
+	return &Figure11Result{Sessions: len(counts), LLCD: llcd, Points: e.LLCD()}, nil
+}
+
+// MeasuredTable is the reproduction of one of Tables 2-4.
+type MeasuredTable struct {
+	Characteristic string
+	// Cells[interval][server].
+	Cells map[string]map[string]core.TailAnalysis
+}
+
+// Table2 regenerates Table 2 (session length in seconds).
+func (h *Harness) Table2() (*MeasuredTable, error) {
+	return h.tailTable(core.CharSessionLength, func(s []session.Session) []float64 {
+		return session.Durations(s)
+	})
+}
+
+// Table3 regenerates Table 3 (requests per session).
+func (h *Harness) Table3() (*MeasuredTable, error) {
+	return h.tailTable(core.CharRequestsPerSession, func(s []session.Session) []float64 {
+		return session.RequestCounts(s)
+	})
+}
+
+// Table4 regenerates Table 4 (bytes per session).
+func (h *Harness) Table4() (*MeasuredTable, error) {
+	return h.tailTable(core.CharBytesPerSession, func(s []session.Session) []float64 {
+		return session.ByteCounts(s)
+	})
+}
+
+func (h *Harness) tailTable(char string, extract func([]session.Session) []float64) (*MeasuredTable, error) {
+	a, err := h.analyzer()
+	if err != nil {
+		return nil, err
+	}
+	out := &MeasuredTable{
+		Characteristic: char,
+		Cells:          make(map[string]map[string]core.TailAnalysis),
+	}
+	for _, interval := range Intervals() {
+		out.Cells[interval] = make(map[string]core.TailAnalysis, 4)
+	}
+	for _, name := range Servers() {
+		sd, err := h.server(name)
+		if err != nil {
+			return nil, err
+		}
+		windows, err := h.typicalWindows(name)
+		if err != nil {
+			return nil, err
+		}
+		// Week row.
+		row, err := a.AnalyzeTail(char, "Week", extract(sd.sessions))
+		if err != nil {
+			return nil, fmt.Errorf("repro: %s %s week: %w", name, char, err)
+		}
+		out.Cells["Week"][name] = row
+		// Low/Med/High rows.
+		for level, w := range windows {
+			end := w.Start.Add(w.Duration)
+			var subset []session.Session
+			for _, s := range sd.sessions {
+				if !s.Start.Before(w.Start) && s.Start.Before(end) {
+					subset = append(subset, s)
+				}
+			}
+			row, err := a.AnalyzeTail(char, level.String(), extract(subset))
+			if err != nil {
+				return nil, fmt.Errorf("repro: %s %s %v: %w", name, char, level, err)
+			}
+			out.Cells[level.String()][name] = row
+		}
+	}
+	return out, nil
+}
+
+// ServerIntensity pairs a server's mean request rate with its
+// stationary Whittle Hurst estimate.
+type ServerIntensity struct {
+	Server   string
+	MeanRate float64
+	H        float64
+}
+
+// IntensityResult holds both views of the paper's observation (2) of
+// Section 4.1 ("the degree of self-similarity increases with the
+// workload intensity"): across servers, and within WVU across four-hour
+// windows of the raw counting series (each window analyzed on its own,
+// the Crovella-Bestavros per-hour approach).
+type IntensityResult struct {
+	// AcrossServers lists (mean rate, stationary Whittle H) per server,
+	// in the paper's descending-requests order.
+	AcrossServers []ServerIntensity
+	// WithinWVU holds per-window estimates of the raw WVU series and
+	// Correlation their rate-H Pearson correlation.
+	WithinWVU   []lrd.WindowEstimate
+	Correlation float64
+}
+
+// Intensity regenerates observation 4.1(2) at both granularities.
+func (h *Harness) Intensity() (*IntensityResult, error) {
+	res := &IntensityResult{}
+	for _, name := range Servers() {
+		ra, err := h.requestArrivals(name)
+		if err != nil {
+			return nil, err
+		}
+		est, ok := ra.StationaryHurst.ByMethod(lrd.Whittle)
+		if !ok {
+			return nil, fmt.Errorf("repro: intensity: %s missing Whittle estimate", name)
+		}
+		res.AcrossServers = append(res.AcrossServers, ServerIntensity{
+			Server:   name,
+			MeanRate: ra.MeanPerSecond,
+			H:        est.H,
+		})
+	}
+	sd, err := h.server("WVU")
+	if err != nil {
+		return nil, err
+	}
+	counts, err := sd.store.CountsPerSecond()
+	if err != nil {
+		return nil, fmt.Errorf("repro: intensity series: %w", err)
+	}
+	const windowSize = 4 * 3600
+	windows, err := lrd.WindowedHurst(counts, lrd.Whittle, windowSize)
+	if err != nil {
+		return nil, fmt.Errorf("repro: intensity windows: %w", err)
+	}
+	res.WithinWVU = windows
+	corr, err := lrd.IntensityCorrelation(windows)
+	if err != nil {
+		return nil, fmt.Errorf("repro: intensity correlation: %w", err)
+	}
+	res.Correlation = corr
+	return res, nil
+}

@@ -1,0 +1,202 @@
+// Package repro regenerates every table and figure of the paper's
+// evaluation from synthetic traces, and carries the paper's published
+// numbers for side-by-side comparison. One exported function per
+// experiment; cmd/paperrepro and the top-level benchmarks are thin
+// wrappers around this package.
+package repro
+
+import "math"
+
+// NS and NA mark the paper's "did not stabilize" and "not applicable"
+// table cells; they are NaN payloads distinguishable by IsNS/IsNA.
+var (
+	ns = math.NaN()
+	na = math.Inf(-1)
+)
+
+// PaperCell is one (alpha_Hill, alpha_LLCD, R^2) cell group of Tables
+// 2-4. Hill may be NS (NaN) and whole rows may be NA (-Inf).
+type PaperCell struct {
+	Hill, LLCD, R2 float64
+}
+
+// IsNA reports whether the paper marked the cell "NA".
+func (c PaperCell) IsNA() bool { return math.IsInf(c.LLCD, -1) }
+
+// HillNS reports whether the paper marked the Hill estimate "NS".
+func (c PaperCell) HillNS() bool { return math.IsNaN(c.Hill) && !c.IsNA() }
+
+// PaperTable holds one of the paper's Tables 2-4: rows indexed by
+// interval (Low, Med, High, Week), columns by server.
+type PaperTable struct {
+	Number         int
+	Characteristic string
+	// Cells[interval][server] with intervals and servers in canonical
+	// order (Low, Med, High, Week) x (WVU, ClarkNet, CSEE, NASA-Pub2).
+	Cells map[string]map[string]PaperCell
+}
+
+// Intervals is the canonical row order of Tables 2-4.
+func Intervals() []string { return []string{"Low", "Med", "High", "Week"} }
+
+// Servers is the canonical column order of the paper's tables.
+func Servers() []string { return []string{"WVU", "ClarkNet", "CSEE", "NASA-Pub2"} }
+
+// PaperTable1Row is one row of Table 1.
+type PaperTable1Row struct {
+	Server   string
+	Requests int
+	Sessions int
+	MB       float64
+}
+
+// PaperTable1 returns the paper's Table 1 (one week of raw data).
+func PaperTable1() []PaperTable1Row {
+	return []PaperTable1Row{
+		{Server: "WVU", Requests: 15785164, Sessions: 188213, MB: 34485},
+		{Server: "ClarkNet", Requests: 1654882, Sessions: 139745, MB: 13785},
+		{Server: "CSEE", Requests: 396743, Sessions: 34343, MB: 10138},
+		{Server: "NASA-Pub2", Requests: 39137, Sessions: 3723, MB: 311},
+	}
+}
+
+// PaperTable2 returns the paper's Table 2 (session length in time).
+func PaperTable2() PaperTable {
+	return PaperTable{
+		Number:         2,
+		Characteristic: "session length (s)",
+		Cells: map[string]map[string]PaperCell{
+			"Low": {
+				"WVU":       {1.02, 1.044, 0.941},
+				"ClarkNet":  {0.8, 1.03, 0.982},
+				"CSEE":      {ns, 2.172, 0.937},
+				"NASA-Pub2": {na, na, na},
+			},
+			"Med": {
+				"WVU":       {1.55, 1.609, 0.990},
+				"ClarkNet":  {1.27, 1.273, 0.981},
+				"CSEE":      {1.73, 1.888, 0.976},
+				"NASA-Pub2": {ns, 1.840, 0.977},
+			},
+			"High": {
+				"WVU":       {1.58, 1.670, 0.993},
+				"ClarkNet":  {1.5, 1.832, 0.966},
+				"CSEE":      {ns, 3.103, 0.981},
+				"NASA-Pub2": {1.39, 1.422, 0.857},
+			},
+			"Week": {
+				"WVU":       {1.8, 1.803, 0.994},
+				"ClarkNet":  {1.8, 1.723, 0.994},
+				"CSEE":      {2.2, 2.329, 0.987},
+				"NASA-Pub2": {2.2, 2.286, 0.976},
+			},
+		},
+	}
+}
+
+// PaperTable3 returns the paper's Table 3 (session length in number of
+// requests).
+func PaperTable3() PaperTable {
+	return PaperTable{
+		Number:         3,
+		Characteristic: "requests per session",
+		Cells: map[string]map[string]PaperCell{
+			"Low": {
+				"WVU":       {1.7, 1.965, 0.986},
+				"ClarkNet":  {2.32, 2.218, 0.975},
+				"CSEE":      {2.0, 2.047, 0.976},
+				"NASA-Pub2": {na, na, na},
+			},
+			"Med": {
+				"WVU":       {2.0, 2.055, 0.996},
+				"ClarkNet":  {1.8, 1.724, 0.987},
+				"CSEE":      {1.93, 1.931, 0.987},
+				"NASA-Pub2": {1.9, 1.948, 0.903},
+			},
+			"High": {
+				"WVU":       {1.9, 1.965, 0.993},
+				"ClarkNet":  {1.9, 1.928, 0.979},
+				"CSEE":      {2.33, 2.167, 0.981},
+				"NASA-Pub2": {1.62, 1.437, 0.971},
+			},
+			"Week": {
+				"WVU":       {2.1, 2.151, 0.995},
+				"ClarkNet":  {2.6, 2.586, 0.996},
+				"CSEE":      {2.0, 1.932, 0.989},
+				"NASA-Pub2": {1.6, 1.615, 0.967},
+			},
+		},
+	}
+}
+
+// PaperTable4 returns the paper's Table 4 (bytes transferred per
+// session).
+func PaperTable4() PaperTable {
+	return PaperTable{
+		Number:         4,
+		Characteristic: "bytes per session",
+		Cells: map[string]map[string]PaperCell{
+			"Low": {
+				"WVU":       {1.1, 1.168, 0.998},
+				"ClarkNet":  {1.7, 1.786, 0.978},
+				"CSEE":      {0.8, 0.788, 0.935},
+				"NASA-Pub2": {na, na, na},
+			},
+			"Med": {
+				"WVU":       {1.32, 1.371, 0.996},
+				"ClarkNet":  {1.89, 1.799, 0.991},
+				"CSEE":      {0.84, 0.898, 0.974},
+				"NASA-Pub2": {ns, 1.676, 0.949},
+			},
+			"High": {
+				"WVU":       {1.63, 1.418, 0.993},
+				"ClarkNet":  {1.86, 1.754, 0.993},
+				"CSEE":      {1.06, 1.026, 0.989},
+				"NASA-Pub2": {1.78, 1.641, 0.949},
+			},
+			"Week": {
+				"WVU":       {1.4, 1.454, 0.995},
+				"ClarkNet":  {2.0, 1.842, 0.990},
+				"CSEE":      {0.95, 0.954, 0.998},
+				"NASA-Pub2": {1.1, 1.424, 0.960},
+			},
+		},
+	}
+}
+
+// PaperSweepRange holds the H(m) ranges the paper reports for the
+// aggregation sweeps (Figures 7 and 8 and the accompanying text).
+type PaperSweepRange struct {
+	Server         string
+	WhittleLow     float64
+	WhittleHigh    float64
+	AbryVeitchLow  float64
+	AbryVeitchHigh float64
+}
+
+// PaperSweepRanges returns the sweep ranges quoted in Section 4.1.
+func PaperSweepRanges() []PaperSweepRange {
+	return []PaperSweepRange{
+		{Server: "WVU", WhittleLow: 0.768, WhittleHigh: 0.986, AbryVeitchLow: 0.748, AbryVeitchHigh: 0.925},
+		{Server: "NASA-Pub2", WhittleLow: 0.534, WhittleHigh: 0.606, AbryVeitchLow: 0.533, AbryVeitchHigh: 0.688},
+	}
+}
+
+// PaperFigure11 summarizes the LLCD fit of Figure 11 (WVU session
+// length, High interval): alpha = 1.67, sigma = 0.004, R^2 = 0.993, with
+// the tail starting near 1000 seconds; Figure 12's Hill estimate settles
+// near 1.58 on the upper 14% tail.
+type PaperFigure11 struct {
+	Alpha, StdErr, R2, Theta float64
+	HillAlpha, HillTailFrac  float64
+	Sessions                 int
+}
+
+// PaperFigure11Values returns the published Figure 11/12 numbers.
+func PaperFigure11Values() PaperFigure11 {
+	return PaperFigure11{
+		Alpha: 1.67, StdErr: 0.004, R2: 0.993, Theta: 1000,
+		HillAlpha: 1.58, HillTailFrac: 0.14,
+		Sessions: 10287,
+	}
+}

@@ -1,0 +1,367 @@
+package repro
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullweb/internal/core"
+	"fullweb/internal/lrd"
+	"fullweb/internal/weblog"
+)
+
+func TestPaperReferenceTablesComplete(t *testing.T) {
+	for _, table := range []PaperTable{PaperTable2(), PaperTable3(), PaperTable4()} {
+		for _, interval := range Intervals() {
+			row, ok := table.Cells[interval]
+			if !ok {
+				t.Fatalf("table %d missing interval %s", table.Number, interval)
+			}
+			for _, server := range Servers() {
+				if _, ok := row[server]; !ok {
+					t.Fatalf("table %d %s missing server %s", table.Number, interval, server)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperCellMarkers(t *testing.T) {
+	t2 := PaperTable2()
+	if !t2.Cells["Low"]["NASA-Pub2"].IsNA() {
+		t.Error("NASA Low should be NA in Table 2")
+	}
+	if !t2.Cells["Low"]["CSEE"].HillNS() {
+		t.Error("CSEE Low Hill should be NS in Table 2")
+	}
+	if t2.Cells["Week"]["WVU"].IsNA() || t2.Cells["Week"]["WVU"].HillNS() {
+		t.Error("WVU Week should be a plain cell")
+	}
+	if got := t2.Cells["Week"]["WVU"].LLCD; got != 1.803 {
+		t.Errorf("WVU Week LLCD = %v, want 1.803", got)
+	}
+}
+
+func TestPaperTable1Figures(t *testing.T) {
+	rows := PaperTable1()
+	if len(rows) != 4 || rows[0].Server != "WVU" || rows[0].Requests != 15785164 {
+		t.Fatalf("Table 1 rows wrong: %+v", rows)
+	}
+}
+
+func TestHarnessUnknownServer(t *testing.T) {
+	h := NewHarness(0.05, 1)
+	if _, err := h.server("unknown"); !errors.Is(err, ErrUnknownServer) {
+		t.Fatalf("error = %v, want ErrUnknownServer", err)
+	}
+}
+
+func TestHarnessTable1ScalesVolumes(t *testing.T) {
+	h := NewHarness(0.02, 1)
+	rows, err := h.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	paper := PaperTable1()
+	for i, row := range rows {
+		if row.Server != paper[i].Server {
+			t.Fatalf("row %d server %s, want %s", i, row.Server, paper[i].Server)
+		}
+		wantReq := float64(paper[i].Requests) * 0.02
+		if math.Abs(float64(row.Requests)-wantReq) > 0.3*wantReq {
+			t.Errorf("%s requests %d, want ~%.0f", row.Server, row.Requests, wantReq)
+		}
+		wantSess := float64(paper[i].Sessions) * 0.02
+		if math.Abs(float64(row.Sessions)-wantSess) > 0.15*wantSess {
+			t.Errorf("%s sessions %d, want ~%.0f", row.Server, row.Sessions, wantSess)
+		}
+	}
+	// Ordering is preserved: WVU busiest, NASA lightest.
+	if !(rows[0].Requests > rows[1].Requests && rows[1].Requests > rows[2].Requests && rows[2].Requests > rows[3].Requests) {
+		t.Errorf("request ordering broken: %+v", rows)
+	}
+}
+
+func TestHarnessCachesTraces(t *testing.T) {
+	h := NewHarness(0.02, 1)
+	a, err := h.server("NASA-Pub2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.server("NASA-Pub2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("server data not cached")
+	}
+}
+
+func TestHarnessFigure2Series(t *testing.T) {
+	h := NewHarness(0.02, 1)
+	h.Days = 1
+	series, err := h.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) < 80000 {
+		t.Fatalf("series length %d, want ~86400", len(series))
+	}
+}
+
+func TestHarnessArrivalFiguresOneDay(t *testing.T) {
+	// One-day horizon keeps the five-estimator batteries fast while
+	// still exercising Figures 4-10 end to end for one server pair.
+	h := NewHarness(0.05, 2)
+	h.Days = 1
+	cfg := core.DefaultConfig()
+	// One day cannot contain a 24-hour periodicity to difference away;
+	// search a sub-daily band instead.
+	cfg.Stationarize.MinPeriod = 600
+	cfg.Stationarize.MaxPeriod = 43200
+	h.AnalyzerConfig = &cfg
+
+	fig4, err := h.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig6, err := h.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, server := range Servers() {
+		raw, ok := fig4[server]
+		if !ok || len(raw.Estimates) == 0 {
+			t.Fatalf("figure 4 missing %s", server)
+		}
+		st, ok := fig6[server]
+		if !ok || len(st.Estimates) == 0 {
+			t.Fatalf("figure 6 missing %s", server)
+		}
+		// Paper: all stationary estimates show H > 0.5 (LRD) — check
+		// Whittle, the most reliable estimator.
+		w, ok := st.ByMethod(lrd.Whittle)
+		if !ok {
+			t.Fatalf("%s stationary Whittle missing", server)
+		}
+		if w.H <= 0.5 {
+			t.Errorf("%s stationary request Whittle H = %v, want > 0.5", server, w.H)
+		}
+	}
+	// Figures 7/8 sweeps exist and carry CIs.
+	fig7, err := h.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig8, err := h.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7) == 0 || len(fig8) == 0 {
+		t.Fatal("sweeps empty")
+	}
+	for _, p := range fig7 {
+		if !p.Estimate.HasCI {
+			t.Fatal("Whittle sweep point without CI")
+		}
+	}
+}
+
+func TestHarnessSection42RejectsPoisson(t *testing.T) {
+	// The FULL-Web traces must fail the request-level Poisson battery in
+	// the High windows of the busy servers (the paper's central negative
+	// finding).
+	h := NewHarness(0.05, 3)
+	verdicts, err := h.Section42()
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := []string{"WVU", "ClarkNet"}
+	for _, server := range busy {
+		pa, ok := verdicts[server][weblog.High]
+		if !ok {
+			t.Fatalf("%s High verdict missing", server)
+		}
+		if pa.Accepted() {
+			t.Errorf("%s High request arrivals accepted as Poisson", server)
+		}
+	}
+}
+
+func TestHarnessTable2RecoversPlantedTails(t *testing.T) {
+	h := NewHarness(0.05, 4)
+	table, err := h.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Week rows with full data must recover the planted alphas within a
+	// generous band. NASA-Pub2 has only ~190 sessions at this scale —
+	// the same sparsity that makes the paper's own NASA cells NA/NS — so
+	// its tolerance is much wider.
+	planted := map[string]float64{"WVU": 1.803, "ClarkNet": 1.723, "CSEE": 2.329, "NASA-Pub2": 2.286}
+	for server, want := range planted {
+		cell, ok := table.Cells["Week"][server]
+		if !ok {
+			t.Fatalf("missing Week/%s", server)
+		}
+		if cell.Status == core.TailNA {
+			t.Errorf("%s Week is NA", server)
+			continue
+		}
+		tol := 0.6
+		if server == "NASA-Pub2" {
+			tol = 1.5
+		}
+		if math.Abs(cell.LLCD.Alpha-want) > tol {
+			t.Errorf("%s Week alpha %v, planted %v", server, cell.LLCD.Alpha, want)
+		}
+	}
+}
+
+func TestHarnessFigure11And12Consistent(t *testing.T) {
+	h := NewHarness(0.2, 5)
+	fig11, err := h.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig11.Sessions < 100 {
+		t.Fatalf("only %d WVU High sessions", fig11.Sessions)
+	}
+	if len(fig11.Points) == 0 {
+		t.Fatal("no LLCD points")
+	}
+	fig12, err := h.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig12.Plot) == 0 {
+		t.Fatal("no Hill plot")
+	}
+	// Cross-validation: when the Hill plot stabilizes, it agrees with
+	// the LLCD fit (the paper's Figures 11 vs 12: 1.58 vs 1.67).
+	if fig12.Stable && math.Abs(fig12.Alpha-fig11.LLCD.Alpha) > 0.6 {
+		t.Errorf("Hill %v vs LLCD %v diverge", fig12.Alpha, fig11.LLCD.Alpha)
+	}
+}
+
+func TestHarnessFigure13(t *testing.T) {
+	h := NewHarness(0.05, 6)
+	fig13, err := h.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig13.Sessions < 1000 {
+		t.Fatalf("only %d ClarkNet sessions", fig13.Sessions)
+	}
+	// Planted requests-per-session tail for ClarkNet is 2.586.
+	if math.Abs(fig13.LLCD.Alpha-2.586) > 0.8 {
+		t.Errorf("figure 13 alpha %v, planted 2.586", fig13.LLCD.Alpha)
+	}
+}
+
+func TestHarnessIntensity(t *testing.T) {
+	h := NewHarness(0.05, 7)
+	h.Days = 1
+	cfg := core.DefaultConfig()
+	cfg.Stationarize.MinPeriod = 600
+	cfg.Stationarize.MaxPeriod = 43200
+	h.AnalyzerConfig = &cfg
+	res, err := h.Intensity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AcrossServers) != 4 {
+		t.Fatalf("%d servers", len(res.AcrossServers))
+	}
+	// The busiest server carries the strongest LRD and all H > 0.5.
+	if res.AcrossServers[0].Server != "WVU" {
+		t.Fatalf("first server %s", res.AcrossServers[0].Server)
+	}
+	for _, s := range res.AcrossServers {
+		if s.H <= 0.5 {
+			t.Errorf("%s: H = %v", s.Server, s.H)
+		}
+	}
+	if len(res.WithinWVU) < 3 {
+		t.Fatalf("only %d WVU windows", len(res.WithinWVU))
+	}
+	for _, w := range res.WithinWVU {
+		if w.MeanRate <= 0 {
+			t.Errorf("window at %d has non-positive rate %v (windowing must use the raw series)", w.Start, w.MeanRate)
+		}
+	}
+}
+
+func TestHarnessRemainingExperimentsShareOneHarness(t *testing.T) {
+	// Exercise the experiment surfaces not covered elsewhere — session
+	// figures, session-level Poisson verdicts, Tables 3/4 — off one
+	// cached harness so the traces generate once.
+	h := NewHarness(0.05, 8)
+	h.Days = 1
+	cfg := core.DefaultConfig()
+	cfg.Stationarize.MinPeriod = 600
+	cfg.Stationarize.MaxPeriod = 43200
+	cfg.Curvature.Replications = 25
+	h.AnalyzerConfig = &cfg
+
+	fig9, err := h.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig10, err := h.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, server := range Servers() {
+		if fig9[server] == nil || fig10[server] == nil {
+			t.Fatalf("session Hurst missing for %s", server)
+		}
+		// Paper: session-arrival H >= 0.5 (sparse series sit at the
+		// noise floor but never below it materially).
+		if w, ok := fig10[server].ByMethod(lrd.Whittle); ok && w.H < 0.45 {
+			t.Errorf("%s session Whittle H = %v", server, w.H)
+		}
+	}
+
+	verdicts, err := h.Section512()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 4 {
+		t.Fatalf("%d servers in section 5.1.2", len(verdicts))
+	}
+
+	t3, err := h.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := h.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*MeasuredTable{t3, t4} {
+		for _, interval := range Intervals() {
+			if _, ok := m.Cells[interval]; !ok {
+				t.Fatalf("%s missing interval %s", m.Characteristic, interval)
+			}
+		}
+	}
+	// Week rows of the two big servers must be populated, and Table 4
+	// must recover the planted bytes tails roughly.
+	for _, server := range []string{"WVU", "ClarkNet"} {
+		if t3.Cells["Week"][server].Status == core.TailNA {
+			t.Errorf("table 3 Week/%s is NA", server)
+		}
+		cell := t4.Cells["Week"][server]
+		if cell.Status == core.TailNA {
+			t.Errorf("table 4 Week/%s is NA", server)
+			continue
+		}
+		if cell.LLCD.Alpha < 0.8 || cell.LLCD.Alpha > 3 {
+			t.Errorf("table 4 Week/%s alpha %v implausible", server, cell.LLCD.Alpha)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fullweb/internal/weblog"
+)
+
+// SessionizeSorted is an alternative sessionizer that sorts one copy of
+// the records by (host, time) and runs a single linear pass, instead of
+// bucketing per host in a map. Results are identical to Sessionize; the
+// two are kept side by side as the DESIGN.md ablation of the
+// data-structure choice (map bucketing wins on partially sorted real
+// logs, sort-merge on adversarial host cardinalities — see the package
+// benchmark).
+func SessionizeSorted(records []weblog.Record, threshold time.Duration) ([]Session, error) {
+	if len(records) == 0 {
+		return nil, ErrNoRecords
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadThreshold, threshold)
+	}
+	sorted := make([]weblog.Record, len(records))
+	copy(sorted, records)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Host != sorted[j].Host {
+			return sorted[i].Host < sorted[j].Host
+		}
+		return sorted[i].Time.Before(sorted[j].Time)
+	})
+	var sessions []Session
+	var cur Session
+	open := false
+	flush := func() {
+		if open {
+			sessions = append(sessions, cur)
+			open = false
+		}
+	}
+	for _, r := range sorted {
+		if open && (r.Host != cur.Host || r.Time.Sub(cur.End) > threshold) {
+			flush()
+		}
+		if !open {
+			cur = Session{Host: r.Host, Start: r.Time, End: r.Time}
+			open = true
+		}
+		cur.End = r.Time
+		cur.Requests++
+		cur.Bytes += r.Bytes
+		if r.IsError() {
+			cur.Errors++
+		}
+	}
+	flush()
+	sort.SliceStable(sessions, func(i, j int) bool { return sessions[i].Start.Before(sessions[j].Start) })
+	return sessions, nil
+}

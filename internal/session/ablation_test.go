@@ -1,0 +1,98 @@
+package session
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fullweb/internal/weblog"
+)
+
+// randomRecords builds a log with hostCount hosts and n records over
+// spanSeconds.
+func randomRecords(rng *rand.Rand, n, hostCount int, spanSeconds int64) []weblog.Record {
+	records := make([]weblog.Record, n)
+	for i := range records {
+		records[i] = rec(
+			"h"+strconv.Itoa(rng.Intn(hostCount)),
+			rng.Int63n(spanSeconds),
+			200,
+			int64(rng.Intn(5000)),
+		)
+	}
+	return records
+}
+
+// TestSessionizersEquivalentProperty: the map-based and sort-based
+// sessionizers must agree exactly on any input.
+func TestSessionizersEquivalentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		records := randomRecords(rng, 1+rng.Intn(400), 1+rng.Intn(12), 200000)
+		a, err1 := Sessionize(records, 10*time.Minute)
+		b, err2 := SessionizeSorted(records, 10*time.Minute)
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			return false
+		}
+		// Both are sorted by start; sessions with identical start times
+		// may be ordered differently across hosts, so compare as
+		// multisets keyed by full content.
+		count := map[Session]int{}
+		for _, s := range a {
+			count[s]++
+		}
+		for _, s := range b {
+			count[s]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionizeSortedErrors(t *testing.T) {
+	if _, err := SessionizeSorted(nil, time.Minute); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := SessionizeSorted([]weblog.Record{rec("a", 0, 200, 1)}, 0); err == nil {
+		t.Error("zero threshold should error")
+	}
+}
+
+// BenchmarkSessionizers is the DESIGN.md ablation of the sessionizer
+// data structure.
+func BenchmarkSessionizers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	scenarios := []struct {
+		name      string
+		hostCount int
+	}{
+		{"few-hosts", 50},
+		{"many-hosts", 20000},
+	}
+	for _, sc := range scenarios {
+		records := randomRecords(rng, 200000, sc.hostCount, 604800)
+		b.Run("map-"+sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Sessionize(records, DefaultThreshold); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("sort-"+sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SessionizeSorted(records, DefaultThreshold); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,216 @@
+// Package session implements the paper's session model: a session is a
+// sequence of requests from the same IP address with inter-request gaps
+// below a threshold (30 minutes in the paper). The package provides the
+// sessionizer and the inter-session (arrival process) and intra-session
+// (length, request count, bytes) characteristics of Section 5.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"fullweb/internal/weblog"
+)
+
+// DefaultThreshold is the paper's inactivity threshold delimiting
+// sessions.
+const DefaultThreshold = 30 * time.Minute
+
+var (
+	// ErrNoRecords is returned when sessionizing an empty log.
+	ErrNoRecords = errors.New("session: no records")
+	// ErrBadThreshold is returned for a non-positive threshold.
+	ErrBadThreshold = errors.New("session: non-positive threshold")
+)
+
+// Session is one user visit reconstructed from the log.
+type Session struct {
+	// Host is the client IP (or sanitized identifier) the session belongs
+	// to.
+	Host string
+	// Start and End are the timestamps of the first and last request.
+	Start, End time.Time
+	// Requests is the number of requests in the session (session length
+	// in number of requests, Table 3).
+	Requests int
+	// Bytes is the total number of bytes transferred, completed and
+	// partial transfers alike (Table 4).
+	Bytes int64
+	// Errors is the number of 4xx/5xx responses within the session.
+	Errors int
+}
+
+// Duration returns the session length in time (Table 2): the span from
+// first to last request. Single-request sessions have zero duration.
+func (s Session) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Sessionize groups records into sessions per host with the given
+// inactivity threshold: a request more than threshold after the previous
+// request from the same host starts a new session. The returned sessions
+// are sorted by start time. The input is not modified.
+func Sessionize(records []weblog.Record, threshold time.Duration) ([]Session, error) {
+	if len(records) == 0 {
+		return nil, ErrNoRecords
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadThreshold, threshold)
+	}
+	// Group record indices per host, preserving order, then sort each
+	// host's records by time.
+	byHost := make(map[string][]weblog.Record)
+	for _, r := range records {
+		byHost[r.Host] = append(byHost[r.Host], r)
+	}
+	var sessions []Session
+	for host, recs := range byHost {
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
+		cur := Session{Host: host, Start: recs[0].Time, End: recs[0].Time, Requests: 1, Bytes: recs[0].Bytes}
+		if recs[0].IsError() {
+			cur.Errors++
+		}
+		for _, r := range recs[1:] {
+			if r.Time.Sub(cur.End) > threshold {
+				sessions = append(sessions, cur)
+				cur = Session{Host: host, Start: r.Time, End: r.Time, Bytes: 0}
+				cur.Requests = 0
+			}
+			cur.End = r.Time
+			cur.Requests++
+			cur.Bytes += r.Bytes
+			if r.IsError() {
+				cur.Errors++
+			}
+		}
+		sessions = append(sessions, cur)
+	}
+	sort.SliceStable(sessions, func(i, j int) bool { return sessions[i].Start.Before(sessions[j].Start) })
+	return sessions, nil
+}
+
+// StartSeconds returns each session's start timestamp as Unix seconds,
+// sorted — the event input of the session-level Poisson battery
+// (Section 5.1.2).
+func StartSeconds(sessions []Session) []int64 {
+	out := make([]int64, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.Start.Unix()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InitiatedPerSecond returns the sessions-initiated-per-second counting
+// series (Section 5.1.1), spanning from the first session start to the
+// last, inclusive.
+func InitiatedPerSecond(sessions []Session) ([]float64, error) {
+	if len(sessions) == 0 {
+		return nil, ErrNoRecords
+	}
+	secs := StartSeconds(sessions)
+	start := secs[0]
+	n := int(secs[len(secs)-1]-start) + 1
+	counts := make([]float64, n)
+	for _, s := range secs {
+		counts[s-start]++
+	}
+	return counts, nil
+}
+
+// InterSessionTimes returns the differences between consecutive session
+// initiation times, in seconds ("time between sessions initiated").
+func InterSessionTimes(sessions []Session) ([]float64, error) {
+	if len(sessions) < 2 {
+		return nil, fmt.Errorf("session: need >= 2 sessions for inter-session times, got %d", len(sessions))
+	}
+	secs := StartSeconds(sessions)
+	out := make([]float64, len(secs)-1)
+	for i := 1; i < len(secs); i++ {
+		out[i-1] = float64(secs[i] - secs[i-1])
+	}
+	return out, nil
+}
+
+// Durations returns each session's length in seconds. Zero-duration
+// (single-request) sessions are included; heavy-tail analyses that need
+// positive data should filter with PositiveOnly.
+func Durations(sessions []Session) []float64 {
+	out := make([]float64, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.Duration().Seconds()
+	}
+	return out
+}
+
+// RequestCounts returns each session's length in number of requests.
+func RequestCounts(sessions []Session) []float64 {
+	out := make([]float64, len(sessions))
+	for i, s := range sessions {
+		out[i] = float64(s.Requests)
+	}
+	return out
+}
+
+// ByteCounts returns each session's total bytes transferred.
+func ByteCounts(sessions []Session) []float64 {
+	out := make([]float64, len(sessions))
+	for i, s := range sessions {
+		out[i] = float64(s.Bytes)
+	}
+	return out
+}
+
+// PositiveOnly returns the strictly positive entries of x — the subset on
+// which LLCD and Hill analyses are defined.
+func PositiveOnly(x []float64) []float64 {
+	out := make([]float64, 0, len(x))
+	for _, v := range x {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Overlapping reports sessions active (Start <= t < End) at a given time;
+// used by the admission-control example.
+func Overlapping(sessions []Session, t time.Time) int {
+	n := 0
+	for _, s := range sessions {
+		if !s.Start.After(t) && s.End.After(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// ThinkTimes returns every intra-session inter-request gap (seconds):
+// the "think times" separating a user's successive requests. Gaps above
+// the threshold belong to session boundaries and are excluded by
+// construction. These are the OFF periods of the ON/OFF traffic view
+// the paper cites (Willinger et al.); their distribution is a natural
+// companion to the three intra-session characteristics of Section 5.2.
+func ThinkTimes(records []weblog.Record, threshold time.Duration) ([]float64, error) {
+	if len(records) == 0 {
+		return nil, ErrNoRecords
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadThreshold, threshold)
+	}
+	byHost := make(map[string][]time.Time)
+	for _, r := range records {
+		byHost[r.Host] = append(byHost[r.Host], r.Time)
+	}
+	var gaps []float64
+	for _, times := range byHost {
+		sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+		for i := 1; i < len(times); i++ {
+			gap := times[i].Sub(times[i-1])
+			if gap <= threshold {
+				gaps = append(gaps, gap.Seconds())
+			}
+		}
+	}
+	return gaps, nil
+}

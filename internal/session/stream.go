@@ -1,0 +1,130 @@
+package session
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"fullweb/internal/weblog"
+)
+
+// Streamer sessionizes a log incrementally in a single time-ordered
+// pass, holding only the currently open sessions in memory. Sessions are
+// emitted as soon as their inactivity gap is provably exceeded, so
+// arbitrarily long logs can be processed with memory proportional to
+// the number of concurrently active users — the production counterpart
+// of the batch Sessionize used by the analyses.
+type Streamer struct {
+	threshold time.Duration
+	active    map[string]*Session
+	expiry    expiryHeap
+	lastTime  time.Time
+	sawAny    bool
+}
+
+// expiryEntry schedules a host for an expiry check; lazily invalidated
+// entries (the session saw more requests since) are skipped on pop.
+type expiryEntry struct {
+	at   time.Time
+	host string
+}
+
+type expiryHeap []expiryEntry
+
+func (h expiryHeap) Len() int            { return len(h) }
+func (h expiryHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x interface{}) { *h = append(*h, x.(expiryEntry)) }
+func (h *expiryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// NewStreamer returns a streaming sessionizer with the given inactivity
+// threshold.
+func NewStreamer(threshold time.Duration) (*Streamer, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadThreshold, threshold)
+	}
+	return &Streamer{
+		threshold: threshold,
+		active:    make(map[string]*Session),
+	}, nil
+}
+
+// ActiveSessions returns the number of currently open sessions.
+func (s *Streamer) ActiveSessions() int { return len(s.active) }
+
+// Observe feeds one record. Records must arrive in non-decreasing time
+// order (access logs are written that way). It returns any sessions
+// whose inactivity window closed at or before this record's timestamp.
+func (s *Streamer) Observe(r weblog.Record) ([]Session, error) {
+	if s.sawAny && r.Time.Before(s.lastTime) {
+		return nil, fmt.Errorf("session: streamer requires time-ordered input: %v after %v", r.Time, s.lastTime)
+	}
+	s.lastTime = r.Time
+	s.sawAny = true
+	closed := s.evict(r.Time)
+	cur, ok := s.active[r.Host]
+	if ok && r.Time.Sub(cur.End) > s.threshold {
+		// Should have been evicted already, but guard against equal-time
+		// boundary cases.
+		closed = append(closed, *cur)
+		ok = false
+	}
+	if !ok {
+		cur = &Session{Host: r.Host, Start: r.Time, End: r.Time}
+		s.active[r.Host] = cur
+	}
+	cur.End = r.Time
+	cur.Requests++
+	cur.Bytes += r.Bytes
+	if r.IsError() {
+		cur.Errors++
+	}
+	heap.Push(&s.expiry, expiryEntry{at: r.Time.Add(s.threshold), host: r.Host})
+	return closed, nil
+}
+
+// evict closes every session whose inactivity window ended strictly
+// before now.
+func (s *Streamer) evict(now time.Time) []Session {
+	var closed []Session
+	for len(s.expiry) > 0 && s.expiry[0].at.Before(now) {
+		entry := heap.Pop(&s.expiry).(expiryEntry)
+		cur, ok := s.active[entry.host]
+		if !ok {
+			continue // session already closed
+		}
+		if now.Sub(cur.End) > s.threshold {
+			closed = append(closed, *cur)
+			delete(s.active, entry.host)
+		}
+		// Otherwise the session saw later requests; a fresher expiry
+		// entry exists in the heap.
+	}
+	return closed
+}
+
+// Flush closes and returns all still-open sessions; call it after the
+// last record. The streamer is reusable afterwards.
+func (s *Streamer) Flush() []Session {
+	out := make([]Session, 0, len(s.active))
+	for _, cur := range s.active {
+		out = append(out, *cur)
+	}
+	s.active = make(map[string]*Session)
+	s.expiry = s.expiry[:0]
+	s.sawAny = false
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Host < out[j].Host
+	})
+	return out
+}

@@ -1,0 +1,62 @@
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"fullweb/internal/stats"
+	"fullweb/internal/weblog"
+)
+
+// ThresholdPoint is one row of a threshold sensitivity study.
+type ThresholdPoint struct {
+	Threshold time.Duration
+	// Sessions is the total number of sessions induced by the threshold.
+	Sessions int
+	// MeanRequests and MeanDuration summarize the induced sessions.
+	MeanRequests float64
+	MeanDuration float64 // seconds
+}
+
+// ThresholdStudy sessionizes the records under each candidate threshold
+// and reports how the session count and the mean intra-session
+// characteristics respond. The paper (Section 2, following its earlier
+// work [12]) selected the 30-minute threshold from exactly this kind of
+// study: the session count flattens once the threshold clears the bulk
+// of intra-session gaps.
+func ThresholdStudy(records []weblog.Record, thresholds []time.Duration) ([]ThresholdPoint, error) {
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("session: no thresholds given")
+	}
+	out := make([]ThresholdPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		sessions, err := Sessionize(records, th)
+		if err != nil {
+			return nil, fmt.Errorf("session: threshold study at %v: %w", th, err)
+		}
+		meanReq, err := stats.Mean(RequestCounts(sessions))
+		if err != nil {
+			return nil, fmt.Errorf("session: threshold study at %v: %w", th, err)
+		}
+		meanDur, err := stats.Mean(Durations(sessions))
+		if err != nil {
+			return nil, fmt.Errorf("session: threshold study at %v: %w", th, err)
+		}
+		out = append(out, ThresholdPoint{
+			Threshold:    th,
+			Sessions:     len(sessions),
+			MeanRequests: meanReq,
+			MeanDuration: meanDur,
+		})
+	}
+	return out, nil
+}
+
+// DefaultThresholdGrid returns the candidate thresholds conventionally
+// examined (5 minutes to 2 hours).
+func DefaultThresholdGrid() []time.Duration {
+	return []time.Duration{
+		5 * time.Minute, 10 * time.Minute, 15 * time.Minute,
+		30 * time.Minute, 60 * time.Minute, 120 * time.Minute,
+	}
+}

@@ -1,0 +1,65 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"fullweb/internal/weblog"
+)
+
+func TestThresholdStudyMonotonicity(t *testing.T) {
+	// Build a log with a clear gap structure: 3 hosts, bursts of requests
+	// separated by gaps of 8 and 45 minutes.
+	var records []weblog.Record
+	for h := 0; h < 3; h++ {
+		host := string(rune('a' + h))
+		base := int64(h * 10)
+		for burst := 0; burst < 4; burst++ {
+			for r := 0; r < 5; r++ {
+				records = append(records, rec(host, base+int64(r*30), 200, 10))
+			}
+			if burst%2 == 0 {
+				base += 8 * 60 // short gap: split only for tiny thresholds
+			} else {
+				base += 45 * 60 // long gap: split below 45 min
+			}
+		}
+	}
+	points, err := ThresholdStudy(records, DefaultThresholdGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(DefaultThresholdGrid()) {
+		t.Fatalf("%d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Sessions > points[i-1].Sessions {
+			t.Errorf("session count increased with threshold: %v -> %v",
+				points[i-1], points[i])
+		}
+		if points[i].MeanRequests < points[i-1].MeanRequests-1e-9 {
+			t.Errorf("mean requests decreased with threshold: %v -> %v",
+				points[i-1].MeanRequests, points[i].MeanRequests)
+		}
+	}
+	// 5-minute threshold splits at both gap types; 2 hours at neither.
+	if points[0].Sessions != 3*4 {
+		t.Errorf("5-min threshold sessions = %d, want 12", points[0].Sessions)
+	}
+	last := points[len(points)-1]
+	if last.Sessions != 3 {
+		t.Errorf("2-hour threshold sessions = %d, want 3", last.Sessions)
+	}
+}
+
+func TestThresholdStudyErrors(t *testing.T) {
+	if _, err := ThresholdStudy(nil, DefaultThresholdGrid()); err == nil {
+		t.Error("empty records should error")
+	}
+	if _, err := ThresholdStudy([]weblog.Record{rec("a", 0, 200, 1)}, nil); err == nil {
+		t.Error("no thresholds should error")
+	}
+	if _, err := ThresholdStudy([]weblog.Record{rec("a", 0, 200, 1)}, []time.Duration{-time.Second}); err == nil {
+		t.Error("negative threshold should error")
+	}
+}

@@ -1,0 +1,186 @@
+package spec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigammaKnownValues(t *testing.T) {
+	const eulerGamma = 0.5772156649015329
+	cases := []struct {
+		x, want float64
+	}{
+		{1, -eulerGamma},
+		{2, 1 - eulerGamma},
+		{0.5, -eulerGamma - 2*math.Ln2},
+		{10, 2.251752589066721},
+		{100, 4.600161852738087},
+	}
+	for _, c := range cases {
+		got, err := Digamma(c.x)
+		if err != nil {
+			t.Fatalf("Digamma(%v): %v", c.x, err)
+		}
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("Digamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDigammaDomain(t *testing.T) {
+	for _, x := range []float64{0, -1, math.NaN()} {
+		if _, err := Digamma(x); err == nil {
+			t.Errorf("Digamma(%v) should error", x)
+		}
+	}
+}
+
+func TestDigammaRecurrenceProperty(t *testing.T) {
+	// psi(x+1) = psi(x) + 1/x for all x > 0.
+	f := func(raw float64) bool {
+		x := math.Abs(raw)
+		if x < 1e-3 || x > 1e6 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		a, err1 := Digamma(x + 1)
+		b, err2 := Digamma(x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a-(b+1/x)) < 1e-9*(1+math.Abs(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{1, 0.8413447460685429},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{1e-8, 0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999, 1 - 1e-8} {
+		x, err := NormalQuantile(p)
+		if err != nil {
+			t.Fatalf("NormalQuantile(%v): %v", p, err)
+		}
+		if back := NormalCDF(x); math.Abs(back-p) > 1e-10 {
+			t.Errorf("NormalCDF(NormalQuantile(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestNormalQuantileDomain(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2, math.NaN()} {
+		if _, err := NormalQuantile(p); err == nil {
+			t.Errorf("NormalQuantile(%v) should error", p)
+		}
+	}
+}
+
+func TestNormalQuantileSymmetryProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 1)
+		if p <= 0 || p >= 1 {
+			return true
+		}
+		a, err1 := NormalQuantile(p)
+		b, err2 := NormalQuantile(1 - p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a+b) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - exp(-x); P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		got, err := GammaP(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("GammaP(1, %v) = %v, want %v", x, got, want)
+		}
+		got, err = GammaP(0.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = math.Erf(math.Sqrt(x))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("GammaP(0.5, %v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaPBoundaries(t *testing.T) {
+	got, err := GammaP(3, 0)
+	if err != nil || got != 0 {
+		t.Errorf("GammaP(3, 0) = %v, %v; want 0, nil", got, err)
+	}
+	if _, err := GammaP(0, 1); err == nil {
+		t.Error("GammaP(0, 1) should error")
+	}
+	if _, err := GammaP(1, -1); err == nil {
+		t.Error("GammaP(1, -1) should error")
+	}
+}
+
+func TestGammaPQComplementProperty(t *testing.T) {
+	f := func(rawA, rawX float64) bool {
+		a := 0.1 + math.Mod(math.Abs(rawA), 20)
+		x := math.Mod(math.Abs(rawX), 40)
+		if math.IsNaN(a) || math.IsNaN(x) {
+			return true
+		}
+		p, err1 := GammaP(a, x)
+		q, err2 := GammaQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p >= -1e-12 && p <= 1+1e-12 && math.Abs(p+q-1) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaPMonotoneInX(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 20; x += 0.25 {
+		p, err := GammaP(2.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev-1e-12 {
+			t.Fatalf("GammaP(2.5, %v) = %v decreased from %v", x, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestLnGamma(t *testing.T) {
+	// Gamma(5) = 24.
+	if got := LnGamma(5); math.Abs(got-math.Log(24)) > 1e-12 {
+		t.Errorf("LnGamma(5) = %v, want ln 24", got)
+	}
+}

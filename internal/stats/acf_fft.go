@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"fmt"
+
+	"fullweb/internal/fft"
+)
+
+// AutocorrelationFFT computes the same biased sample autocorrelation
+// function as Autocorrelation but via the Wiener-Khinchin theorem: the
+// inverse transform of the power spectrum of the zero-padded, centered
+// series. Cost is O(n log n) regardless of maxLag, which matters for the
+// week-long second-resolution series analyzed in the paper (n ~ 6*10^5).
+func AutocorrelationFFT(x []float64, maxLag int) ([]float64, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, ErrTooShort
+	}
+	if maxLag < 0 || maxLag >= n {
+		return nil, fmt.Errorf("stats: maxLag %d outside [0, %d)", maxLag, n)
+	}
+	m, _ := Mean(x)
+	// Zero-pad to at least 2n to make the circular convolution linear.
+	padded := make([]complex128, fft.NextPowerOfTwo(2*n))
+	for i, v := range x {
+		padded[i] = complex(v-m, 0)
+	}
+	spec, err := fft.Transform(padded)
+	if err != nil {
+		return nil, fmt.Errorf("stats: autocorrelation transform: %w", err)
+	}
+	for i, c := range spec {
+		re, im := real(c), imag(c)
+		spec[i] = complex(re*re+im*im, 0)
+	}
+	auto, err := fft.Inverse(spec)
+	if err != nil {
+		return nil, fmt.Errorf("stats: autocorrelation inverse transform: %w", err)
+	}
+	denom := real(auto[0])
+	if denom == 0 {
+		return nil, ErrConstant
+	}
+	acf := make([]float64, maxLag+1)
+	for k := 0; k <= maxLag; k++ {
+		acf[k] = real(auto[k]) / denom
+	}
+	return acf, nil
+}

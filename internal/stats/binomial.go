@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinomialPMF returns P[X = k] for X ~ Binomial(n, p). It is computed in
+// log space to remain accurate for large n.
+func BinomialPMF(n, k int, p float64) (float64, error) {
+	if n < 0 || k < 0 || k > n {
+		return 0, fmt.Errorf("stats: binomial pmf with n=%d k=%d", n, k)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: binomial probability %v outside [0,1]", p)
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if p == 1 {
+		if k == n {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	lg := func(x float64) float64 { v, _ := math.Lgamma(x); return v }
+	logPMF := lg(float64(n)+1) - lg(float64(k)+1) - lg(float64(n-k)+1) +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(logPMF), nil
+}
+
+// BinomialCDF returns P[X <= k] for X ~ Binomial(n, p).
+func BinomialCDF(n, k int, p float64) (float64, error) {
+	if k < 0 {
+		return 0, nil
+	}
+	if k >= n {
+		return 1, nil
+	}
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		pmf, err := BinomialPMF(n, i, p)
+		if err != nil {
+			return 0, err
+		}
+		sum += pmf
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum, nil
+}
+
+// BinomialUpperTail returns P[X >= k] for X ~ Binomial(n, p).
+func BinomialUpperTail(n, k int, p float64) (float64, error) {
+	if k <= 0 {
+		return 1, nil
+	}
+	cdf, err := BinomialCDF(n, k-1, p)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - cdf, nil
+}

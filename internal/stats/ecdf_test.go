@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e, err := NewECDF([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 4 {
+		t.Fatalf("N = %d, want 4", e.N())
+	}
+	cases := []struct{ v, want float64 }{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.CDF(c.v); got != c.want {
+			t.Errorf("CDF(%v) = %v, want %v", c.v, got, c.want)
+		}
+		if got := e.CCDF(c.v); math.Abs(got-(1-c.want)) > 1e-15 {
+			t.Errorf("CCDF(%v) = %v, want %v", c.v, got, 1-c.want)
+		}
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err != ErrEmpty {
+		t.Fatalf("NewECDF(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestECDFDoesNotMutateInput(t *testing.T) {
+	x := []float64{3, 1, 2}
+	if _, err := NewECDF(x); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 1 || x[2] != 2 {
+		t.Fatalf("NewECDF mutated input: %v", x)
+	}
+}
+
+func TestLLCDPointsStructure(t *testing.T) {
+	e, err := NewECDF([]float64{1, 10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := e.LLCD()
+	// The maximum is excluded (CCDF = 0), so 3 points remain.
+	if len(pts) != 3 {
+		t.Fatalf("LLCD has %d points, want 3", len(pts))
+	}
+	wantX := []float64{0, 1, 2}
+	wantY := []float64{math.Log10(0.75), math.Log10(0.5), math.Log10(0.25)}
+	for i, p := range pts {
+		if math.Abs(p.LogX-wantX[i]) > 1e-12 || math.Abs(p.LogCCDF-wantY[i]) > 1e-12 {
+			t.Errorf("point %d = %+v, want (%v, %v)", i, p, wantX[i], wantY[i])
+		}
+	}
+}
+
+func TestLLCDSkipsNonPositive(t *testing.T) {
+	e, err := NewECDF([]float64{-5, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := e.LLCD()
+	if len(pts) != 1 { // only x=1 qualifies (x=2 is the max)
+		t.Fatalf("LLCD = %+v, want a single point", pts)
+	}
+	if pts[0].LogX != 0 {
+		t.Fatalf("LLCD point LogX = %v, want 0", pts[0].LogX)
+	}
+}
+
+func TestLLCDDuplicatesCollapse(t *testing.T) {
+	e, err := NewECDF([]float64{2, 2, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := e.LLCD()
+	if len(pts) != 1 {
+		t.Fatalf("LLCD has %d points, want 1 (duplicates collapse, max excluded)", len(pts))
+	}
+	if math.Abs(pts[0].LogCCDF-math.Log10(0.25)) > 1e-12 {
+		t.Fatalf("LLCD CCDF = %v, want log10(0.25)", pts[0].LogCCDF)
+	}
+}
+
+// Property: ECDF.CDF is monotone nondecreasing and hits 0 below min and 1
+// at max.
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 100
+		}
+		e, err := NewECDF(x)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), x...)
+		sort.Float64s(sorted)
+		if e.CDF(sorted[0]-1) != 0 || e.CDF(sorted[n-1]) != 1 {
+			return false
+		}
+		prev := 0.0
+		for v := sorted[0] - 1; v <= sorted[n-1]+1; v += (sorted[n-1] - sorted[0] + 2) / 53 {
+			c := e.CDF(v)
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LLCD points are strictly decreasing in LogCCDF as LogX grows.
+func TestLLCDMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(200)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Exp(r.NormFloat64())
+		}
+		e, err := NewECDF(x)
+		if err != nil {
+			return false
+		}
+		pts := e.LLCD()
+		for i := 1; i < len(pts); i++ {
+			if pts[i].LogX <= pts[i-1].LogX || pts[i].LogCCDF >= pts[i-1].LogCCDF {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialPMF(t *testing.T) {
+	// Binomial(4, 0.5): pmf = {1,4,6,4,1}/16.
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for k, w := range want {
+		got, err := BinomialPMF(4, k, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-w) > 1e-12 {
+			t.Errorf("BinomialPMF(4,%d,0.5) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestBinomialPMFEdge(t *testing.T) {
+	if got, _ := BinomialPMF(5, 0, 0); got != 1 {
+		t.Errorf("PMF(5,0,0) = %v, want 1", got)
+	}
+	if got, _ := BinomialPMF(5, 3, 0); got != 0 {
+		t.Errorf("PMF(5,3,0) = %v, want 0", got)
+	}
+	if got, _ := BinomialPMF(5, 5, 1); got != 1 {
+		t.Errorf("PMF(5,5,1) = %v, want 1", got)
+	}
+	if _, err := BinomialPMF(4, 5, 0.5); err == nil {
+		t.Error("k > n should error")
+	}
+	if _, err := BinomialPMF(4, 2, 1.5); err == nil {
+		t.Error("p > 1 should error")
+	}
+}
+
+func TestBinomialCDFPaperCase(t *testing.T) {
+	// The paper's Poisson battery uses B(4, 0.95): P[S = s] for small s is
+	// tiny, e.g. P[S <= 1] = pmf(0) + pmf(1).
+	pmf0, _ := BinomialPMF(4, 0, 0.95)
+	pmf1, _ := BinomialPMF(4, 1, 0.95)
+	cdf1, err := BinomialCDF(4, 1, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cdf1-(pmf0+pmf1)) > 1e-14 {
+		t.Fatalf("CDF(1) = %v, want pmf0+pmf1 = %v", cdf1, pmf0+pmf1)
+	}
+	if cdf1 > 0.05 {
+		t.Fatalf("P[S<=1] = %v for B(4,0.95); expected < 0.05 (drives rejection)", cdf1)
+	}
+}
+
+func TestBinomialUpperTail(t *testing.T) {
+	up, err := BinomialUpperTail(4, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(up-1.0/16) > 1e-12 {
+		t.Fatalf("P[X>=4] = %v, want 1/16", up)
+	}
+	if up, _ := BinomialUpperTail(4, 0, 0.5); up != 1 {
+		t.Fatalf("P[X>=0] = %v, want 1", up)
+	}
+}
+
+// Property: CDF sums the PMF and is monotone in k.
+func TestBinomialCDFSumsProperty(t *testing.T) {
+	f := func(rawN uint8, rawP float64) bool {
+		n := int(rawN%20) + 1
+		p := math.Mod(math.Abs(rawP), 1)
+		if math.IsNaN(p) {
+			return true
+		}
+		total := 0.0
+		prev := 0.0
+		for k := 0; k <= n; k++ {
+			pmf, err := BinomialPMF(n, k, p)
+			if err != nil {
+				return false
+			}
+			total += pmf
+			cdf, err := BinomialCDF(n, k, p)
+			if err != nil {
+				return false
+			}
+			if cdf < prev-1e-12 || math.Abs(cdf-total) > 1e-9 {
+				return false
+			}
+			prev = cdf
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

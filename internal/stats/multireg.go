@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MultiFit holds an ordinary least squares fit of y on k regressors
+// (plus an intercept when requested by the caller via a constant
+// column).
+type MultiFit struct {
+	// Coef[i] is the coefficient of column i of the design matrix.
+	Coef []float64
+	// SE[i] is the standard error of Coef[i].
+	SE []float64
+	// ResidualVar is the unbiased residual variance (n-k dof).
+	ResidualVar float64
+	R2          float64
+	N           int
+}
+
+// MultipleRegression fits y = X*b by ordinary least squares via the
+// normal equations with partial pivoting. X is row-major: X[i] is the
+// regressor vector of observation i (include a constant 1 column for an
+// intercept). It requires n > k and a non-singular design.
+func MultipleRegression(x [][]float64, y []float64) (MultiFit, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return MultiFit{}, fmt.Errorf("stats: design %d rows vs %d responses", n, len(y))
+	}
+	k := len(x[0])
+	if k == 0 {
+		return MultiFit{}, fmt.Errorf("stats: empty design row")
+	}
+	if n <= k {
+		return MultiFit{}, fmt.Errorf("%w: %d observations for %d coefficients", ErrTooShort, n, k)
+	}
+	// Normal equations: (X'X) b = X'y.
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	for r := 0; r < n; r++ {
+		row := x[r]
+		if len(row) != k {
+			return MultiFit{}, fmt.Errorf("stats: ragged design at row %d", r)
+		}
+		for i := 0; i < k; i++ {
+			for j := i; j < k; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * y[r]
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	inv, err := invertSymmetric(xtx)
+	if err != nil {
+		return MultiFit{}, err
+	}
+	coef := make([]float64, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			coef[i] += inv[i][j] * xty[j]
+		}
+	}
+	// Residuals.
+	ssRes := 0.0
+	meanY, _ := Mean(y)
+	ssTot := 0.0
+	for r := 0; r < n; r++ {
+		pred := 0.0
+		for i := 0; i < k; i++ {
+			pred += coef[i] * x[r][i]
+		}
+		d := y[r] - pred
+		ssRes += d * d
+		dy := y[r] - meanY
+		ssTot += dy * dy
+	}
+	resVar := ssRes / float64(n-k)
+	se := make([]float64, k)
+	for i := 0; i < k; i++ {
+		se[i] = math.Sqrt(resVar * inv[i][i])
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return MultiFit{Coef: coef, SE: se, ResidualVar: resVar, R2: r2, N: n}, nil
+}
+
+// invertSymmetric inverts a small symmetric positive-definite-ish matrix
+// by Gauss-Jordan with partial pivoting.
+func invertSymmetric(a [][]float64) ([][]float64, error) {
+	k := len(a)
+	// Augment with identity.
+	work := make([][]float64, k)
+	for i := range work {
+		work[i] = make([]float64, 2*k)
+		copy(work[i], a[i])
+		work[i][k+i] = 1
+	}
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(work[r][col]) > math.Abs(work[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(work[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("%w: singular design matrix", ErrConstant)
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		p := work[col][col]
+		for c := 0; c < 2*k; c++ {
+			work[col][c] /= p
+		}
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			f := work[r][col]
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < 2*k; c++ {
+				work[r][c] -= f * work[col][c]
+			}
+		}
+	}
+	inv := make([][]float64, k)
+	for i := range inv {
+		inv[i] = work[i][k:]
+	}
+	return inv, nil
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultipleRegressionExact(t *testing.T) {
+	// y = 2 + 3*x1 - 0.5*x2 exactly.
+	rng := rand.New(rand.NewSource(1))
+	n := 50
+	design := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range design {
+		x1, x2 := rng.NormFloat64(), rng.NormFloat64()
+		design[i] = []float64{1, x1, x2}
+		y[i] = 2 + 3*x1 - 0.5*x2
+	}
+	fit, err := MultipleRegression(design, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -0.5}
+	for i, w := range want {
+		if math.Abs(fit.Coef[i]-w) > 1e-9 {
+			t.Errorf("coef[%d] = %v, want %v", i, fit.Coef[i], w)
+		}
+		if fit.SE[i] > 1e-6 {
+			t.Errorf("exact fit SE[%d] = %v", i, fit.SE[i])
+		}
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestMultipleRegressionMatchesSimple(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	design := make([][]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 3
+		y[i] = 1 + 2*x[i] + rng.NormFloat64()
+		design[i] = []float64{1, x[i]}
+	}
+	simple, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := MultipleRegression(design, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simple.Intercept-multi.Coef[0]) > 1e-9 ||
+		math.Abs(simple.Slope-multi.Coef[1]) > 1e-9 {
+		t.Fatalf("coefficients differ: simple (%v, %v) vs multi %v",
+			simple.Intercept, simple.Slope, multi.Coef)
+	}
+	if math.Abs(simple.SlopeSE-multi.SE[1]) > 1e-9 {
+		t.Fatalf("slope SE differ: %v vs %v", simple.SlopeSE, multi.SE[1])
+	}
+}
+
+func TestMultipleRegressionErrors(t *testing.T) {
+	if _, err := MultipleRegression(nil, nil); err == nil {
+		t.Error("empty design should error")
+	}
+	if _, err := MultipleRegression([][]float64{{1, 2}}, []float64{1}); !errors.Is(err, ErrTooShort) {
+		t.Error("n <= k should return ErrTooShort")
+	}
+	// Collinear design.
+	design := make([][]float64, 10)
+	y := make([]float64, 10)
+	for i := range design {
+		v := float64(i)
+		design[i] = []float64{1, v, 2 * v}
+		y[i] = v
+	}
+	if _, err := MultipleRegression(design, y); !errors.Is(err, ErrConstant) {
+		t.Error("collinear design should return ErrConstant")
+	}
+	// Ragged design.
+	if _, err := MultipleRegression([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged design should error")
+	}
+}
+
+// Property: adding a column of pure noise never lowers R^2.
+func TestMultipleRegressionR2MonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(50)
+		d2 := make([][]float64, n)
+		d3 := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x1 := rng.NormFloat64()
+			noise := rng.NormFloat64()
+			d2[i] = []float64{1, x1}
+			d3[i] = []float64{1, x1, noise}
+			y[i] = 0.5 + x1 + rng.NormFloat64()
+		}
+		f2, err1 := MultipleRegression(d2, y)
+		f3, err2 := MultipleRegression(d3, y)
+		if err1 != nil || err2 != nil {
+			return true // degenerate draw
+		}
+		return f3.R2 >= f2.R2-1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"fmt"
+)
+
+// PartialAutocorrelation returns the partial autocorrelation function of
+// x at lags 1..maxLag via the Levinson-Durbin recursion — the standard
+// Box-Jenkins companion to the ACF for identifying autoregressive
+// structure in the arrival count series.
+func PartialAutocorrelation(x []float64, maxLag int) ([]float64, error) {
+	if maxLag < 1 {
+		return nil, fmt.Errorf("stats: maxLag %d < 1", maxLag)
+	}
+	acf, err := AutocorrelationFFT(x, maxLag)
+	if err != nil {
+		return nil, err
+	}
+	pacf := make([]float64, maxLag+1)
+	pacf[0] = 1
+	// Levinson-Durbin on the Toeplitz system of autocorrelations.
+	phi := make([]float64, maxLag+1)  // phi[k][j] current row
+	prev := make([]float64, maxLag+1) // previous row
+	variance := 1.0
+	for k := 1; k <= maxLag; k++ {
+		num := acf[k]
+		for j := 1; j < k; j++ {
+			num -= prev[j] * acf[k-j]
+		}
+		if variance <= 0 {
+			return nil, fmt.Errorf("stats: Levinson-Durbin broke down at lag %d (singular autocorrelation)", k)
+		}
+		reflect := num / variance
+		phi[k] = reflect
+		for j := 1; j < k; j++ {
+			phi[j] = prev[j] - reflect*prev[k-j]
+		}
+		variance *= 1 - reflect*reflect
+		copy(prev, phi)
+		pacf[k] = reflect
+	}
+	return pacf, nil
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPACFOnAR1(t *testing.T) {
+	// AR(1): PACF is phi at lag 1 and ~0 beyond.
+	const phi = 0.6
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 50000)
+	for i := 1; i < len(x); i++ {
+		x[i] = phi*x[i-1] + rng.NormFloat64()
+	}
+	pacf, err := PartialAutocorrelation(x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pacf[1]-phi) > 0.02 {
+		t.Errorf("pacf[1] = %v, want ~%v", pacf[1], phi)
+	}
+	bound := 4 / math.Sqrt(float64(len(x)))
+	for k := 2; k <= 5; k++ {
+		if math.Abs(pacf[k]) > bound {
+			t.Errorf("AR(1) pacf[%d] = %v, want ~0", k, pacf[k])
+		}
+	}
+}
+
+func TestPACFOnAR2(t *testing.T) {
+	// AR(2) with coefficients (0.5, 0.3): PACF cuts off after lag 2 and
+	// pacf[2] equals the second coefficient.
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 100000)
+	for i := 2; i < len(x); i++ {
+		x[i] = 0.5*x[i-1] + 0.3*x[i-2] + rng.NormFloat64()
+	}
+	pacf, err := PartialAutocorrelation(x, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pacf[2]-0.3) > 0.02 {
+		t.Errorf("pacf[2] = %v, want ~0.3", pacf[2])
+	}
+	bound := 4 / math.Sqrt(float64(len(x)))
+	for k := 3; k <= 6; k++ {
+		if math.Abs(pacf[k]) > bound {
+			t.Errorf("AR(2) pacf[%d] = %v, want ~0", k, pacf[k])
+		}
+	}
+}
+
+func TestPACFErrors(t *testing.T) {
+	if _, err := PartialAutocorrelation([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("maxLag 0 should error")
+	}
+	if _, err := PartialAutocorrelation([]float64{5, 5, 5, 5}, 2); err == nil {
+		t.Error("constant series should error")
+	}
+}

@@ -1,0 +1,332 @@
+// Package stats provides the descriptive and inferential statistics
+// primitives shared across the workload-analysis library: moments,
+// quantiles, empirical distribution functions, sample autocorrelation,
+// least-squares regression, and binomial tail probabilities.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+var (
+	// ErrEmpty is returned when a statistic is requested on no data.
+	ErrEmpty = errors.New("stats: empty data")
+	// ErrTooShort is returned when the data has too few observations for
+	// the requested statistic.
+	ErrTooShort = errors.New("stats: too few observations")
+	// ErrConstant is returned when a statistic is undefined for constant
+	// data (for example correlation).
+	ErrConstant = errors.New("stats: constant data")
+)
+
+// Mean returns the arithmetic mean of x.
+func Mean(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x)), nil
+}
+
+// Variance returns the unbiased sample variance of x (denominator n-1).
+func Variance(x []float64) (float64, error) {
+	if len(x) < 2 {
+		return 0, ErrTooShort
+	}
+	m, _ := Mean(x)
+	ss := 0.0
+	for _, v := range x {
+		d := v - m
+		ss += d * d
+	}
+	return ss / float64(len(x)-1), nil
+}
+
+// PopulationVariance returns the biased sample variance of x
+// (denominator n), the convention used by the aggregated-variance Hurst
+// estimator.
+func PopulationVariance(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmpty
+	}
+	m, _ := Mean(x)
+	ss := 0.0
+	for _, v := range x {
+		d := v - m
+		ss += d * d
+	}
+	return ss / float64(len(x)), nil
+}
+
+// StdDev returns the unbiased sample standard deviation of x.
+func StdDev(x []float64) (float64, error) {
+	v, err := Variance(x)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// MinMax returns the smallest and largest values in x.
+func MinMax(x []float64) (min, max float64, err error) {
+	if len(x) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, nil
+}
+
+// Sum returns the sum of x.
+func Sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Quantile returns the p-quantile of x for p in [0, 1], using linear
+// interpolation between order statistics (type 7 in Hyndman-Fan's
+// taxonomy, the R default). The input need not be sorted.
+func Quantile(x []float64, p float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: quantile probability %v outside [0,1]", p)
+	}
+	sorted := make([]float64, len(x))
+	copy(sorted, x)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	h := p * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1], nil
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 0.5-quantile of x.
+func Median(x []float64) (float64, error) {
+	return Quantile(x, 0.5)
+}
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64
+	StdDev   float64
+	Min      float64
+	Max      float64
+	Median   float64
+	Q1       float64
+	Q3       float64
+	Sum      float64
+}
+
+// Summarize computes a Summary of x. It requires at least two
+// observations so that the variance is defined.
+func Summarize(x []float64) (Summary, error) {
+	if len(x) < 2 {
+		return Summary{}, ErrTooShort
+	}
+	m, _ := Mean(x)
+	v, _ := Variance(x)
+	min, max, _ := MinMax(x)
+	med, _ := Median(x)
+	q1, _ := Quantile(x, 0.25)
+	q3, _ := Quantile(x, 0.75)
+	return Summary{
+		N:        len(x),
+		Mean:     m,
+		Variance: v,
+		StdDev:   math.Sqrt(v),
+		Min:      min,
+		Max:      max,
+		Median:   med,
+		Q1:       q1,
+		Q3:       q3,
+		Sum:      Sum(x),
+	}, nil
+}
+
+// Autocorrelation returns the sample autocorrelation function of x at lags
+// 0..maxLag inclusive, using the biased estimator conventional in time
+// series analysis:
+//
+//	r(k) = sum_{t=1}^{n-k} (x_t - mean)(x_{t+k} - mean) / sum_t (x_t - mean)^2
+//
+// This direct implementation is O(n * maxLag); for long series and many
+// lags prefer AutocorrelationFFT.
+func Autocorrelation(x []float64, maxLag int) ([]float64, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, ErrTooShort
+	}
+	if maxLag < 0 || maxLag >= n {
+		return nil, fmt.Errorf("stats: maxLag %d outside [0, %d)", maxLag, n)
+	}
+	m, _ := Mean(x)
+	centered := make([]float64, n)
+	denom := 0.0
+	for i, v := range x {
+		centered[i] = v - m
+		denom += centered[i] * centered[i]
+	}
+	if denom == 0 {
+		return nil, ErrConstant
+	}
+	acf := make([]float64, maxLag+1)
+	for k := 0; k <= maxLag; k++ {
+		num := 0.0
+		for t := 0; t+k < n; t++ {
+			num += centered[t] * centered[t+k]
+		}
+		acf[k] = num / denom
+	}
+	return acf, nil
+}
+
+// Lag1Autocorrelation returns the sample autocorrelation of x at lag one.
+func Lag1Autocorrelation(x []float64) (float64, error) {
+	acf, err := Autocorrelation(x, 1)
+	if err != nil {
+		return 0, err
+	}
+	return acf[1], nil
+}
+
+// LinearFit holds the result of an ordinary least squares fit
+// y = Intercept + Slope*x.
+type LinearFit struct {
+	Slope       float64
+	Intercept   float64
+	SlopeSE     float64 // standard error of the slope
+	InterceptSE float64 // standard error of the intercept
+	R2          float64 // coefficient of determination
+	ResidualVar float64 // unbiased residual variance (n-2 dof)
+	N           int
+}
+
+// LinearRegression fits y = a + b*x by ordinary least squares and returns
+// the slope, intercept, their standard errors, and R^2. x and y must have
+// equal length >= 3 and x must not be constant.
+func LinearRegression(x, y []float64) (LinearFit, error) {
+	n := len(x)
+	if n != len(y) {
+		return LinearFit{}, fmt.Errorf("stats: length mismatch %d vs %d", n, len(y))
+	}
+	if n < 3 {
+		return LinearFit{}, ErrTooShort
+	}
+	mx, _ := Mean(x)
+	my, _ := Mean(y)
+	sxx, sxy, syy := 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrConstant
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	ssRes := 0.0
+	for i := 0; i < n; i++ {
+		r := y[i] - intercept - slope*x[i]
+		ssRes += r * r
+	}
+	resVar := ssRes / float64(n-2)
+	r2 := 1.0
+	if syy > 0 {
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{
+		Slope:       slope,
+		Intercept:   intercept,
+		SlopeSE:     math.Sqrt(resVar / sxx),
+		InterceptSE: math.Sqrt(resVar * (1/float64(n) + mx*mx/sxx)),
+		R2:          r2,
+		ResidualVar: resVar,
+		N:           n,
+	}, nil
+}
+
+// WeightedLinearRegression fits y = a + b*x by weighted least squares with
+// the given positive weights (inverse variances). It returns the slope,
+// intercept, and the standard error of the slope implied by the weights
+// (Var(b) = 1/S_xx in the weighted metric).
+func WeightedLinearRegression(x, y, w []float64) (LinearFit, error) {
+	n := len(x)
+	if n != len(y) || n != len(w) {
+		return LinearFit{}, fmt.Errorf("stats: length mismatch %d, %d, %d", n, len(y), len(w))
+	}
+	if n < 2 {
+		return LinearFit{}, ErrTooShort
+	}
+	var sw, swx, swy float64
+	for i := 0; i < n; i++ {
+		if w[i] <= 0 || math.IsNaN(w[i]) {
+			return LinearFit{}, fmt.Errorf("stats: non-positive weight %v at index %d", w[i], i)
+		}
+		sw += w[i]
+		swx += w[i] * x[i]
+		swy += w[i] * y[i]
+	}
+	mx := swx / sw
+	my := swy / sw
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += w[i] * dx * dx
+		sxy += w[i] * dx * dy
+		syy += w[i] * dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrConstant
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	ssRes := 0.0
+	for i := 0; i < n; i++ {
+		r := y[i] - intercept - slope*x[i]
+		ssRes += w[i] * r * r
+	}
+	r2 := 1.0
+	if syy > 0 {
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{
+		Slope:     slope,
+		Intercept: intercept,
+		// Under w_i = 1/Var(y_i), Var(slope) = 1/sxx exactly.
+		SlopeSE:     math.Sqrt(1 / sxx),
+		InterceptSE: math.Sqrt(1/sw + mx*mx/sxx),
+		R2:          r2,
+		N:           n,
+	}, nil
+}

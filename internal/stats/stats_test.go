@@ -1,0 +1,350 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("Mean(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	got, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 32.0 / 7.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if _, err := Variance([]float64{1}); err != ErrTooShort {
+		t.Fatalf("Variance(single) error = %v, want ErrTooShort", err)
+	}
+}
+
+func TestPopulationVariance(t *testing.T) {
+	got, err := PopulationVariance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-12 {
+		t.Fatalf("PopulationVariance = %v, want 4", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = %v, %v; want -1, 7", min, max)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Quantile(x, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Quantile(x, 1.5); err == nil {
+		t.Error("Quantile(1.5) should error")
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Error("Quantile(nil) should return ErrEmpty")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	x := []float64{5, 1, 3}
+	if _, err := Quantile(x, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 5 || x[1] != 1 || x[2] != 3 {
+		t.Fatalf("Quantile mutated input: %v", x)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 || s.Sum != 15 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Variance-2.5) > 1e-12 {
+		t.Fatalf("Summarize variance = %v, want 2.5", s.Variance)
+	}
+	if _, err := Summarize([]float64{1}); err != ErrTooShort {
+		t.Fatal("Summarize(single) should return ErrTooShort")
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 20000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	acf, err := Autocorrelation(x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] != 1 {
+		t.Fatalf("acf[0] = %v, want 1", acf[0])
+	}
+	bound := 3 / math.Sqrt(float64(len(x)))
+	for k := 1; k <= 5; k++ {
+		if math.Abs(acf[k]) > bound {
+			t.Errorf("white noise acf[%d] = %v, beyond 3/sqrt(n) = %v", k, acf[k], bound)
+		}
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	// AR(1) with coefficient phi has acf(k) ~ phi^k.
+	const phi = 0.7
+	rng := rand.New(rand.NewSource(8))
+	x := make([]float64, 100000)
+	x[0] = rng.NormFloat64()
+	for i := 1; i < len(x); i++ {
+		x[i] = phi*x[i-1] + rng.NormFloat64()
+	}
+	acf, err := Autocorrelation(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		want := math.Pow(phi, float64(k))
+		if math.Abs(acf[k]-want) > 0.02 {
+			t.Errorf("AR(1) acf[%d] = %v, want ~%v", k, acf[k], want)
+		}
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation([]float64{1}, 0); err != ErrTooShort {
+		t.Error("short series should return ErrTooShort")
+	}
+	if _, err := Autocorrelation([]float64{1, 2, 3}, 3); err == nil {
+		t.Error("maxLag >= n should error")
+	}
+	if _, err := Autocorrelation([]float64{5, 5, 5}, 1); err != ErrConstant {
+		t.Error("constant series should return ErrConstant")
+	}
+}
+
+func TestAutocorrelationFFTMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 1337)
+	for i := range x {
+		x[i] = rng.NormFloat64() + math.Sin(float64(i)/10)
+	}
+	direct, err := Autocorrelation(x, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFFT, err := AutocorrelationFFT(x, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range direct {
+		if math.Abs(direct[k]-viaFFT[k]) > 1e-9 {
+			t.Fatalf("lag %d: direct %v vs fft %v", k, direct[k], viaFFT[k])
+		}
+	}
+}
+
+func TestAutocorrelationFFTErrors(t *testing.T) {
+	if _, err := AutocorrelationFFT([]float64{1}, 0); err != ErrTooShort {
+		t.Error("short series should return ErrTooShort")
+	}
+	if _, err := AutocorrelationFFT([]float64{2, 2, 2, 2}, 2); err != ErrConstant {
+		t.Error("constant series should return ErrConstant")
+	}
+	if _, err := AutocorrelationFFT([]float64{1, 2, 3}, 5); err == nil {
+		t.Error("maxLag >= n should error")
+	}
+}
+
+func TestLag1Autocorrelation(t *testing.T) {
+	// Strictly alternating series has lag-1 autocorrelation near -1.
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = float64(i%2)*2 - 1
+	}
+	r, err := Lag1Autocorrelation(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > -0.99 {
+		t.Fatalf("alternating lag-1 acf = %v, want ~ -1", r)
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3 - 2*v
+	}
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope+2) > 1e-12 || math.Abs(fit.Intercept-3) > 1e-12 {
+		t.Fatalf("fit = %+v, want slope -2 intercept 3", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+	if fit.SlopeSE > 1e-10 {
+		t.Fatalf("exact fit SlopeSE = %v, want ~0", fit.SlopeSE)
+	}
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 5000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / 100
+		y[i] = 1.5 + 0.75*x[i] + rng.NormFloat64()
+	}
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-0.75) > 5*fit.SlopeSE {
+		t.Fatalf("slope %v ± %v too far from 0.75", fit.Slope, fit.SlopeSE)
+	}
+	if fit.R2 < 0.8 {
+		t.Fatalf("R2 = %v too low for strong signal", fit.R2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1, 2}); err != ErrTooShort {
+		t.Error("n < 3 should return ErrTooShort")
+	}
+	if _, err := LinearRegression([]float64{2, 2, 2}, []float64{1, 2, 3}); err != ErrConstant {
+		t.Error("constant x should return ErrConstant")
+	}
+}
+
+func TestWeightedLinearRegressionEqualWeightsMatchesOLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 50
+	x := make([]float64, n)
+	y := make([]float64, n)
+	w := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 2 + 0.5*x[i] + rng.NormFloat64()
+		w[i] = 1
+	}
+	ols, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wls, err := WeightedLinearRegression(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ols.Slope-wls.Slope) > 1e-10 || math.Abs(ols.Intercept-wls.Intercept) > 1e-10 {
+		t.Fatalf("OLS %+v vs WLS %+v disagree with unit weights", ols, wls)
+	}
+}
+
+func TestWeightedLinearRegressionErrors(t *testing.T) {
+	if _, err := WeightedLinearRegression([]float64{1, 2}, []float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := WeightedLinearRegression([]float64{1}, []float64{1}, []float64{1}); err != ErrTooShort {
+		t.Error("n < 2 should return ErrTooShort")
+	}
+	if _, err := WeightedLinearRegression([]float64{1, 2}, []float64{1}, []float64{1, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+// Property: regression on (x, a + b*x) recovers a and b exactly for any
+// non-degenerate x.
+func TestLinearRegressionRecoversExactLineProperty(t *testing.T) {
+	f := func(seed int64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 10
+			y[i] = a + b*x[i]
+		}
+		fit, err := LinearRegression(x, y)
+		if err == ErrConstant {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		scale := 1 + math.Abs(a) + math.Abs(b)
+		return math.Abs(fit.Slope-b) < 1e-6*scale && math.Abs(fit.Intercept-a) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkACFMethods(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	x := make([]float64, 100000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.Run("direct-1000lags", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Autocorrelation(x, 1000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fft-1000lags", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := AutocorrelationFFT(x, 1000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

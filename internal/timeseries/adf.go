@@ -1,0 +1,85 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+
+	"fullweb/internal/stats"
+)
+
+// ADFResult holds the outcome of an augmented Dickey-Fuller unit-root
+// test. ADF complements KPSS with the opposite null hypothesis: ADF's
+// null is a unit root (non-stationarity), KPSS's null is stationarity.
+// Agreement of the two — ADF rejecting while KPSS not rejecting — is
+// strong evidence of stationarity, the kind of cross-validation the
+// paper practices with its estimators.
+type ADFResult struct {
+	// Statistic is the t-ratio of the lagged-level coefficient.
+	Statistic float64
+	// Lags is the number of augmenting difference lags used.
+	Lags int
+	// CriticalValues at the 10%, 5% and 1% levels (constant-only
+	// regression; MacKinnon asymptotic values).
+	CriticalValues map[float64]float64
+	// UnitRootRejected reports whether the unit-root null is rejected at
+	// the 5% level, i.e. the series looks stationary.
+	UnitRootRejected bool
+}
+
+// adfCritical holds asymptotic critical values for the constant-only ADF
+// regression (MacKinnon 1991).
+var adfCritical = map[float64]float64{0.10: -2.57, 0.05: -2.86, 0.01: -3.43}
+
+// ADF runs the augmented Dickey-Fuller test with a constant term:
+//
+//	dy_t = a + b*y_{t-1} + sum_{i=1..lags} c_i*dy_{t-i} + e_t
+//
+// and examines the t-ratio of b. lags < 0 selects Schwert's rule
+// floor(12*(n/100)^{1/4}).
+func ADF(x []float64, lags int) (ADFResult, error) {
+	n := len(x)
+	if lags < 0 {
+		lags = int(math.Floor(12 * math.Pow(float64(n)/100, 0.25)))
+	}
+	minObs := lags + 20
+	if n < minObs {
+		return ADFResult{}, fmt.Errorf("%w: ADF with %d lags needs >= %d observations, got %d", ErrTooShort, lags, minObs, n)
+	}
+	diff := make([]float64, n-1)
+	for i := 1; i < n; i++ {
+		diff[i-1] = x[i] - x[i-1]
+	}
+	// Rows t = lags+1 .. n-1 (index into x).
+	rows := n - 1 - lags
+	design := make([][]float64, rows)
+	response := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := lags + 1 + r
+		row := make([]float64, 2+lags)
+		row[0] = 1
+		row[1] = x[t-1]
+		for i := 1; i <= lags; i++ {
+			row[1+i] = diff[t-1-i]
+		}
+		design[r] = row
+		response[r] = diff[t-1]
+	}
+	fit, err := stats.MultipleRegression(design, response)
+	if err != nil {
+		return ADFResult{}, fmt.Errorf("timeseries: ADF regression: %w", err)
+	}
+	if fit.SE[1] == 0 || math.IsNaN(fit.SE[1]) {
+		return ADFResult{}, fmt.Errorf("timeseries: ADF: degenerate lagged-level column")
+	}
+	stat := fit.Coef[1] / fit.SE[1]
+	cv := make(map[float64]float64, len(adfCritical))
+	for k, v := range adfCritical {
+		cv[k] = v
+	}
+	return ADFResult{
+		Statistic:        stat,
+		Lags:             lags,
+		CriticalValues:   cv,
+		UnitRootRejected: stat < adfCritical[0.05],
+	}, nil
+}

@@ -1,0 +1,101 @@
+package timeseries
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestADFStationarySeriesRejectsUnitRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 3000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	res, err := ADF(x, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UnitRootRejected {
+		t.Fatalf("white noise: unit root not rejected (stat %v)", res.Statistic)
+	}
+	if res.Lags <= 0 {
+		t.Fatalf("Schwert rule selected %d lags", res.Lags)
+	}
+}
+
+func TestADFAR1RejectsUnitRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 3000)
+	for i := 1; i < len(x); i++ {
+		x[i] = 0.7*x[i-1] + rng.NormFloat64()
+	}
+	res, err := ADF(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UnitRootRejected {
+		t.Fatalf("AR(1) phi=0.7: unit root not rejected (stat %v)", res.Statistic)
+	}
+}
+
+func TestADFRandomWalkKeepsUnitRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 3000)
+	for i := 1; i < len(x); i++ {
+		x[i] = x[i-1] + rng.NormFloat64()
+	}
+	res, err := ADF(x, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnitRootRejected {
+		t.Fatalf("random walk: unit root wrongly rejected (stat %v)", res.Statistic)
+	}
+}
+
+func TestADFErrors(t *testing.T) {
+	if _, err := ADF(make([]float64, 10), 4); !errors.Is(err, ErrTooShort) {
+		t.Error("short series should return ErrTooShort")
+	}
+	constant := make([]float64, 200)
+	if _, err := ADF(constant, 2); err == nil {
+		t.Error("constant series should error (singular design)")
+	}
+}
+
+// TestADFAgreesWithKPSS is the cross-validation check: on clear-cut
+// series the opposite-null tests agree on the verdict.
+func TestADFAgreesWithKPSS(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	stationary := make([]float64, 3000)
+	walk := make([]float64, 3000)
+	for i := range stationary {
+		stationary[i] = rng.NormFloat64()
+		if i > 0 {
+			walk[i] = walk[i-1] + rng.NormFloat64()
+		}
+	}
+	adfS, err := ADF(stationary, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kpssS, err := KPSS(stationary, KPSSLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adfS.UnitRootRejected || !kpssS.Stationary {
+		t.Errorf("stationary series: ADF rejected=%v KPSS stationary=%v", adfS.UnitRootRejected, kpssS.Stationary)
+	}
+	adfW, err := ADF(walk, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kpssW, err := KPSS(walk, KPSSLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adfW.UnitRootRejected || kpssW.Stationary {
+		t.Errorf("random walk: ADF rejected=%v KPSS stationary=%v", adfW.UnitRootRejected, kpssW.Stationary)
+	}
+}

@@ -1,0 +1,139 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKPSSStationarySeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 5000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	res, err := KPSS(x, KPSSLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stationary {
+		t.Fatalf("white noise rejected as non-stationary: stat %v", res.Statistic)
+	}
+	if res.Statistic >= res.CriticalValues[0.05] {
+		t.Fatalf("statistic %v >= 5%% critical %v but Stationary=true", res.Statistic, res.CriticalValues[0.05])
+	}
+}
+
+func TestKPSSRandomWalkRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 5000)
+	sum := 0.0
+	for i := range x {
+		sum += rng.NormFloat64()
+		x[i] = sum
+	}
+	res, err := KPSS(x, KPSSLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stationary {
+		t.Fatalf("random walk accepted as stationary: stat %v", res.Statistic)
+	}
+}
+
+func TestKPSSTrendingSeriesRejectedAtLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 5000)
+	for i := range x {
+		x[i] = 0.01*float64(i) + rng.NormFloat64()
+	}
+	level, err := KPSS(x, KPSSLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level.Stationary {
+		t.Fatalf("trending series accepted as level-stationary: stat %v", level.Statistic)
+	}
+	// The same series IS trend-stationary.
+	trend, err := KPSS(x, KPSSTrend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trend.Stationary {
+		t.Fatalf("trend-stationary series rejected: stat %v", trend.Statistic)
+	}
+}
+
+func TestKPSSPeriodicSeriesRejected(t *testing.T) {
+	// A strong long-period component inflates the partial sums and is
+	// flagged non-stationary, which is what drives the paper's seasonal
+	// removal step.
+	rng := rand.New(rand.NewSource(4))
+	n := 20000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 10*math.Sin(2*math.Pi*float64(i)/float64(n/4)) + rng.NormFloat64()
+	}
+	res, err := KPSS(x, KPSSLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stationary {
+		t.Fatalf("strongly periodic series accepted as stationary: stat %v", res.Statistic)
+	}
+}
+
+func TestKPSSErrors(t *testing.T) {
+	if _, err := KPSS(make([]float64, 5), KPSSLevel); !errors.Is(err, ErrTooShort) {
+		t.Error("short input should return ErrTooShort")
+	}
+	if _, err := KPSS(make([]float64, 100), KPSSType(9)); !errors.Is(err, ErrBadParam) {
+		t.Error("unknown type should return ErrBadParam")
+	}
+	constant := make([]float64, 100)
+	if _, err := KPSS(constant, KPSSLevel); err == nil {
+		t.Error("constant series should error (zero long-run variance)")
+	}
+}
+
+func TestKPSSTypeString(t *testing.T) {
+	if KPSSLevel.String() != "level" || KPSSTrend.String() != "trend" {
+		t.Error("KPSS type names wrong")
+	}
+	if KPSSType(42).String() == "" {
+		t.Error("unknown type should still stringify")
+	}
+}
+
+// Property: the KPSS statistic is invariant to affine scaling (shift and
+// positive scale) of the series.
+func TestKPSSScaleInvarianceProperty(t *testing.T) {
+	f := func(seed int64, shiftRaw, scaleRaw float64) bool {
+		// Bound the shift: with |shift| >> |values| the residuals suffer
+		// catastrophic cancellation and the comparison would measure
+		// floating-point noise, not the statistic's invariance.
+		shift := math.Mod(shiftRaw, 1e4)
+		scale := 0.1 + math.Mod(math.Abs(scaleRaw), 100)
+		if math.IsNaN(shift) || math.IsNaN(scale) {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, 200)
+		y := make([]float64, 200)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = shift + scale*x[i]
+		}
+		a, err1 := KPSS(x, KPSSLevel)
+		b, err2 := KPSS(y, KPSSLevel)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a.Statistic-b.Statistic) < 1e-6*(1+a.Statistic)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

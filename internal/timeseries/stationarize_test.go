@@ -1,0 +1,195 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// paperLikeSeries builds a series with the structure the paper reports for
+// request counts: noise + slight linear trend + strong daily periodicity.
+func paperLikeSeries(rng *rand.Rand, n, period int, trendSlope, amplitude float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 50 +
+			trendSlope*float64(i) +
+			amplitude*math.Sin(2*math.Pi*float64(i)/float64(period)) +
+			5*rng.NormFloat64()
+	}
+	return x
+}
+
+func TestStationarizeRemovesTrendAndPeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const (
+		n      = 40000
+		period = 4000
+	)
+	x := paperLikeSeries(rng, n, period, 0.001, 30)
+	cfg := StationarizeConfig{MinPeriod: 100, MaxPeriod: 10000, SNRThreshold: 20, Method: SeasonalDifferencing}
+	res, err := Stationarize(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialKPSS.Stationary {
+		t.Fatal("input should test non-stationary")
+	}
+	if !res.TrendRemoved {
+		t.Fatal("trend should have been removed")
+	}
+	if !res.PeriodRemoved {
+		t.Fatal("period should have been removed")
+	}
+	if res.Period < period*9/10 || res.Period > period*11/10 {
+		t.Fatalf("detected period %d, want ~%d", res.Period, period)
+	}
+	if !res.FinalKPSS.Stationary {
+		t.Fatalf("processed series still non-stationary: stat %v", res.FinalKPSS.Statistic)
+	}
+	if len(res.Series) != n-res.Period {
+		t.Fatalf("differenced length %d, want %d", len(res.Series), n-res.Period)
+	}
+}
+
+func TestStationarizeSeasonalMeansPreservesLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := paperLikeSeries(rng, 40000, 4000, 0.001, 30)
+	cfg := StationarizeConfig{MinPeriod: 100, MaxPeriod: 10000, SNRThreshold: 20, Method: SeasonalMeans}
+	res, err := Stationarize(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PeriodRemoved {
+		t.Fatal("period should have been removed")
+	}
+	if len(res.Series) != len(x) {
+		t.Fatalf("seasonal-means changed length: %d vs %d", len(res.Series), len(x))
+	}
+	if !res.FinalKPSS.Stationary {
+		t.Fatalf("processed series still non-stationary: stat %v", res.FinalKPSS.Statistic)
+	}
+}
+
+func TestStationarizeAlreadyStationary(t *testing.T) {
+	// The paper notes the NASA-Pub2 session series was already stationary:
+	// the pipeline must pass it through untouched.
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 20000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	cfg := DefaultStationarizeConfig()
+	cfg.MinPeriod, cfg.MaxPeriod = 100, 5000
+	res, err := Stationarize(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrendRemoved || res.PeriodRemoved {
+		t.Fatal("stationary input should not be processed")
+	}
+	if len(res.Series) != len(x) {
+		t.Fatal("length changed for stationary input")
+	}
+	for i := range x {
+		if res.Series[i] != x[i] {
+			t.Fatal("stationary input should be returned unchanged")
+		}
+	}
+	// And the returned slice must be a copy, not an alias.
+	res.Series[0] += 100
+	if x[0] == res.Series[0] {
+		t.Fatal("Stationarize must not alias its input")
+	}
+}
+
+func TestStationarizeNoSpuriousPeriodRemoval(t *testing.T) {
+	// Trend only, no periodicity: the pipeline should detrend but not
+	// difference (the SNR threshold protects against noise peaks).
+	rng := rand.New(rand.NewSource(4))
+	n := 40000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.002*float64(i) + rng.NormFloat64()
+	}
+	cfg := StationarizeConfig{MinPeriod: 100, MaxPeriod: 10000, SNRThreshold: 100, Method: SeasonalDifferencing}
+	res, err := Stationarize(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TrendRemoved {
+		t.Fatal("trend should have been removed")
+	}
+	if res.PeriodRemoved {
+		t.Fatalf("no period present but removal triggered (period %d, snr %v)", res.Period, res.PeriodSNR)
+	}
+	if !res.FinalKPSS.Stationary {
+		t.Fatalf("detrended series still non-stationary: stat %v", res.FinalKPSS.Statistic)
+	}
+}
+
+func TestStationarizeConfigValidation(t *testing.T) {
+	x := make([]float64, 100)
+	if _, err := Stationarize(x, StationarizeConfig{MinPeriod: 1, MaxPeriod: 10, Method: SeasonalDifferencing}); !errors.Is(err, ErrBadParam) {
+		t.Error("MinPeriod < 2 should return ErrBadParam")
+	}
+	if _, err := Stationarize(x, StationarizeConfig{MinPeriod: 10, MaxPeriod: 5, Method: SeasonalDifferencing}); !errors.Is(err, ErrBadParam) {
+		t.Error("inverted band should return ErrBadParam")
+	}
+	if _, err := Stationarize(x, StationarizeConfig{MinPeriod: 10, MaxPeriod: 20}); !errors.Is(err, ErrBadParam) {
+		t.Error("missing method should return ErrBadParam")
+	}
+}
+
+func TestSeasonalMethodString(t *testing.T) {
+	if SeasonalDifferencing.String() != "differencing" || SeasonalMeans.String() != "seasonal-means" {
+		t.Error("method names wrong")
+	}
+	if SeasonalMethod(7).String() == "" {
+		t.Error("unknown method should still stringify")
+	}
+}
+
+func TestStationarizeMultiPeriod(t *testing.T) {
+	// Two periodic components, 3000 and a stronger 14000. The periods
+	// must not divide each other (differencing at lag s removes every
+	// cycle whose period divides s, so a 2000+14000 pair would fall to a
+	// single removal); and after the first differencing shortens the
+	// series to 42000, the surviving 3000-cycle stays on the Fourier
+	// grid. With MaxComponents=2 both must go and the result must pass
+	// KPSS.
+	rng := rand.New(rand.NewSource(5))
+	n := 56000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 100 +
+			25*math.Sin(2*math.Pi*float64(i)/3000) +
+			40*math.Sin(2*math.Pi*float64(i)/14000) +
+			3*rng.NormFloat64()
+	}
+	cfg := StationarizeConfig{
+		MinPeriod: 500, MaxPeriod: 20000, SNRThreshold: 20,
+		Method: SeasonalDifferencing, MaxComponents: 2,
+	}
+	res, err := Stationarize(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PeriodsRemoved) != 2 {
+		t.Fatalf("removed periods %v, want two", res.PeriodsRemoved)
+	}
+	if !res.FinalKPSS.Stationary {
+		t.Fatalf("still non-stationary after removing %v: KPSS %v",
+			res.PeriodsRemoved, res.FinalKPSS.Statistic)
+	}
+	// With only one component allowed, the weaker peak survives and the
+	// pipeline records a single removal.
+	cfg.MaxComponents = 1
+	res1, err := Stationarize(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.PeriodsRemoved) != 1 {
+		t.Fatalf("single-component run removed %v", res1.PeriodsRemoved)
+	}
+}

@@ -1,0 +1,180 @@
+// Package timeseries provides the time-series manipulation used in the
+// paper's request- and session-level analyses: block aggregation (the
+// X^{(m)} of equation 1), least-squares detrending, periodogram-based
+// periodicity detection, seasonal differencing, and the KPSS stationarity
+// test used to decide whether trend/periodicity removal is needed.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fullweb/internal/fft"
+	"fullweb/internal/stats"
+)
+
+var (
+	// ErrTooShort is returned when the series is too short for the
+	// requested operation.
+	ErrTooShort = errors.New("timeseries: series too short")
+	// ErrBadParam is returned for invalid operation parameters.
+	ErrBadParam = errors.New("timeseries: invalid parameter")
+)
+
+// Aggregate returns the m-aggregated series of equation (1) of the paper:
+// the averages of consecutive non-overlapping blocks of size m. Leftover
+// observations that do not fill a final block are dropped.
+func Aggregate(x []float64, m int) ([]float64, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: aggregation level %d", ErrBadParam, m)
+	}
+	if len(x) < m {
+		return nil, fmt.Errorf("%w: %d observations for block size %d", ErrTooShort, len(x), m)
+	}
+	blocks := len(x) / m
+	out := make([]float64, blocks)
+	inv := 1 / float64(m)
+	for k := 0; k < blocks; k++ {
+		sum := 0.0
+		for i := k * m; i < (k+1)*m; i++ {
+			sum += x[i]
+		}
+		out[k] = sum * inv
+	}
+	return out, nil
+}
+
+// TrendFit describes a fitted linear trend x_t ~ Intercept + Slope*t.
+type TrendFit struct {
+	Slope     float64
+	Intercept float64
+	SlopeSE   float64
+}
+
+// FitTrend estimates a linear trend over the index 0..n-1 by least
+// squares.
+func FitTrend(x []float64) (TrendFit, error) {
+	if len(x) < 3 {
+		return TrendFit{}, ErrTooShort
+	}
+	idx := make([]float64, len(x))
+	for i := range idx {
+		idx[i] = float64(i)
+	}
+	fit, err := stats.LinearRegression(idx, x)
+	if err != nil {
+		return TrendFit{}, fmt.Errorf("timeseries: trend fit: %w", err)
+	}
+	return TrendFit{Slope: fit.Slope, Intercept: fit.Intercept, SlopeSE: fit.SlopeSE}, nil
+}
+
+// Detrend removes the least-squares linear trend from x and returns the
+// residuals together with the removed trend.
+func Detrend(x []float64) ([]float64, TrendFit, error) {
+	trend, err := FitTrend(x)
+	if err != nil {
+		return nil, TrendFit{}, err
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - trend.Intercept - trend.Slope*float64(i)
+	}
+	return out, trend, nil
+}
+
+// DominantPeriod locates the strongest periodic component of x via the
+// periodogram, restricted to periods in [minPeriod, maxPeriod] (in sample
+// units). It returns the period (rounded to the nearest integer number of
+// samples) and the ratio of the peak ordinate to the median ordinate in
+// the searched band, a crude signal-to-noise measure the caller can
+// threshold.
+func DominantPeriod(x []float64, minPeriod, maxPeriod int) (period int, snr float64, err error) {
+	if minPeriod < 2 || maxPeriod < minPeriod {
+		return 0, 0, fmt.Errorf("%w: period band [%d, %d]", ErrBadParam, minPeriod, maxPeriod)
+	}
+	if len(x) < 2*maxPeriod {
+		return 0, 0, fmt.Errorf("%w: %d observations to resolve period %d", ErrTooShort, len(x), maxPeriod)
+	}
+	freqs, ords, err := fft.Periodogram(x)
+	if err != nil {
+		return 0, 0, fmt.Errorf("timeseries: dominant period: %w", err)
+	}
+	// Periods: p = 2*pi / lambda. Collect the ordinates whose implied
+	// period falls in the band.
+	bestIdx := -1
+	band := make([]float64, 0, 64)
+	for j, lambda := range freqs {
+		p := 2 * math.Pi / lambda
+		if p < float64(minPeriod) || p > float64(maxPeriod) {
+			continue
+		}
+		band = append(band, ords[j])
+		if bestIdx < 0 || ords[j] > ords[bestIdx] {
+			bestIdx = j
+		}
+	}
+	if bestIdx < 0 {
+		return 0, 0, fmt.Errorf("%w: no Fourier frequency in period band [%d, %d]", ErrBadParam, minPeriod, maxPeriod)
+	}
+	med, err := stats.Median(band)
+	if err != nil {
+		return 0, 0, fmt.Errorf("timeseries: dominant period: %w", err)
+	}
+	snr = math.Inf(1)
+	if med > 0 {
+		snr = ords[bestIdx] / med
+	}
+	period = int(math.Round(2 * math.Pi / freqs[bestIdx]))
+	return period, snr, nil
+}
+
+// SeasonalDifference returns the lag-s differenced series
+// y_t = x_{t+s} - x_t, the standard Box-Jenkins device for removing a
+// seasonal component of period s. The result has length len(x) - s.
+func SeasonalDifference(x []float64, s int) ([]float64, error) {
+	if s <= 0 {
+		return nil, fmt.Errorf("%w: seasonal lag %d", ErrBadParam, s)
+	}
+	if len(x) <= s {
+		return nil, fmt.Errorf("%w: %d observations for seasonal lag %d", ErrTooShort, len(x), s)
+	}
+	out := make([]float64, len(x)-s)
+	for i := range out {
+		out[i] = x[i+s] - x[i]
+	}
+	return out, nil
+}
+
+// SubtractSeasonalMeans removes a seasonal component of period s by
+// subtracting the per-phase means (the classical decomposition
+// alternative to differencing, which preserves series length and the
+// short-range correlation structure). It returns the deseasonalized
+// series and the estimated seasonal profile of length s.
+func SubtractSeasonalMeans(x []float64, s int) ([]float64, []float64, error) {
+	if s <= 1 {
+		return nil, nil, fmt.Errorf("%w: seasonal period %d", ErrBadParam, s)
+	}
+	if len(x) < 2*s {
+		return nil, nil, fmt.Errorf("%w: %d observations for period %d", ErrTooShort, len(x), s)
+	}
+	profile := make([]float64, s)
+	counts := make([]int, s)
+	for i, v := range x {
+		profile[i%s] += v
+		counts[i%s]++
+	}
+	for p := range profile {
+		profile[p] /= float64(counts[p])
+	}
+	// Center the profile so the overall mean is untouched.
+	pm, _ := stats.Mean(profile)
+	for p := range profile {
+		profile[p] -= pm
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - profile[i%s]
+	}
+	return out, profile, nil
+}

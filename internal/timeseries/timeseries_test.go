@@ -1,0 +1,229 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fullweb/internal/stats"
+)
+
+func TestAggregateBasics(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7}
+	got, err := Aggregate(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 3.5, 5.5} // the trailing 7 is dropped
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("agg[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAggregateIdentity(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5}
+	got, err := Aggregate(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatal("m=1 aggregation must be identity")
+		}
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, err := Aggregate([]float64{1, 2}, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("m=0 should return ErrBadParam")
+	}
+	if _, err := Aggregate([]float64{1, 2}, 3); !errors.Is(err, ErrTooShort) {
+		t.Error("m > n should return ErrTooShort")
+	}
+}
+
+// Property: aggregation preserves the mean of the retained blocks, and
+// m-aggregation of n*m values has exactly n entries.
+func TestAggregateMeanPreservationProperty(t *testing.T) {
+	f := func(seed int64, rawM uint8) bool {
+		m := 1 + int(rawM%10)
+		r := rand.New(rand.NewSource(seed))
+		blocks := 1 + r.Intn(50)
+		x := make([]float64, blocks*m)
+		for i := range x {
+			x[i] = r.NormFloat64() * 5
+		}
+		agg, err := Aggregate(x, m)
+		if err != nil || len(agg) != blocks {
+			return false
+		}
+		ma, _ := stats.Mean(agg)
+		mx, _ := stats.Mean(x)
+		return math.Abs(ma-mx) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetrendExact(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = 5 + 0.3*float64(i)
+	}
+	resid, trend, err := Detrend(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(trend.Slope-0.3) > 1e-10 || math.Abs(trend.Intercept-5) > 1e-9 {
+		t.Fatalf("trend = %+v", trend)
+	}
+	for i, r := range resid {
+		if math.Abs(r) > 1e-9 {
+			t.Fatalf("residual[%d] = %v for pure trend", i, r)
+		}
+	}
+}
+
+func TestDetrendTooShort(t *testing.T) {
+	if _, _, err := Detrend([]float64{1, 2}); !errors.Is(err, ErrTooShort) {
+		t.Error("short series should return ErrTooShort")
+	}
+}
+
+func TestDominantPeriodSinusoid(t *testing.T) {
+	n := 4096
+	period := 128
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 10*math.Sin(2*math.Pi*float64(i)/float64(period)) + rng.NormFloat64()
+	}
+	got, snr, err := DominantPeriod(x, 16, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != period {
+		t.Fatalf("period = %d, want %d", got, period)
+	}
+	if snr < 100 {
+		t.Fatalf("snr = %v, want strong peak", snr)
+	}
+}
+
+func TestDominantPeriodErrors(t *testing.T) {
+	x := make([]float64, 100)
+	if _, _, err := DominantPeriod(x, 1, 10); !errors.Is(err, ErrBadParam) {
+		t.Error("minPeriod < 2 should return ErrBadParam")
+	}
+	if _, _, err := DominantPeriod(x, 10, 5); !errors.Is(err, ErrBadParam) {
+		t.Error("max < min should return ErrBadParam")
+	}
+	if _, _, err := DominantPeriod(x, 10, 60); !errors.Is(err, ErrTooShort) {
+		t.Error("series shorter than 2*maxPeriod should return ErrTooShort")
+	}
+}
+
+func TestSeasonalDifference(t *testing.T) {
+	// A pure period-4 signal differences to zero.
+	x := make([]float64, 40)
+	pattern := []float64{1, 5, 2, 8}
+	for i := range x {
+		x[i] = pattern[i%4]
+	}
+	diff, err := SeasonalDifference(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 36 {
+		t.Fatalf("length %d, want 36", len(diff))
+	}
+	for i, v := range diff {
+		if v != 0 {
+			t.Fatalf("diff[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestSeasonalDifferenceErrors(t *testing.T) {
+	if _, err := SeasonalDifference([]float64{1, 2, 3}, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("s=0 should return ErrBadParam")
+	}
+	if _, err := SeasonalDifference([]float64{1, 2, 3}, 3); !errors.Is(err, ErrTooShort) {
+		t.Error("s >= n should return ErrTooShort")
+	}
+}
+
+func TestSubtractSeasonalMeans(t *testing.T) {
+	x := make([]float64, 48)
+	pattern := []float64{1, 5, 2, 8}
+	for i := range x {
+		x[i] = 10 + pattern[i%4]
+	}
+	out, profile, err := SubtractSeasonalMeans(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(x) || len(profile) != 4 {
+		t.Fatalf("lengths %d, %d", len(out), len(profile))
+	}
+	// After removal the series is constant (the overall mean).
+	want := 14.0 // 10 + mean(1,5,2,8)=4
+	for i, v := range out {
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("out[%d] = %v, want %v", i, v, want)
+		}
+	}
+	// Profile is centered.
+	pm, _ := stats.Mean(profile)
+	if math.Abs(pm) > 1e-12 {
+		t.Fatalf("profile mean %v, want 0", pm)
+	}
+}
+
+func TestSubtractSeasonalMeansErrors(t *testing.T) {
+	if _, _, err := SubtractSeasonalMeans([]float64{1, 2, 3, 4}, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("s=1 should return ErrBadParam")
+	}
+	if _, _, err := SubtractSeasonalMeans([]float64{1, 2, 3}, 2); !errors.Is(err, ErrTooShort) {
+		t.Error("n < 2s should return ErrTooShort")
+	}
+}
+
+// Property: seasonal differencing annihilates any period-s signal plus
+// linear trend's seasonal part: applying it twice to a pure period signal
+// stays zero.
+func TestSeasonalDifferenceKillsPeriodProperty(t *testing.T) {
+	f := func(seed int64, rawS uint8) bool {
+		s := 2 + int(rawS%10)
+		r := rand.New(rand.NewSource(seed))
+		pattern := make([]float64, s)
+		for i := range pattern {
+			pattern[i] = r.NormFloat64() * 10
+		}
+		x := make([]float64, s*8)
+		for i := range x {
+			x[i] = pattern[i%s]
+		}
+		diff, err := SeasonalDifference(x, s)
+		if err != nil {
+			return false
+		}
+		for _, v := range diff {
+			if math.Abs(v) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

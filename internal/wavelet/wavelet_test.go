@@ -1,0 +1,270 @@
+package wavelet
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fullweb/internal/fgn"
+)
+
+func TestFilterCoefficientsOrthonormal(t *testing.T) {
+	for _, f := range []Filter{Haar, Daubechies4} {
+		taps, err := f.coefficients()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Low-pass taps sum to sqrt(2) and have unit energy.
+		sum, energy := 0.0, 0.0
+		for _, h := range taps {
+			sum += h
+			energy += h * h
+		}
+		if math.Abs(sum-math.Sqrt2) > 1e-12 {
+			t.Errorf("%v: tap sum %v, want sqrt(2)", f, sum)
+		}
+		if math.Abs(energy-1) > 1e-12 {
+			t.Errorf("%v: tap energy %v, want 1", f, energy)
+		}
+	}
+}
+
+func TestFilterString(t *testing.T) {
+	if Haar.String() != "haar" || Daubechies4.String() != "db4" {
+		t.Error("filter names wrong")
+	}
+	if Filter(99).String() == "" {
+		t.Error("unknown filter should still stringify")
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	if _, err := Transform([]float64{1, 2}, Daubechies4, 3); !errors.Is(err, ErrTooShort) {
+		t.Error("short input should return ErrTooShort")
+	}
+	if _, err := Transform(make([]float64, 64), Filter(99), 3); !errors.Is(err, ErrFilter) {
+		t.Error("unknown filter should return ErrFilter")
+	}
+	if _, err := Transform(make([]float64, 64), Haar, 0); err == nil {
+		t.Error("zero levels should error")
+	}
+}
+
+func TestTransformEnergyConservation(t *testing.T) {
+	// An orthonormal DWT preserves total energy:
+	// sum x^2 == sum approx^2 + sum of all detail^2.
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []Filter{Haar, Daubechies4} {
+		x := make([]float64, 1024)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		dec, err := Transform(x, f, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inE, outE float64
+		for _, v := range x {
+			inE += v * v
+		}
+		for _, v := range dec.Approx {
+			outE += v * v
+		}
+		for _, lvl := range dec.Details {
+			for _, v := range lvl {
+				outE += v * v
+			}
+		}
+		if math.Abs(inE-outE) > 1e-8*inE {
+			t.Errorf("%v: energy %v -> %v not conserved", f, inE, outE)
+		}
+	}
+}
+
+func TestTransformConstantKillsDetails(t *testing.T) {
+	// Both filters have at least one vanishing moment, so a constant input
+	// produces zero detail coefficients everywhere.
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = 7.5
+	}
+	for _, f := range []Filter{Haar, Daubechies4} {
+		dec, err := Transform(x, f, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, lvl := range dec.Details {
+			for _, v := range lvl {
+				if math.Abs(v) > 1e-10 {
+					t.Fatalf("%v: nonzero detail %v at octave %d for constant input", f, v, j+1)
+				}
+			}
+		}
+	}
+}
+
+func TestTransformLinearKillsD4Details(t *testing.T) {
+	// Daubechies-4 has two vanishing moments: linear trends vanish in the
+	// interior. Periodic wrap-around makes boundary coefficients nonzero,
+	// so check interior coefficients only.
+	n := 512
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 3 + 0.25*float64(i)
+	}
+	dec, err := Transform(x, Daubechies4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := dec.Details[0]
+	for i := 0; i < len(lvl)-2; i++ { // last taps wrap
+		if math.Abs(lvl[i]) > 1e-8 {
+			t.Fatalf("interior D4 detail[%d] = %v for linear input", i, lvl[i])
+		}
+	}
+}
+
+func TestTransformLevelsAndCounts(t *testing.T) {
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	dec, err := Transform(x, Haar, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Levels() != 4 {
+		t.Fatalf("levels = %d, want 4", dec.Levels())
+	}
+	wantLen := 512
+	for j, lvl := range dec.Details {
+		if len(lvl) != wantLen {
+			t.Fatalf("octave %d has %d coefficients, want %d", j+1, len(lvl), wantLen)
+		}
+		wantLen /= 2
+	}
+	if len(dec.Approx) != 64 {
+		t.Fatalf("approx length %d, want 64", len(dec.Approx))
+	}
+}
+
+func TestTransformStopsWhenShort(t *testing.T) {
+	// 64 samples with the 4-tap filter allows at most 4 octaves
+	// (64 -> 32 -> 16 -> 8 -> 4; 4 < 2*4 stops).
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	dec, err := Transform(x, Daubechies4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Levels() != 4 {
+		t.Fatalf("levels = %d, want 4", dec.Levels())
+	}
+}
+
+func TestLogscaleDiagram(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dec, err := Transform(x, Daubechies4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsd, err := dec.LogscaleDiagram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lsd) != dec.Levels() {
+		t.Fatalf("diagram has %d octaves, want %d", len(lsd), dec.Levels())
+	}
+	for i, oe := range lsd {
+		if oe.Octave != i+1 {
+			t.Errorf("octave index %d, want %d", oe.Octave, i+1)
+		}
+		if oe.Energy <= 0 {
+			t.Errorf("octave %d energy %v, want positive", oe.Octave, oe.Energy)
+		}
+		if oe.Count != len(dec.Details[i]) {
+			t.Errorf("octave %d count %d, want %d", oe.Octave, oe.Count, len(dec.Details[i]))
+		}
+	}
+	// White noise: energies flat across octaves (slope 2H-1 = 0).
+	first, last := math.Log2(lsd[0].Energy), math.Log2(lsd[4].Energy)
+	if math.Abs(last-first) > 0.5 {
+		t.Errorf("white-noise logscale diagram not flat: octave1 %v vs octave5 %v", first, last)
+	}
+}
+
+func TestLogscaleDiagramLRDSlope(t *testing.T) {
+	// For fGn with Hurst H, log2(mu_j) has slope 2H-1 across octaves.
+	const h = 0.9
+	rng := rand.New(rand.NewSource(3))
+	x, err := fgn.Generate(rng, h, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Transform(x, Daubechies4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsd, err := dec.LogscaleDiagram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crude slope between octaves 3 and 8.
+	slope := (math.Log2(lsd[7].Energy) - math.Log2(lsd[2].Energy)) / 5
+	want := 2*h - 1
+	if math.Abs(slope-want) > 0.15 {
+		t.Fatalf("logscale slope %v, want ~%v", slope, want)
+	}
+}
+
+func TestLogscaleDiagramEmpty(t *testing.T) {
+	var d *Decomposition
+	if _, err := d.LogscaleDiagram(); err == nil {
+		t.Error("nil decomposition should error")
+	}
+	if _, err := (&Decomposition{}).LogscaleDiagram(); err == nil {
+		t.Error("empty decomposition should error")
+	}
+}
+
+// Property: energy conservation holds for arbitrary random inputs and
+// level counts.
+func TestEnergyConservationProperty(t *testing.T) {
+	f := func(seed int64, rawLevels uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64 << (seed % 3 & 1) // 64 or 128
+		levels := 1 + int(rawLevels%6)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		dec, err := Transform(x, Haar, levels)
+		if err != nil {
+			return false
+		}
+		var inE, outE float64
+		for _, v := range x {
+			inE += v * v
+		}
+		for _, v := range dec.Approx {
+			outE += v * v
+		}
+		for _, lvl := range dec.Details {
+			for _, v := range lvl {
+				outE += v * v
+			}
+		}
+		return math.Abs(inE-outE) < 1e-8*(1+inE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

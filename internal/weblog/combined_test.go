@@ -1,0 +1,128 @@
+package weblog
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+const combinedLine = `10.0.0.1 - - [12/Jan/2004:10:30:45 -0500] "GET /page.html HTTP/1.1" 200 5120 "http://example.edu/index.html" "Mozilla/4.0 (compatible; MSIE 6.0)"`
+
+func TestParseCombined(t *testing.T) {
+	rec, err := ParseCombined(combinedLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Host != "10.0.0.1" || rec.Status != 200 || rec.Bytes != 5120 {
+		t.Fatalf("base fields: %+v", rec.Record)
+	}
+	if rec.Referer != "http://example.edu/index.html" {
+		t.Errorf("referer = %q", rec.Referer)
+	}
+	if rec.UserAgent != "Mozilla/4.0 (compatible; MSIE 6.0)" {
+		t.Errorf("agent = %q", rec.UserAgent)
+	}
+}
+
+func TestParseCombinedDashes(t *testing.T) {
+	line := `h - - [12/Jan/2004:10:30:45 -0500] "GET / HTTP/1.0" 200 1 "-" "-"`
+	rec, err := ParseCombined(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Referer != "" || rec.UserAgent != "" {
+		t.Errorf("dash fields should be empty: %q %q", rec.Referer, rec.UserAgent)
+	}
+}
+
+func TestParseCombinedMalformed(t *testing.T) {
+	// Plain CLF without the trailing quoted fields is not Combined.
+	if _, err := ParseCombined(sampleLine); !errors.Is(err, ErrMalformed) {
+		t.Error("plain CLF should fail combined parsing")
+	}
+	if _, err := ParseCombined("garbage"); !errors.Is(err, ErrMalformed) {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestFormatCombinedRoundTrip(t *testing.T) {
+	rec := CombinedRecord{
+		Record: Record{
+			Host: "10.9.8.7", Time: time.Date(2004, 4, 12, 8, 0, 0, 0, time.UTC),
+			Method: "GET", Path: "/a", Proto: "HTTP/1.1", Status: 304, Bytes: 0,
+		},
+		Referer:   "http://ref.example/",
+		UserAgent: "TestAgent/1.0",
+	}
+	back, err := ParseCombined(rec.FormatCombined())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Referer != rec.Referer || back.UserAgent != rec.UserAgent || back.Host != rec.Host {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	// Empty fields render as dashes and parse back empty.
+	rec.Referer, rec.UserAgent = "", ""
+	back, err = ParseCombined(rec.FormatCombined())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Referer != "" || back.UserAgent != "" {
+		t.Fatalf("empty fields round trip: %q %q", back.Referer, back.UserAgent)
+	}
+}
+
+func TestIsRobot(t *testing.T) {
+	robots := []string{
+		"Googlebot/2.1 (+http://www.google.com/bot.html)",
+		"Mozilla/5.0 (compatible; bingbot/2.0)",
+		"msnbot/1.0",
+		"Wget/1.12",
+		"curl/7.68.0",
+		"Scrapy/2.5 (+https://scrapy.org)",
+		"Yahoo! Slurp",
+		"SomeSpider (crawler@example.com)",
+	}
+	for _, ua := range robots {
+		if !IsRobot(ua) {
+			t.Errorf("IsRobot(%q) = false", ua)
+		}
+	}
+	humans := []string{
+		"",
+		"Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)",
+		"Mozilla/5.0 (X11; Linux x86_64) Gecko/20100101 Firefox/89.0",
+		"Lynx/2.8.5rel.1",
+	}
+	for _, ua := range humans {
+		if IsRobot(ua) {
+			t.Errorf("IsRobot(%q) = true", ua)
+		}
+	}
+}
+
+func TestFilterRobotsAndBaseRecords(t *testing.T) {
+	mk := func(host, agent string) CombinedRecord {
+		return CombinedRecord{
+			Record: Record{
+				Host: host, Time: time.Unix(0, 0),
+				Method: "GET", Path: "/", Proto: "HTTP/1.0", Status: 200,
+			},
+			UserAgent: agent,
+		}
+	}
+	records := []CombinedRecord{
+		mk("a", "Mozilla/5.0"),
+		mk("b", "Googlebot/2.1"),
+		mk("c", ""),
+		mk("d", "Wget/1.12"),
+	}
+	humans, robots := FilterRobots(records)
+	if len(humans) != 2 || len(robots) != 2 {
+		t.Fatalf("humans=%d robots=%d", len(humans), len(robots))
+	}
+	base := BaseRecords(humans)
+	if len(base) != 2 || base[0].Host != "a" || base[1].Host != "c" {
+		t.Fatalf("base = %+v", base)
+	}
+}

@@ -1,0 +1,58 @@
+package weblog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCLF checks that the parser never panics and that every
+// successfully parsed record survives a format/parse round trip.
+func FuzzParseCLF(f *testing.F) {
+	f.Add(sampleLine)
+	f.Add(`h - - [12/Jan/2004:10:30:45 -0500] "GET / HTTP/1.1" 304 -`)
+	f.Add("")
+	f.Add(`x - - [bad] "GET / H" 200 1`)
+	f.Add(strings.Repeat(`"`, 30))
+	f.Add(`h - - [12/Jan/2004:10:30:45 -0500] "GET / HTTP/1.0" 200 99999999999999999999`)
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseCLF(line)
+		if err != nil {
+			return
+		}
+		back, err := ParseCLF(rec.FormatCLF())
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", line, err)
+		}
+		// The formatter sanitizes framing-breaking characters, so fields
+		// are preserved modulo sanitization.
+		if back.Host != sanitizeField(rec.Host) || back.Status != rec.Status || back.Bytes != rec.Bytes {
+			t.Fatalf("round trip changed record: %+v vs %+v", rec, back)
+		}
+		if !back.Time.Equal(rec.Time) {
+			t.Fatalf("round trip changed time: %v vs %v", rec.Time, back.Time)
+		}
+	})
+}
+
+// FuzzParseCombined checks the Combined parser for panics and round-trip
+// stability.
+func FuzzParseCombined(f *testing.F) {
+	f.Add(combinedLine)
+	f.Add(`h - - [12/Jan/2004:10:30:45 -0500] "GET / HTTP/1.0" 200 1 "-" "-"`)
+	f.Add(`h - - [12/Jan/2004:10:30:45 -0500] "GET / HTTP/1.0" 200 1 "ref`)
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseCombined(line)
+		if err != nil {
+			return
+		}
+		back, err := ParseCombined(rec.FormatCombined())
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", line, err)
+		}
+		wantRef := dashEmpty(dashIfEmpty(sanitizeQuoted(rec.Referer)))
+		wantUA := dashEmpty(dashIfEmpty(sanitizeQuoted(rec.UserAgent)))
+		if back.Referer != wantRef || back.UserAgent != wantUA {
+			t.Fatalf("round trip changed quoted fields: %+v vs %+v", rec, back)
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Package weblog implements the log-handling substrate of Figure 1 of
+// the paper: parsing and writing Common Log Format (CLF) records, merging
+// access and error logs from redundant servers, and an in-memory store
+// with the time-range and counting queries the analyses are built on.
+package weblog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var (
+	// ErrMalformed is returned for a line that cannot be parsed as CLF.
+	ErrMalformed = errors.New("weblog: malformed log line")
+	// ErrEmpty is returned for operations on an empty store.
+	ErrEmpty = errors.New("weblog: no records")
+)
+
+// clfTime is the CLF timestamp layout.
+const clfTime = "02/Jan/2006:15:04:05 -0700"
+
+// Record is one log entry (one HTTP request).
+type Record struct {
+	// Host is the client IP address or sanitized unique identifier.
+	Host string
+	// Time is the request timestamp (one-second granularity in CLF).
+	Time time.Time
+	// Method, Path and Proto are the parsed request line parts.
+	Method string
+	Path   string
+	Proto  string
+	// Status is the HTTP response status code.
+	Status int
+	// Bytes is the response size; 0 when the log field was "-".
+	Bytes int64
+}
+
+// IsError reports whether the record's status indicates a failure
+// (4xx/5xx), matching the error analysis split of the paper's pipeline.
+func (r Record) IsError() bool { return r.Status >= 400 }
+
+// FormatCLF renders the record as a Common Log Format line. Quoted
+// fields are written raw, as real servers do; embedded double quotes and
+// control characters (which would break the format's framing) are
+// replaced by underscores first.
+func (r Record) FormatCLF() string {
+	bytesField := "-"
+	if r.Bytes > 0 {
+		bytesField = strconv.FormatInt(r.Bytes, 10)
+	}
+	return fmt.Sprintf("%s - - [%s] \"%s %s %s\" %d %s",
+		sanitizeField(r.Host),
+		r.Time.Format(clfTime),
+		sanitizeField(r.Method), sanitizeField(r.Path), sanitizeField(r.Proto),
+		r.Status,
+		bytesField,
+	)
+}
+
+// sanitizeField makes a string safe to embed in a CLF line: double
+// quotes, control characters, and (for unquoted fields) spaces would all
+// corrupt the framing, so they become underscores.
+func sanitizeField(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r == '"' || r < 0x20 || r == 0x7f || r == ' ' {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// sanitizeQuoted is like sanitizeField but keeps spaces, which are legal
+// inside the quoted referer/user-agent fields.
+func sanitizeQuoted(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r == '"' || (r < 0x20 && r != ' ') || r == 0x7f {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// ParseCLF parses one Common Log Format line:
+//
+//	host ident authuser [date] "request" status bytes
+func ParseCLF(line string) (Record, error) {
+	var rec Record
+	rest := strings.TrimSpace(line)
+	if rest == "" {
+		return rec, fmt.Errorf("%w: empty line", ErrMalformed)
+	}
+	// host
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return rec, fmt.Errorf("%w: missing fields", ErrMalformed)
+	}
+	rec.Host = rest[:sp]
+	rest = rest[sp+1:]
+	// ident authuser: skip two space-delimited fields.
+	for i := 0; i < 2; i++ {
+		sp = strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return rec, fmt.Errorf("%w: missing ident/authuser", ErrMalformed)
+		}
+		rest = rest[sp+1:]
+	}
+	// [date]
+	if len(rest) == 0 || rest[0] != '[' {
+		return rec, fmt.Errorf("%w: missing timestamp bracket", ErrMalformed)
+	}
+	end := strings.IndexByte(rest, ']')
+	if end < 0 {
+		return rec, fmt.Errorf("%w: unterminated timestamp", ErrMalformed)
+	}
+	ts, err := time.Parse(clfTime, rest[1:end])
+	if err != nil {
+		return rec, fmt.Errorf("%w: timestamp %q: %v", ErrMalformed, rest[1:end], err)
+	}
+	rec.Time = ts
+	rest = strings.TrimPrefix(rest[end+1:], " ")
+	// "request"
+	if len(rest) == 0 || rest[0] != '"' {
+		return rec, fmt.Errorf("%w: missing request quote", ErrMalformed)
+	}
+	end = strings.IndexByte(rest[1:], '"')
+	if end < 0 {
+		return rec, fmt.Errorf("%w: unterminated request", ErrMalformed)
+	}
+	request := rest[1 : 1+end]
+	parts := strings.Split(request, " ")
+	if len(parts) != 3 {
+		return rec, fmt.Errorf("%w: request line %q", ErrMalformed, request)
+	}
+	rec.Method, rec.Path, rec.Proto = parts[0], parts[1], parts[2]
+	rest = strings.TrimPrefix(rest[end+2:], " ")
+	// status bytes
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return rec, fmt.Errorf("%w: missing status/bytes", ErrMalformed)
+	}
+	status, err := strconv.Atoi(fields[0])
+	if err != nil || status < 100 || status > 599 {
+		return rec, fmt.Errorf("%w: status %q", ErrMalformed, fields[0])
+	}
+	rec.Status = status
+	if fields[1] != "-" {
+		b, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || b < 0 {
+			return rec, fmt.Errorf("%w: bytes %q", ErrMalformed, fields[1])
+		}
+		rec.Bytes = b
+	}
+	return rec, nil
+}
+
+// ParseError records a line that failed to parse, with its position.
+type ParseError struct {
+	LineNumber int
+	Line       string
+	Err        error
+}
+
+// Error implements the error interface.
+func (e ParseError) Error() string {
+	return fmt.Sprintf("weblog: line %d: %v", e.LineNumber, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e ParseError) Unwrap() error { return e.Err }
+
+// ReadAll parses a stream of CLF lines. Malformed lines are collected as
+// ParseErrors rather than aborting the scan (real logs always carry some
+// noise). The returned records preserve input order.
+func ReadAll(r io.Reader) ([]Record, []ParseError, error) {
+	var (
+		records []Record
+		badRecs []ParseError
+	)
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		rec, err := ParseCLF(line)
+		if err != nil {
+			badRecs = append(badRecs, ParseError{LineNumber: lineNo, Line: line, Err: err})
+			continue
+		}
+		records = append(records, rec)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, nil, fmt.Errorf("weblog: reading: %w", err)
+	}
+	return records, badRecs, nil
+}
+
+// WriteAll renders records as CLF lines to w.
+func WriteAll(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range records {
+		if _, err := bw.WriteString(rec.FormatCLF()); err != nil {
+			return fmt.Errorf("weblog: writing: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("weblog: writing: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("weblog: flushing: %w", err)
+	}
+	return nil
+}
+
+// Merge combines multiple record slices (e.g. the access and error logs
+// of redundant servers, as WVU and CSEE in the paper) into one slice
+// sorted by timestamp. Input slices need not be sorted; they are not
+// modified.
+func Merge(logs ...[]Record) []Record {
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	out := make([]Record, 0, total)
+	for _, l := range logs {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"fullweb/internal/lrd"
+	"fullweb/internal/session"
+	"fullweb/internal/weblog"
+)
+
+func TestArrivalSourceString(t *testing.T) {
+	if FGNModulated.String() != "fgn" || OnOffAggregate.String() != "onoff" {
+		t.Error("source names wrong")
+	}
+	if ArrivalSource(9).String() == "" {
+		t.Error("unknown source should stringify")
+	}
+}
+
+func TestGenerateOnOffSource(t *testing.T) {
+	cfg := Config{Scale: 0.5, Seed: 9, Days: 2, Source: OnOffAggregate}
+	tr, err := Generate(NASAPub2(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) == 0 {
+		t.Fatal("no records")
+	}
+	// Sessionization round trip still holds under the alternative source.
+	sessions, err := session.Sessionize(tr.Records, session.DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != tr.PlantedSessions {
+		t.Fatalf("recovered %d sessions, planted %d", len(sessions), tr.PlantedSessions)
+	}
+}
+
+func TestGenerateUnknownSource(t *testing.T) {
+	if _, err := Generate(NASAPub2(), Config{Scale: 1, Seed: 1, Source: ArrivalSource(9)}); !errors.Is(err, ErrBadConfig) {
+		t.Error("unknown source should return ErrBadConfig")
+	}
+}
+
+func TestBothSourcesProduceLRDRequests(t *testing.T) {
+	// Ablation check: whichever LRD mechanism drives the intensity, the
+	// request counting series must come out long-range dependent.
+	for _, source := range []ArrivalSource{FGNModulated, OnOffAggregate} {
+		tr, err := Generate(ClarkNet(), Config{Scale: 0.05, Seed: 10, Days: 2, Source: source})
+		if err != nil {
+			t.Fatalf("%v: %v", source, err)
+		}
+		counts, err := weblog.NewStore(tr.Records).CountsPerSecond()
+		if err != nil {
+			t.Fatalf("%v: %v", source, err)
+		}
+		est, err := lrd.EstimateWhittle(counts)
+		if err != nil {
+			t.Fatalf("%v: %v", source, err)
+		}
+		if est.H <= 0.55 {
+			t.Errorf("%v: request-series Whittle H = %v, want clearly > 0.5", source, est.H)
+		}
+	}
+}
+
+// BenchmarkArrivalSources is the DESIGN.md ablation: cost of generating
+// a trace under each LRD mechanism.
+func BenchmarkArrivalSources(b *testing.B) {
+	for _, source := range []ArrivalSource{FGNModulated, OnOffAggregate} {
+		b.Run(source.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Generate(ClarkNet(), Config{Scale: 0.05, Seed: 11, Source: source}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

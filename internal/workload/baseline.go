@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fullweb/internal/dist"
+	"fullweb/internal/weblog"
+)
+
+// GeneratePoissonBaseline synthesizes a trace with the same Table 1
+// volumes as the profile but under the model the paper refutes: a
+// homogeneous Poisson session arrival process (no trend, no diurnal
+// cycle, no long-range dependence) with exponential session durations,
+// geometric request counts, and exponential byte volumes.
+//
+// The baseline serves two purposes: it is the null the benchmark harness
+// compares the FULL-Web traces against, and it demonstrates what the
+// queueing-network performance models cited in Section 4.2 implicitly
+// assume.
+func GeneratePoissonBaseline(p Profile, cfg Config) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	horizon := float64(cfg.Days * 86400)
+	targetSessions := float64(p.SessionsWeek) * cfg.Scale * float64(cfg.Days) / 7
+	if targetSessions < 10 {
+		return nil, fmt.Errorf("%w: scale %v yields only %.1f sessions for %s", ErrBadConfig, cfg.Scale, targetSessions, p.Name)
+	}
+	starts, err := dist.PoissonProcess(rng, targetSessions/horizon, horizon)
+	if err != nil {
+		return nil, fmt.Errorf("workload: baseline arrivals: %w", err)
+	}
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("workload: baseline for %s generated no sessions", p.Name)
+	}
+	meanReq := p.MeanRequestsPerSession()
+	meanBytes := p.MeanBytesPerSession()
+	meanDur := 300.0 // five minutes, a typical exponential-model choice
+	var records []weblog.Record
+	for id, s := range starts {
+		n := 1 + int(rng.ExpFloat64()*(meanReq-1))
+		if n < 1 {
+			n = 1
+		}
+		d := rng.ExpFloat64() * meanDur
+		if maxD := float64(n-1) * sessionGapCap; d > maxD {
+			d = maxD
+		}
+		total := rng.ExpFloat64() * meanBytes
+		host := hostFor(id)
+		for i := 0; i < n; i++ {
+			var offset float64
+			if n > 1 {
+				offset = d * float64(i) / float64(n-1)
+			}
+			records = append(records, weblog.Record{
+				Host:   host,
+				Time:   cfg.Start.Add(time.Duration((s + offset) * float64(time.Second))).Truncate(time.Second),
+				Method: "GET",
+				Path:   fmt.Sprintf("/obj/%d", rng.Intn(4096)),
+				Proto:  "HTTP/1.0",
+				Status: 200,
+				Bytes:  int64(total / float64(n)),
+			})
+		}
+	}
+	sort.SliceStable(records, func(i, j int) bool { return records[i].Time.Before(records[j].Time) })
+	return &Trace{
+		Records:         records,
+		Profile:         p,
+		Config:          cfg,
+		PlantedSessions: len(starts),
+	}, nil
+}

@@ -1,0 +1,163 @@
+// Package workload synthesizes Web server traces with the statistical
+// structure the paper measured on its four servers: long-range dependent
+// session and request arrival processes with a diurnal cycle and a slight
+// trend, and heavy-tailed intra-session characteristics (session length,
+// requests per session, bytes per session) with the tail indices of
+// Tables 2-4.
+//
+// The real WVU, ClarkNet, CSEE and NASA-Pub2 logs are proprietary; this
+// generator is the substitution documented in DESIGN.md. Because every
+// distributional parameter is planted, the analysis pipeline can be
+// validated against known ground truth — something the original study
+// could not do.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Profile describes one Web server's workload, calibrated to the paper's
+// Table 1 volumes and Tables 2-4 tail indices (one-week figures).
+type Profile struct {
+	// Name is the server name as used in the paper.
+	Name string
+	// RequestsWeek, SessionsWeek and MBWeek are the Table 1 one-week
+	// volumes.
+	RequestsWeek int
+	SessionsWeek int
+	MBWeek       float64
+	// Hurst is the long-range dependence planted in the session arrival
+	// rate; the paper found H well above 0.5 for the big servers,
+	// decreasing with workload intensity.
+	Hurst float64
+	// AlphaDuration, AlphaRequests and AlphaBytes are the Pareto tail
+	// indices of the intra-session characteristics (Tables 2, 3 and 4,
+	// one-week rows).
+	AlphaDuration float64
+	AlphaRequests float64
+	AlphaBytes    float64
+	// DiurnalAmplitude is the relative amplitude of the 24-hour intensity
+	// cycle (0 disables it); TrendSlope the relative intensity growth
+	// over the whole horizon (the paper's "slight trend").
+	DiurnalAmplitude float64
+	TrendSlope       float64
+}
+
+// Validate checks the profile parameters.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile without name")
+	case p.RequestsWeek <= 0 || p.SessionsWeek <= 0 || p.MBWeek <= 0:
+		return fmt.Errorf("workload: %s: non-positive volumes", p.Name)
+	case p.RequestsWeek < p.SessionsWeek:
+		return fmt.Errorf("workload: %s: fewer requests than sessions", p.Name)
+	case p.Hurst <= 0 || p.Hurst >= 1:
+		return fmt.Errorf("workload: %s: Hurst %v outside (0,1)", p.Name, p.Hurst)
+	case p.AlphaDuration <= 0 || p.AlphaRequests <= 0 || p.AlphaBytes <= 0:
+		return fmt.Errorf("workload: %s: non-positive tail index", p.Name)
+	case p.DiurnalAmplitude < 0 || p.DiurnalAmplitude >= 1:
+		return fmt.Errorf("workload: %s: diurnal amplitude %v outside [0,1)", p.Name, p.DiurnalAmplitude)
+	case math.IsNaN(p.TrendSlope) || p.TrendSlope <= -1:
+		return fmt.Errorf("workload: %s: trend slope %v", p.Name, p.TrendSlope)
+	}
+	return nil
+}
+
+// MeanRequestsPerSession returns the Table 1 implied mean session length
+// in requests.
+func (p Profile) MeanRequestsPerSession() float64 {
+	return float64(p.RequestsWeek) / float64(p.SessionsWeek)
+}
+
+// MeanBytesPerSession returns the Table 1 implied mean bytes per session.
+func (p Profile) MeanBytesPerSession() float64 {
+	return p.MBWeek * 1e6 / float64(p.SessionsWeek)
+}
+
+// WVU is the university-wide server: the heaviest workload of the study.
+func WVU() Profile {
+	return Profile{
+		Name:         "WVU",
+		RequestsWeek: 15785164, SessionsWeek: 188213, MBWeek: 34485,
+		Hurst:         0.85,
+		AlphaDuration: 1.803, AlphaRequests: 2.151, AlphaBytes: 1.454,
+		DiurnalAmplitude: 0.6, TrendSlope: 0.05,
+	}
+}
+
+// ClarkNet is the commercial Internet provider's server.
+func ClarkNet() Profile {
+	return Profile{
+		Name:         "ClarkNet",
+		RequestsWeek: 1654882, SessionsWeek: 139745, MBWeek: 13785,
+		Hurst:         0.80,
+		AlphaDuration: 1.723, AlphaRequests: 2.586, AlphaBytes: 1.842,
+		DiurnalAmplitude: 0.5, TrendSlope: 0.04,
+	}
+}
+
+// CSEE is the departmental server; note the very heavy bytes-per-session
+// tail (alpha below 1: infinite mean under the Pareto model).
+func CSEE() Profile {
+	return Profile{
+		Name:         "CSEE",
+		RequestsWeek: 396743, SessionsWeek: 34343, MBWeek: 10138,
+		Hurst:         0.75,
+		AlphaDuration: 2.329, AlphaRequests: 1.932, AlphaBytes: 0.954,
+		DiurnalAmplitude: 0.5, TrendSlope: 0.06,
+	}
+}
+
+// NASAPub2 is the lightest workload; its session arrival series was the
+// only stationary one in the paper.
+func NASAPub2() Profile {
+	return Profile{
+		Name:         "NASA-Pub2",
+		RequestsWeek: 39137, SessionsWeek: 3723, MBWeek: 311,
+		Hurst:         0.62,
+		AlphaDuration: 2.286, AlphaRequests: 1.615, AlphaBytes: 1.424,
+		DiurnalAmplitude: 0.35, TrendSlope: 0.02,
+	}
+}
+
+// AllProfiles returns the four servers in the paper's
+// by-total-requests-descending order.
+func AllProfiles() []Profile {
+	return []Profile{WVU(), ClarkNet(), CSEE(), NASAPub2()}
+}
+
+// LoadProfile reads a JSON-encoded Profile from disk and validates it —
+// the file half of the CLI's fit -> generate loop.
+func LoadProfile(path string) (Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Profile{}, fmt.Errorf("workload: reading profile: %w", err)
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Profile{}, fmt.Errorf("workload: decoding profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// SaveProfile writes the profile to path as indented JSON.
+func (p Profile) SaveProfile(path string) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("workload: encoding profile: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("workload: writing profile: %w", err)
+	}
+	return nil
+}

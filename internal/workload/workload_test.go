@@ -1,0 +1,346 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fullweb/internal/heavytail"
+	"fullweb/internal/session"
+	"fullweb/internal/stats"
+	"fullweb/internal/weblog"
+)
+
+func TestProfilesValid(t *testing.T) {
+	profiles := AllProfiles()
+	if len(profiles) != 4 {
+		t.Fatalf("%d profiles", len(profiles))
+	}
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	// Paper order: descending total requests.
+	for i := 1; i < len(profiles); i++ {
+		if profiles[i].RequestsWeek > profiles[i-1].RequestsWeek {
+			t.Error("profiles not in descending request order")
+		}
+	}
+}
+
+func TestProfileTable1Figures(t *testing.T) {
+	wvu := WVU()
+	if wvu.RequestsWeek != 15785164 || wvu.SessionsWeek != 188213 || wvu.MBWeek != 34485 {
+		t.Errorf("WVU Table 1 figures wrong: %+v", wvu)
+	}
+	if math.Abs(wvu.MeanRequestsPerSession()-83.87) > 0.1 {
+		t.Errorf("WVU mean requests/session = %v", wvu.MeanRequestsPerSession())
+	}
+	nasa := NASAPub2()
+	if nasa.RequestsWeek != 39137 || nasa.SessionsWeek != 3723 {
+		t.Errorf("NASA Table 1 figures wrong: %+v", nasa)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	bad := WVU()
+	bad.Hurst = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("Hurst > 1 should fail validation")
+	}
+	bad = WVU()
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name should fail validation")
+	}
+	bad = WVU()
+	bad.RequestsWeek = 10
+	if err := bad.Validate(); err == nil {
+		t.Error("requests < sessions should fail validation")
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	if _, err := Generate(WVU(), Config{Scale: 0, Seed: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero scale should return ErrBadConfig")
+	}
+	if _, err := Generate(WVU(), Config{Scale: 100, Seed: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Error("huge scale should return ErrBadConfig")
+	}
+	if _, err := Generate(NASAPub2(), Config{Scale: 0.0001, Seed: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Error("scale yielding <10 sessions should return ErrBadConfig")
+	}
+}
+
+// smallTrace generates a cheap trace for structural tests.
+func smallTrace(t testing.TB, p Profile, scale float64, seed int64) *Trace {
+	t.Helper()
+	tr, err := Generate(p, Config{Scale: scale, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGenerateVolumesMatchProfile(t *testing.T) {
+	// ClarkNet at 5% scale: ~7000 sessions, ~83k requests.
+	p := ClarkNet()
+	tr := smallTrace(t, p, 0.05, 1)
+	wantSessions := float64(p.SessionsWeek) * 0.05
+	if math.Abs(float64(tr.PlantedSessions)-wantSessions) > 0.1*wantSessions {
+		t.Errorf("planted sessions %d, want ~%.0f", tr.PlantedSessions, wantSessions)
+	}
+	wantRequests := float64(p.RequestsWeek) * 0.05
+	if math.Abs(float64(len(tr.Records))-wantRequests) > 0.25*wantRequests {
+		t.Errorf("records %d, want ~%.0f", len(tr.Records), wantRequests)
+	}
+	wantBytes := p.MBWeek * 1e6 * 0.05
+	var gotBytes float64
+	for _, r := range tr.Records {
+		gotBytes += float64(r.Bytes)
+	}
+	// Heavy-tailed byte totals converge slowly; just demand the right
+	// order of magnitude.
+	if gotBytes < wantBytes/4 || gotBytes > wantBytes*4 {
+		t.Errorf("bytes %.3g, want ~%.3g", gotBytes, wantBytes)
+	}
+}
+
+func TestGenerateRecordsSortedAndInHorizon(t *testing.T) {
+	tr := smallTrace(t, NASAPub2(), 1, 2)
+	start := tr.Config.Start
+	end := start.Add(7 * 24 * time.Hour).Add(time.Duration(float64(time.Second) * 200 * sessionGapCap))
+	for i, r := range tr.Records {
+		if i > 0 && r.Time.Before(tr.Records[i-1].Time) {
+			t.Fatal("records not sorted")
+		}
+		if r.Time.Before(start) || r.Time.After(end) {
+			t.Fatalf("record %d at %v outside horizon", i, r.Time)
+		}
+		if r.Bytes < 0 {
+			t.Fatalf("record %d has negative bytes", i)
+		}
+	}
+}
+
+func TestGenerateSessionizationRoundTrip(t *testing.T) {
+	// The planted sessions must be exactly recoverable: unique IPs and
+	// capped intra-session gaps guarantee it.
+	tr := smallTrace(t, NASAPub2(), 1, 3)
+	sessions, err := session.Sessionize(tr.Records, session.DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != tr.PlantedSessions {
+		t.Fatalf("recovered %d sessions, planted %d", len(sessions), tr.PlantedSessions)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := smallTrace(t, NASAPub2(), 0.5, 7)
+	b := smallTrace(t, NASAPub2(), 0.5, 7)
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("same seed, different record counts")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("records differ at %d", i)
+		}
+	}
+	c := smallTrace(t, NASAPub2(), 0.5, 8)
+	if len(a.Records) == len(c.Records) {
+		same := true
+		for i := range a.Records {
+			if a.Records[i] != c.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGeneratePlantedTailIndices(t *testing.T) {
+	// The measured intra-session tail indices must recover the profile's
+	// planted alphas — this is the core of the Tables 2-4 reproduction.
+	p := ClarkNet()
+	tr := smallTrace(t, p, 0.3, 4)
+	sessions, err := session.Sessionize(tr.Records, session.DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durations := session.PositiveOnly(session.Durations(sessions))
+	res, err := heavytail.EstimateLLCDAuto(durations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Alpha-p.AlphaDuration) > 0.35 {
+		t.Errorf("duration tail %v, planted %v", res.Alpha, p.AlphaDuration)
+	}
+	bytesTail, err := heavytail.EstimateLLCDAuto(session.PositiveOnly(session.ByteCounts(sessions)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bytesTail.Alpha-p.AlphaBytes) > 0.4 {
+		t.Errorf("bytes tail %v, planted %v", bytesTail.Alpha, p.AlphaBytes)
+	}
+}
+
+func TestGenerateDiurnalCycleVisible(t *testing.T) {
+	// Request counts must show a day/night pattern: afternoon busier than
+	// pre-dawn.
+	tr := smallTrace(t, ClarkNet(), 0.05, 5)
+	store := weblog.NewStore(tr.Records)
+	counts, err := store.CountsPerBin(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var afternoon, predawn float64
+	for h, c := range counts {
+		switch h % 24 {
+		case 14, 15, 16:
+			afternoon += c
+		case 2, 3, 4:
+			predawn += c
+		}
+	}
+	if afternoon <= predawn {
+		t.Errorf("no diurnal cycle: afternoon %v vs predawn %v", afternoon, predawn)
+	}
+}
+
+func TestGenerateSessionSeriesMeanMatches(t *testing.T) {
+	tr := smallTrace(t, ClarkNet(), 0.05, 6)
+	sessions, err := session.Sessionize(tr.Records, session.DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := session.RequestCounts(sessions)
+	m, err := stats.Mean(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Profile.MeanRequestsPerSession()
+	if math.Abs(m-want) > 0.35*want {
+		t.Errorf("mean requests/session %v, want ~%v", m, want)
+	}
+}
+
+func TestGeneratePoissonBaseline(t *testing.T) {
+	p := ClarkNet()
+	tr, err := GeneratePoissonBaseline(p, Config{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSessions := float64(p.SessionsWeek) * 0.05
+	if math.Abs(float64(tr.PlantedSessions)-wantSessions) > 0.1*wantSessions {
+		t.Errorf("baseline sessions %d, want ~%.0f", tr.PlantedSessions, wantSessions)
+	}
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].Time.Before(tr.Records[i-1].Time) {
+			t.Fatal("baseline records not sorted")
+		}
+	}
+	// Baseline must have no diurnal cycle: hourly counts roughly uniform.
+	store := weblog.NewStore(tr.Records)
+	counts, err := store.CountsPerBin(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := stats.Mean(counts)
+	var afternoon, predawn float64
+	for h, c := range counts {
+		switch h % 24 {
+		case 14, 15, 16:
+			afternoon += c
+		case 2, 3, 4:
+			predawn += c
+		}
+	}
+	ratio := afternoon / math.Max(predawn, 1)
+	if ratio > 1.5 || ratio < 0.67 {
+		t.Errorf("baseline shows diurnal structure: ratio %v (mean hourly %v)", ratio, m)
+	}
+}
+
+func TestGeneratePoissonBaselineValidation(t *testing.T) {
+	if _, err := GeneratePoissonBaseline(WVU(), Config{Scale: -1, Seed: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Error("negative scale should return ErrBadConfig")
+	}
+}
+
+func TestTruncatedParetoMean(t *testing.T) {
+	// Untruncated limit: alpha=2, xm=1 has mean 2; a huge cap approaches
+	// it.
+	if got := truncatedParetoMean(2, 1, 1e12); math.Abs(got-2) > 0.01 {
+		t.Errorf("truncated mean %v, want ~2", got)
+	}
+	// cap <= xm degenerates to xm.
+	if got := truncatedParetoMean(2, 5, 3); got != 5 {
+		t.Errorf("degenerate truncation = %v", got)
+	}
+	// alpha = 1 branch.
+	got := truncatedParetoMean(1, 1, math.E)
+	want := 1 * 1.0 / (1 - 1/math.E) // xm*ln(cap/xm) / F(cap)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("alpha=1 truncated mean %v, want %v", got, want)
+	}
+}
+
+func TestCalibrateTruncatedParetoXm(t *testing.T) {
+	// For alpha < 1 the untruncated mean is infinite; calibration must
+	// still find xm whose truncated mean hits the target.
+	xm, err := calibrateTruncatedParetoXm(0.954, 1<<31, 295000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := truncatedParetoMean(0.954, xm, 1<<31)
+	if math.Abs(got-295000)/295000 > 0.05 {
+		t.Errorf("calibrated mean %v, want 295000", got)
+	}
+	if _, err := calibrateTruncatedParetoXm(1.5, 100, 200); err == nil {
+		t.Error("target above cap should error")
+	}
+}
+
+func TestProfileSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profile.json")
+	p := CSEE()
+	if err := p.SaveProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Fatalf("round trip changed profile: %+v vs %+v", back, p)
+	}
+	if _, err := LoadProfile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProfile(path); err == nil {
+		t.Error("malformed JSON should error")
+	}
+	if err := os.WriteFile(path, []byte(`{"Name":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProfile(path); err == nil {
+		t.Error("invalid profile should fail validation")
+	}
+	bad := WVU()
+	bad.Hurst = 2
+	if err := bad.SaveProfile(filepath.Join(dir, "bad.json")); err == nil {
+		t.Error("invalid profile should not save")
+	}
+}

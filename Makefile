@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench fuzz
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the tier-1 gate (see README "Testing"): everything must
+# compile, pass vet, and pass the full suite under the race detector.
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz pass over the log-parser targets.
+fuzz:
+	$(GO) test -fuzz=FuzzParseCLF -fuzztime=30s ./internal/weblog/
+	$(GO) test -fuzz=FuzzParseCombined -fuzztime=30s ./internal/weblog/

@@ -38,6 +38,31 @@ func newBenchHarness(days int) *repro.Harness {
 	return h
 }
 
+// benchSweep is the before/after workload for the parallel engine: the
+// two full-battery Hurst experiments (raw + stationary, all four
+// servers) off one harness, the dominant cost of a reproduction run.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness(1)
+		h.Workers = workers
+		if _, err := h.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReproSweepSequential and BenchmarkReproSweepParallel are the
+// concurrency before/after pair: identical work (and identical results —
+// see TestHarnessParallelMatchesSequential) at pool size 1 vs all CPUs.
+// The gap is the engine's speedup; on a single-core host they coincide.
+func BenchmarkReproSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+func BenchmarkReproSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 func BenchmarkTable1RawData(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := newBenchHarness(7)

@@ -140,17 +140,23 @@ func cmdAnalyze(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	logPath := fs.String("log", "", "CLF log file to analyze (required)")
 	server := fs.String("server", "log", "label for the report")
+	workers := fs.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *logPath == "" {
 		return fmt.Errorf("analyze: -log is required")
 	}
+	if *workers < 0 {
+		return fmt.Errorf("analyze: -parallel must be >= 0, got %d", *workers)
+	}
 	store, err := loadLog(*logPath)
 	if err != nil {
 		return err
 	}
-	analyzer, err := core.NewAnalyzer(core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
+	analyzer, err := core.NewAnalyzer(cfg)
 	if err != nil {
 		return err
 	}
@@ -436,17 +442,22 @@ func cmdFit(args []string, out io.Writer) error {
 	logPath := fs.String("log", "", "CLF log file (required)")
 	server := fs.String("server", "log", "name for the fitted profile")
 	outPath := fs.String("out", "", "write the fitted profile as JSON to this file")
+	workers := fs.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *logPath == "" {
 		return fmt.Errorf("fit: -log is required")
 	}
+	if *workers < 0 {
+		return fmt.Errorf("fit: -parallel must be >= 0, got %d", *workers)
+	}
 	store, err := loadLog(*logPath)
 	if err != nil {
 		return err
 	}
 	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
 	analyzer, err := core.NewAnalyzer(cfg)
 	if err != nil {
 		return err

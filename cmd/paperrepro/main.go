@@ -66,8 +66,12 @@ func run(args []string, out io.Writer) error {
 	days := fs.Int("days", 7, "trace horizon in days")
 	list := fs.String("experiments", "all", "comma-separated experiment names or 'all'")
 	csvDir := fs.String("csv", "", "directory to write per-figure CSV data files (optional)")
+	workers := fs.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", *workers)
 	}
 	wanted := map[string]bool{}
 	if *list != "all" {
@@ -77,6 +81,7 @@ func run(args []string, out io.Writer) error {
 	}
 	h := repro.NewHarness(*scale, *seed)
 	h.Days = *days
+	h.Workers = *workers
 	fmt.Fprintf(out, "FULL-Web paper reproduction  scale=%v seed=%d days=%d\n", *scale, *seed, *days)
 	fmt.Fprintf(out, "(synthetic traces; compare shapes, not absolute values)\n\n")
 	ran := 0

@@ -52,6 +52,29 @@ func TestRunTable2Comparison(t *testing.T) {
 	}
 }
 
+func TestRunParallelOutputByteIdentical(t *testing.T) {
+	// The -parallel flag must never change what is printed — only how
+	// fast. Compare full reports at pool sizes 1 and 4 byte for byte.
+	args := []string{"-scale", "0.03", "-seed", "2", "-experiments", "table1,sec42,fig11,fig13"}
+	var seq, par bytes.Buffer
+	if err := run(append([]string{"-parallel", "1"}, args...), &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-parallel", "4"}, args...), &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("-parallel 4 output differs from -parallel 1:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq.String(), par.String())
+	}
+}
+
+func TestRunRejectsNegativeParallel(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-parallel", "-2", "-experiments", "table1"}, &out); err == nil {
+		t.Error("negative -parallel should error")
+	}
+}
+
 func TestExperimentNamesUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for _, e := range experiments() {

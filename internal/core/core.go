@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"fullweb/internal/gof"
 	"fullweb/internal/heavytail"
 	"fullweb/internal/lrd"
+	"fullweb/internal/parallel"
 	"fullweb/internal/session"
 	"fullweb/internal/stats"
 	"fullweb/internal/timeseries"
@@ -52,6 +54,12 @@ type Config struct {
 	// Battery configures the Poisson test batteries. The Subintervals
 	// and Mode fields are overridden per run.
 	Battery gof.BatteryConfig
+	// Workers bounds the analysis worker pool: independent estimators,
+	// battery runs and per-window experiments share this many slots.
+	// 0 means runtime.NumCPU(); 1 forces near-sequential execution.
+	// Every fan-out collects results in a fixed order with fixed
+	// per-task seeds, so the output is byte-identical at any setting.
+	Workers int
 }
 
 // DefaultConfig returns the paper's parameters.
@@ -70,9 +78,11 @@ func DefaultConfig() Config {
 	}
 }
 
-// Analyzer runs the FULL-Web pipeline.
+// Analyzer runs the FULL-Web pipeline. An Analyzer is safe for
+// concurrent use; all its experiments share one bounded worker pool.
 type Analyzer struct {
-	cfg Config
+	cfg  Config
+	pool *parallel.Pool
 }
 
 // NewAnalyzer validates the configuration and returns an analyzer.
@@ -89,11 +99,19 @@ func NewAnalyzer(cfg Config) (*Analyzer, error) {
 	if cfg.WindowDuration <= 0 {
 		return nil, fmt.Errorf("core: non-positive window duration %v", cfg.WindowDuration)
 	}
-	return &Analyzer{cfg: cfg}, nil
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: negative worker count %d", cfg.Workers)
+	}
+	return &Analyzer{cfg: cfg, pool: parallel.NewPool(cfg.Workers)}, nil
 }
 
 // Config returns the analyzer's configuration.
 func (a *Analyzer) Config() Config { return a.cfg }
+
+// Pool exposes the analyzer's worker pool so callers that fan out their
+// own experiments (e.g. the repro harness) share one global bound
+// instead of multiplying pools.
+func (a *Analyzer) Pool() *parallel.Pool { return a.pool }
 
 // ArrivalAnalysis is the Section 4 / Section 5.1.1 analysis of one
 // counting series (requests or sessions initiated per second).
@@ -142,6 +160,17 @@ func (a *ArrivalAnalysis) OverestimationCount() (higher, total int) {
 // AnalyzeArrivalSeries runs the arrival-process analysis on a counting
 // series with one-second bins.
 func (a *Analyzer) AnalyzeArrivalSeries(counts []float64) (*ArrivalAnalysis, error) {
+	return a.AnalyzeArrivalSeriesCtx(context.Background(), counts)
+}
+
+// AnalyzeArrivalSeriesCtx is AnalyzeArrivalSeries with the independent
+// estimators fanned out on the analyzer's worker pool. The analysis has
+// one dependency barrier — stationarizing must finish before anything
+// touches the stationary series — so it runs as two parallel stages:
+// (raw ACF, raw Hurst battery, stationarize), then (stationary ACF,
+// stationary battery, Whittle sweep, Abry-Veitch sweep). A failing task
+// cancels its unstarted siblings through ctx.
+func (a *Analyzer) AnalyzeArrivalSeriesCtx(ctx context.Context, counts []float64) (*ArrivalAnalysis, error) {
 	if len(counts) < 256 {
 		return nil, fmt.Errorf("%w: %d seconds of counts", ErrNoData, len(counts))
 	}
@@ -151,35 +180,62 @@ func (a *Analyzer) AnalyzeArrivalSeries(counts []float64) (*ArrivalAnalysis, err
 	if maxLag >= len(counts) {
 		maxLag = len(counts) - 1
 	}
-	acf, err := stats.AutocorrelationFFT(counts, maxLag)
+	err := a.pool.ForEach(ctx, 3, func(ctx context.Context, i int) error {
+		var err error
+		switch i {
+		case 0:
+			if res.ACFRaw, err = stats.AutocorrelationFFT(counts, maxLag); err != nil {
+				return fmt.Errorf("core: raw ACF: %w", err)
+			}
+		case 1:
+			if res.RawHurst, err = lrd.RunBatteryCtx(ctx, counts, a.pool); err != nil {
+				return fmt.Errorf("core: raw Hurst battery: %w", err)
+			}
+		case 2:
+			if res.Stationarity, err = timeseries.Stationarize(counts, a.cfg.Stationarize); err != nil {
+				return fmt.Errorf("core: stationarizing: %w", err)
+			}
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: raw ACF: %w", err)
-	}
-	res.ACFRaw = acf
-	if res.RawHurst, err = lrd.RunBattery(counts); err != nil {
-		return nil, fmt.Errorf("core: raw Hurst battery: %w", err)
-	}
-	if res.Stationarity, err = timeseries.Stationarize(counts, a.cfg.Stationarize); err != nil {
-		return nil, fmt.Errorf("core: stationarizing: %w", err)
+		return nil, err
 	}
 	stationary := res.Stationarity.Series
 	if maxLag >= len(stationary) {
 		maxLag = len(stationary) - 1
 	}
-	if res.ACFStationary, err = stats.AutocorrelationFFT(stationary, maxLag); err != nil {
-		return nil, fmt.Errorf("core: stationary ACF: %w", err)
-	}
-	if res.StationaryHurst, err = lrd.RunBattery(stationary); err != nil {
-		return nil, fmt.Errorf("core: stationary Hurst battery: %w", err)
-	}
 	levels := lrd.DefaultSweepLevels(len(stationary), a.cfg.SweepMinBlocks)
-	if len(levels) > 0 {
-		if res.WhittleSweep, err = lrd.AggregationSweep(stationary, lrd.Whittle, levels); err != nil {
-			return nil, fmt.Errorf("core: Whittle sweep: %w", err)
+	err = a.pool.ForEach(ctx, 4, func(ctx context.Context, i int) error {
+		var err error
+		switch i {
+		case 0:
+			if res.ACFStationary, err = stats.AutocorrelationFFT(stationary, maxLag); err != nil {
+				return fmt.Errorf("core: stationary ACF: %w", err)
+			}
+		case 1:
+			if res.StationaryHurst, err = lrd.RunBatteryCtx(ctx, stationary, a.pool); err != nil {
+				return fmt.Errorf("core: stationary Hurst battery: %w", err)
+			}
+		case 2:
+			if len(levels) == 0 {
+				return nil
+			}
+			if res.WhittleSweep, err = lrd.AggregationSweep(stationary, lrd.Whittle, levels); err != nil {
+				return fmt.Errorf("core: Whittle sweep: %w", err)
+			}
+		case 3:
+			if len(levels) == 0 {
+				return nil
+			}
+			if res.AbryVeitchSweep, err = lrd.AggregationSweep(stationary, lrd.AbryVeitch, levels); err != nil {
+				return fmt.Errorf("core: Abry-Veitch sweep: %w", err)
+			}
 		}
-		if res.AbryVeitchSweep, err = lrd.AggregationSweep(stationary, lrd.AbryVeitch, levels); err != nil {
-			return nil, fmt.Errorf("core: Abry-Veitch sweep: %w", err)
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -262,6 +318,18 @@ func (t TailAnalysis) CrossValidated(tol float64) bool {
 // characteristic. Non-positive observations are dropped first (e.g.
 // zero-duration single-request sessions).
 func (a *Analyzer) AnalyzeTail(name, level string, values []float64) (TailAnalysis, error) {
+	return a.AnalyzeTailCtx(context.Background(), name, level, values)
+}
+
+// AnalyzeTailCtx is AnalyzeTail with the five tail estimators (LLCD,
+// Hill, curvature, moments, QQ) fanned out on the analyzer's worker
+// pool. The estimators are independent and individually deterministic
+// (curvature's Monte Carlo is seeded in its config), and the results are
+// assembled with the same precedence as the sequential path, so the
+// outcome is identical at any pool size. The speculative Hill/curvature/
+// moments/QQ work is discarded when LLCD declares the sample NA —
+// exactly what the sequential path would never have computed.
+func (a *Analyzer) AnalyzeTailCtx(ctx context.Context, name, level string, values []float64) (TailAnalysis, error) {
 	res := TailAnalysis{Name: name, Level: level}
 	positive := session.PositiveOnly(values)
 	res.N = len(positive)
@@ -269,18 +337,49 @@ func (a *Analyzer) AnalyzeTail(name, level string, values []float64) (TailAnalys
 		res.Status = TailNA
 		return res, nil
 	}
-	llcd, err := heavytail.EstimateLLCDAuto(positive)
-	if err != nil {
-		if errors.Is(err, heavytail.ErrTooFewTail) {
+	var (
+		llcd    heavytail.LLCDResult
+		llcdErr error
+		hill    heavytail.HillResult
+		hillErr error
+		curv    heavytail.CurvatureResult
+		curvErr error
+		mom     heavytail.MomentsResult
+		momErr  error
+		qq      heavytail.QQResult
+		qqErr   error
+	)
+	// Estimator outcomes feed the assembly below rather than aborting
+	// the fan-out: which errors are fatal depends on which estimator
+	// produced them, decided in sequential precedence order.
+	perr := a.pool.ForEach(ctx, 5, func(ctx context.Context, i int) error {
+		switch i {
+		case 0:
+			llcd, llcdErr = heavytail.EstimateLLCDAuto(positive)
+		case 1:
+			hill, hillErr = heavytail.EstimateHill(positive, a.cfg.HillTailFraction, a.cfg.HillRelTol)
+		case 2:
+			curv, curvErr = heavytail.CurvatureTest(positive, a.cfg.Curvature)
+		case 3:
+			mom, momErr = heavytail.EstimateMoments(positive, a.cfg.HillTailFraction, 0.5)
+		case 4:
+			qq, qqErr = heavytail.ParetoQQ(positive, a.cfg.HillTailFraction)
+		}
+		return nil
+	})
+	if perr != nil {
+		return res, perr
+	}
+	if llcdErr != nil {
+		if errors.Is(llcdErr, heavytail.ErrTooFewTail) {
 			res.Status = TailNA
 			return res, nil
 		}
-		return res, fmt.Errorf("core: %s/%s LLCD: %w", name, level, err)
+		return res, fmt.Errorf("core: %s/%s LLCD: %w", name, level, llcdErr)
 	}
 	res.LLCD = llcd
-	hill, err := heavytail.EstimateHill(positive, a.cfg.HillTailFraction, a.cfg.HillRelTol)
-	if err != nil && !errors.Is(err, heavytail.ErrTooFewTail) {
-		return res, fmt.Errorf("core: %s/%s Hill: %w", name, level, err)
+	if hillErr != nil && !errors.Is(hillErr, heavytail.ErrTooFewTail) {
+		return res, fmt.Errorf("core: %s/%s Hill: %w", name, level, hillErr)
 	}
 	res.Hill = hill
 	if hill.Stable {
@@ -288,15 +387,15 @@ func (a *Analyzer) AnalyzeTail(name, level string, values []float64) (TailAnalys
 	} else {
 		res.Status = TailNS
 	}
-	if curv, err := heavytail.CurvatureTest(positive, a.cfg.Curvature); err == nil {
+	if curvErr == nil {
 		res.Curvature = curv
 		res.CurvatureOK = true
 	}
-	if mom, err := heavytail.EstimateMoments(positive, a.cfg.HillTailFraction, 0.5); err == nil {
+	if momErr == nil {
 		res.Moments = mom
 		res.MomentsOK = true
 	}
-	if qq, err := heavytail.ParetoQQ(positive, a.cfg.HillTailFraction); err == nil {
+	if qqErr == nil {
 		res.QQ = qq
 		res.QQOK = true
 	}
@@ -334,6 +433,16 @@ func (p *PoissonAnalysis) Accepted() bool {
 
 // AnalyzePoisson runs the batteries on the events of one window.
 func (a *Analyzer) AnalyzePoisson(level weblog.WorkloadLevel, window weblog.Window, eventSeconds []int64) (*PoissonAnalysis, error) {
+	return a.AnalyzePoissonCtx(context.Background(), level, window, eventSeconds)
+}
+
+// AnalyzePoissonCtx is AnalyzePoisson with the four battery runs
+// (hourly and ten-minute subdivisions under both spreading assumptions)
+// fanned out on the analyzer's worker pool. Each run derives its
+// randomness from the same fixed config seed as the sequential path, and
+// results are assembled into the Runs map after all tasks finish, so the
+// outcome is identical at any pool size.
+func (a *Analyzer) AnalyzePoissonCtx(ctx context.Context, level weblog.WorkloadLevel, window weblog.Window, eventSeconds []int64) (*PoissonAnalysis, error) {
 	res := &PoissonAnalysis{
 		Level:  level,
 		Window: window,
@@ -342,23 +451,40 @@ func (a *Analyzer) AnalyzePoisson(level weblog.WorkloadLevel, window weblog.Wind
 	}
 	start := window.Start.Unix()
 	duration := int64(window.Duration / time.Second)
+	type combo struct {
+		sub  int
+		mode gof.SpreadMode
+	}
+	var combos []combo
 	for _, sub := range []int{4, 24} {
 		for _, mode := range []gof.SpreadMode{gof.SpreadUniform, gof.SpreadDeterministic} {
-			cfg := a.cfg.Battery
-			cfg.Subintervals = sub
-			cfg.Mode = mode
-			battery, err := gof.RunPoissonBattery(eventSeconds, start, duration, cfg)
-			if err != nil {
-				if errors.Is(err, gof.ErrTooFew) {
-					continue // window too sparse for this subdivision
-				}
-				return nil, fmt.Errorf("core: Poisson battery %d/%v: %w", sub, mode, err)
-			}
-			if res.Runs[sub] == nil {
-				res.Runs[sub] = make(map[gof.SpreadMode]*gof.BatteryResult)
-			}
-			res.Runs[sub][mode] = battery
+			combos = append(combos, combo{sub, mode})
 		}
+	}
+	batteries, err := parallel.Map(ctx, a.pool, len(combos), func(ctx context.Context, i int) (*gof.BatteryResult, error) {
+		cfg := a.cfg.Battery
+		cfg.Subintervals = combos[i].sub
+		cfg.Mode = combos[i].mode
+		battery, err := gof.RunPoissonBatteryCtx(ctx, eventSeconds, start, duration, cfg, a.pool)
+		if err != nil {
+			if errors.Is(err, gof.ErrTooFew) {
+				return nil, nil // window too sparse for this subdivision
+			}
+			return nil, fmt.Errorf("core: Poisson battery %d/%v: %w", combos[i].sub, combos[i].mode, err)
+		}
+		return battery, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, battery := range batteries {
+		if battery == nil {
+			continue
+		}
+		if res.Runs[combos[i].sub] == nil {
+			res.Runs[combos[i].sub] = make(map[gof.SpreadMode]*gof.BatteryResult)
+		}
+		res.Runs[combos[i].sub][combos[i].mode] = battery
 	}
 	return res, nil
 }

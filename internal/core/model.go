@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -58,6 +59,17 @@ type FullWebModel struct {
 // Poisson batteries on the typical windows at both levels, and the
 // heavy-tail tables for the three intra-session characteristics.
 func (a *Analyzer) Analyze(server string, store *weblog.Store) (*FullWebModel, error) {
+	return a.AnalyzeCtx(context.Background(), server, store)
+}
+
+// AnalyzeCtx is Analyze with the pipeline's independent experiments
+// fanned out on the analyzer's worker pool: the request-level and
+// session-level arrival analyses run concurrently, then the per-window
+// Poisson batteries and the twelve tail analyses (four intervals × three
+// characteristics) fan out together. Results land in fields and map keys
+// fixed per task, so the model is identical at any pool size; a failing
+// experiment cancels its unstarted siblings through ctx.
+func (a *Analyzer) AnalyzeCtx(ctx context.Context, server string, store *weblog.Store) (*FullWebModel, error) {
 	if store == nil || store.Len() == 0 {
 		return nil, ErrNoData
 	}
@@ -71,51 +83,48 @@ func (a *Analyzer) Analyze(server string, store *weblog.Store) (*FullWebModel, e
 		BytesTransferred: store.TotalBytes(),
 		Span:             last.Sub(first),
 	}
-	// Request-level arrival analysis (Section 4.1).
-	counts, err := store.CountsPerSecond()
+	// Stage 1: the two arrival analyses are independent once the session
+	// list exists; sessionization rides in the session-level task.
+	var sessions []session.Session
+	err = a.pool.ForEach(ctx, 2, func(ctx context.Context, i int) error {
+		switch i {
+		case 0:
+			// Request-level arrival analysis (Section 4.1).
+			counts, err := store.CountsPerSecond()
+			if err != nil {
+				return fmt.Errorf("core: request series: %w", err)
+			}
+			if model.RequestArrivals, err = a.AnalyzeArrivalSeriesCtx(ctx, counts); err != nil {
+				return fmt.Errorf("core: request arrivals: %w", err)
+			}
+		case 1:
+			// Sessionization, then the session-level arrival analysis
+			// (Section 5.1.1).
+			var err error
+			if sessions, err = session.Sessionize(store.All(), a.cfg.SessionThreshold); err != nil {
+				return fmt.Errorf("core: sessionizing: %w", err)
+			}
+			sessionCounts, err := session.InitiatedPerSecond(sessions)
+			if err != nil {
+				return fmt.Errorf("core: session series: %w", err)
+			}
+			if model.SessionArrivals, err = a.AnalyzeArrivalSeriesCtx(ctx, sessionCounts); err != nil {
+				return fmt.Errorf("core: session arrivals: %w", err)
+			}
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: request series: %w", err)
-	}
-	if model.RequestArrivals, err = a.AnalyzeArrivalSeries(counts); err != nil {
-		return nil, fmt.Errorf("core: request arrivals: %w", err)
-	}
-	// Sessionization.
-	sessions, err := session.Sessionize(store.All(), a.cfg.SessionThreshold)
-	if err != nil {
-		return nil, fmt.Errorf("core: sessionizing: %w", err)
+		return nil, err
 	}
 	model.Sessions = len(sessions)
-	// Session-level arrival analysis (Section 5.1.1).
-	sessionCounts, err := session.InitiatedPerSecond(sessions)
-	if err != nil {
-		return nil, fmt.Errorf("core: session series: %w", err)
-	}
-	if model.SessionArrivals, err = a.AnalyzeArrivalSeries(sessionCounts); err != nil {
-		return nil, fmt.Errorf("core: session arrivals: %w", err)
-	}
-	// Typical windows and Poisson batteries (Sections 4.2 and 5.1.2).
+	// Typical windows (Sections 4.2 and 5.1.2).
 	model.TypicalWindows, err = store.SelectTypicalWindows(a.cfg.WindowDuration)
 	if err != nil {
 		return nil, fmt.Errorf("core: window selection: %w", err)
 	}
 	model.RequestPoisson = make(map[weblog.WorkloadLevel]*PoissonAnalysis)
 	model.SessionPoisson = make(map[weblog.WorkloadLevel]*PoissonAnalysis)
-	sessionStarts := session.StartSeconds(sessions)
-	for level, window := range model.TypicalWindows {
-		reqSecs := recordSeconds(store, window)
-		pa, err := a.AnalyzePoisson(level, window, reqSecs)
-		if err != nil {
-			return nil, fmt.Errorf("core: request Poisson %v: %w", level, err)
-		}
-		model.RequestPoisson[level] = pa
-		sessSecs := secondsInWindow(sessionStarts, window)
-		spa, err := a.AnalyzePoisson(level, window, sessSecs)
-		if err != nil {
-			return nil, fmt.Errorf("core: session Poisson %v: %w", level, err)
-		}
-		model.SessionPoisson[level] = spa
-	}
-	// Tables 2-4.
 	model.Tails = make(map[string]*TailTable)
 	for _, char := range []string{CharSessionLength, CharRequestsPerSession, CharBytesPerSession} {
 		model.Tails[char] = &TailTable{
@@ -123,31 +132,91 @@ func (a *Analyzer) Analyze(server string, store *weblog.Store) (*FullWebModel, e
 			Rows:           make(map[string]TailAnalysis),
 		}
 	}
-	addRows := func(level string, subset []session.Session) error {
-		values := map[string][]float64{
-			CharSessionLength:      session.Durations(subset),
-			CharRequestsPerSession: session.RequestCounts(subset),
-			CharBytesPerSession:    session.ByteCounts(subset),
-		}
-		for char, v := range values {
-			row, err := a.AnalyzeTail(char, level, v)
-			if err != nil {
-				return err
-			}
-			model.Tails[char].Rows[level] = row
-		}
-		return nil
+	// Stage 2: every remaining experiment is independent. Build the task
+	// list in a fixed order (levels ascending, then tail rows) and fan
+	// out; each task owns one map slot, assigned after the barrier.
+	sessionStarts := session.StartSeconds(sessions)
+	levels := orderedLevels(model.TypicalWindows)
+	type poissonTask struct {
+		level   weblog.WorkloadLevel
+		window  weblog.Window
+		session bool
 	}
-	if err := addRows(IntervalWeek, sessions); err != nil {
+	var ptasks []poissonTask
+	for _, level := range levels {
+		w := model.TypicalWindows[level]
+		ptasks = append(ptasks,
+			poissonTask{level: level, window: w, session: false},
+			poissonTask{level: level, window: w, session: true})
+	}
+	type tailTask struct {
+		char   string
+		level  string
+		values []float64
+	}
+	var ttasks []tailTask
+	addRows := func(level string, subset []session.Session) {
+		ttasks = append(ttasks,
+			tailTask{CharSessionLength, level, session.Durations(subset)},
+			tailTask{CharRequestsPerSession, level, session.RequestCounts(subset)},
+			tailTask{CharBytesPerSession, level, session.ByteCounts(subset)})
+	}
+	addRows(IntervalWeek, sessions)
+	for _, level := range levels {
+		addRows(level.String(), sessionsInWindow(sessions, model.TypicalWindows[level]))
+	}
+	poissonOut := make([]*PoissonAnalysis, len(ptasks))
+	tailOut := make([]TailAnalysis, len(ttasks))
+	err = a.pool.ForEach(ctx, len(ptasks)+len(ttasks), func(ctx context.Context, i int) error {
+		if i < len(ptasks) {
+			t := ptasks[i]
+			secs := recordSeconds(store, t.window)
+			kind := "request"
+			if t.session {
+				secs = secondsInWindow(sessionStarts, t.window)
+				kind = "session"
+			}
+			pa, err := a.AnalyzePoissonCtx(ctx, t.level, t.window, secs)
+			if err != nil {
+				return fmt.Errorf("core: %s Poisson %v: %w", kind, t.level, err)
+			}
+			poissonOut[i] = pa
+			return nil
+		}
+		t := ttasks[i-len(ptasks)]
+		row, err := a.AnalyzeTailCtx(ctx, t.char, t.level, t.values)
+		if err != nil {
+			return err
+		}
+		tailOut[i-len(ptasks)] = row
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	for level, window := range model.TypicalWindows {
-		subset := sessionsInWindow(sessions, window)
-		if err := addRows(level.String(), subset); err != nil {
-			return nil, err
+	for i, t := range ptasks {
+		if t.session {
+			model.SessionPoisson[t.level] = poissonOut[i]
+		} else {
+			model.RequestPoisson[t.level] = poissonOut[i]
 		}
 	}
+	for i, t := range ttasks {
+		model.Tails[t.char].Rows[t.level] = tailOut[i]
+	}
 	return model, nil
+}
+
+// orderedLevels returns the window map's keys in ascending workload
+// order — the fixed fan-out order behind deterministic scheduling.
+func orderedLevels(windows map[weblog.WorkloadLevel]weblog.Window) []weblog.WorkloadLevel {
+	var out []weblog.WorkloadLevel
+	for _, level := range []weblog.WorkloadLevel{weblog.Low, weblog.Med, weblog.High} {
+		if _, ok := windows[level]; ok {
+			out = append(out, level)
+		}
+	}
+	return out
 }
 
 // recordSeconds returns the Unix-second timestamps of the records inside

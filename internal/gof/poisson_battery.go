@@ -1,11 +1,13 @@
 package gof
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"fullweb/internal/parallel"
 	"fullweb/internal/stats"
 )
 
@@ -178,6 +180,15 @@ func DefaultBatteryConfig() BatteryConfig {
 //
 // seconds holds the event timestamps at one-second granularity.
 func RunPoissonBattery(seconds []int64, start, duration int64, cfg BatteryConfig) (*BatteryResult, error) {
+	return RunPoissonBatteryCtx(context.Background(), seconds, start, duration, cfg, nil)
+}
+
+// RunPoissonBatteryCtx is RunPoissonBattery with the per-subinterval
+// tests fanned out on a worker pool (nil means sequential). The
+// sub-second spreading — the only randomized step — runs once up front
+// from cfg.Seed, and the verdicts are collected in subinterval order, so
+// the result is identical to the sequential run at any pool size.
+func RunPoissonBatteryCtx(ctx context.Context, seconds []int64, start, duration int64, cfg BatteryConfig, pool *parallel.Pool) (*BatteryResult, error) {
 	if cfg.Subintervals < 2 {
 		return nil, fmt.Errorf("%w: %d subintervals", ErrBadParam, cfg.Subintervals)
 	}
@@ -194,6 +205,9 @@ func RunPoissonBattery(seconds []int64, start, duration int64, cfg BatteryConfig
 	}
 	res := &BatteryResult{Mode: cfg.Mode}
 	sub := float64(duration) / float64(cfg.Subintervals)
+	// Segment boundaries are a cheap sequential scan; the per-segment
+	// tests are the expensive, independent part.
+	segments := make([][]float64, cfg.Subintervals)
 	lo := 0
 	for i := 0; i < cfg.Subintervals; i++ {
 		hiT := float64(start) + float64(i+1)*sub
@@ -201,29 +215,46 @@ func RunPoissonBattery(seconds []int64, start, duration int64, cfg BatteryConfig
 		for hi < len(times) && times[hi] < hiT {
 			hi++
 		}
-		seg := times[lo:hi]
+		segments[i] = times[lo:hi]
 		lo = hi
+	}
+	if pool == nil {
+		pool = parallel.NewPool(1)
+	}
+	// A nil verdict marks a skipped subinterval (too few events or a
+	// degenerate segment) — the paper's "not sufficient to conduct the
+	// test", not a battery failure.
+	verdicts, err := parallel.Map(ctx, pool, cfg.Subintervals, func(ctx context.Context, i int) (*IntervalVerdict, error) {
+		seg := segments[i]
 		if len(seg) < cfg.MinEvents {
-			continue
+			return nil, nil
 		}
 		inter, err := InterArrivals(seg)
 		if err != nil {
-			continue
+			return nil, nil
 		}
 		rho, err := stats.Lag1Autocorrelation(inter)
 		if err != nil {
-			continue
+			return nil, nil
 		}
 		ad, err := AndersonDarlingExponential(inter)
 		if err != nil {
-			continue
+			return nil, nil
 		}
-		res.Intervals = append(res.Intervals, IntervalVerdict{
+		return &IntervalVerdict{
 			N:         len(inter),
 			Rho:       rho,
 			RhoInBand: math.Abs(rho) < 1.96/math.Sqrt(float64(len(inter))),
 			AD:        ad,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range verdicts {
+		if v != nil {
+			res.Intervals = append(res.Intervals, *v)
+		}
 	}
 	res.Tested = len(res.Intervals)
 	if res.Tested < 2 {

@@ -17,7 +17,7 @@ type HillPoint struct {
 
 // HillResult is the outcome of Hill estimation with stability detection.
 type HillResult struct {
-	// Plot holds alpha_{k,n} for k = 2 .. Kmax.
+	// Plot holds alpha_{k,n} for k = 1 .. Kmax.
 	Plot []HillPoint
 	// Stable reports whether the plot settles to an approximately
 	// constant value; the paper annotates non-stabilizing plots "NS".
@@ -33,8 +33,12 @@ type HillResult struct {
 //
 //	H_{k,n} = (1/k) sum_{i=1..k} (log X_(i) - log X_(k+1))
 //
-// for k = 2 .. kMax, where X_(1) >= X_(2) >= ... are the descending order
-// statistics. kMax is capped at n-1. The sample must be positive.
+// for k = 1 .. kMax, where X_(1) >= X_(2) >= ... are the descending order
+// statistics. The k = 1 point — the single largest log-spacing — is part
+// of the classical plot and is emitted too; it is noisy, but dropping it
+// would silently shift every plot read off by one order statistic. kMax
+// must still be at least 2 (a one-point plot carries no stability
+// information) and is capped at n-1. The sample must be positive.
 func HillPlot(x []float64, kMax int) ([]HillPoint, error) {
 	n := len(x)
 	if n < 3 {
@@ -58,9 +62,9 @@ func HillPlot(x []float64, kMax int) ([]HillPoint, error) {
 	for i, v := range desc {
 		logs[i] = math.Log(v)
 	}
-	out := make([]HillPoint, 0, kMax-1)
-	sumLog := logs[0]
-	for k := 2; k <= kMax; k++ {
+	out := make([]HillPoint, 0, kMax)
+	sumLog := 0.0
+	for k := 1; k <= kMax; k++ {
 		sumLog += logs[k-1]
 		h := sumLog/float64(k) - logs[k]
 		if h <= 0 {

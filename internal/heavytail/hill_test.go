@@ -22,6 +22,34 @@ func TestHillPlotRecoversPareto(t *testing.T) {
 	}
 }
 
+func TestHillPlotStartsAtKOne(t *testing.T) {
+	// The classical Hill plot includes k = 1: alpha_{1,n} is the
+	// reciprocal of log X_(1) - log X_(2). A regression dropped this first
+	// order statistic.
+	x := []float64{math.E * math.E * math.E, math.E, 1, 1}
+	plot, err := HillPlot(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plot[0].K != 1 {
+		t.Fatalf("first plot point at k=%d, want 1", plot[0].K)
+	}
+	// log X_(1) - log X_(2) = 3 - 1 = 2, so alpha_{1,n} = 0.5.
+	if math.Abs(plot[0].Alpha-0.5) > 1e-12 {
+		t.Errorf("alpha_{1,n} = %v, want 0.5", plot[0].Alpha)
+	}
+	// Ties at the top are still skipped, not emitted as infinities: with
+	// X_(1) == X_(2) the k=1 spacing is zero.
+	tied := []float64{7, 7, 2, 1}
+	plot, err = HillPlot(tied, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plot[0].K == 1 {
+		t.Errorf("tied maxima must skip k=1, got alpha=%v", plot[0].Alpha)
+	}
+}
+
 func TestHillPlotErrors(t *testing.T) {
 	if _, err := HillPlot([]float64{1, 2}, 2); !errors.Is(err, ErrTooFewTail) {
 		t.Error("tiny sample should return ErrTooFewTail")

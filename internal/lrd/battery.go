@@ -1,9 +1,11 @@
 package lrd
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"fullweb/internal/parallel"
 	"fullweb/internal/timeseries"
 )
 
@@ -68,26 +70,53 @@ func (b *BatteryResult) AllIndicateLRD() bool {
 // the input are rejected up front — a NaN would otherwise silently
 // poison every spectral statistic.
 func RunBattery(x []float64) (*BatteryResult, error) {
+	return RunBatteryCtx(context.Background(), x, nil)
+}
+
+// RunBatteryCtx is RunBattery with the estimators fanned out on a worker
+// pool (nil means sequential). Each estimator is independent and
+// deterministic, and the estimates are collected in method order, so the
+// result is identical to the sequential run at any pool size. The
+// context aborts estimators not yet started when a sibling analysis
+// fails.
+func RunBatteryCtx(ctx context.Context, x []float64, pool *parallel.Pool) (*BatteryResult, error) {
 	for i, v := range x {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("%w: non-finite value %v at index %d", ErrBadParam, v, i)
 		}
 	}
-	res := &BatteryResult{}
-	var firstErr error
-	for _, m := range AllMethods() {
-		est, err := EstimatorFor(m)
+	methods := AllMethods()
+	type outcome struct {
+		est Estimate
+		err error
+	}
+	if pool == nil {
+		pool = parallel.NewPool(1)
+	}
+	// Estimator failures on a particular series are expected (too short,
+	// degenerate) and must not cancel siblings, so they are recorded in
+	// the per-method outcome rather than returned from the task.
+	outcomes, err := parallel.Map(ctx, pool, len(methods), func(ctx context.Context, i int) (outcome, error) {
+		est, err := EstimatorFor(methods[i])
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		e, err := est(x)
-		if err != nil {
+		return outcome{est: e, err: err}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &BatteryResult{}
+	var firstErr error
+	for i, o := range outcomes {
+		if o.err != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("lrd: %v: %w", m, err)
+				firstErr = fmt.Errorf("lrd: %v: %w", methods[i], o.err)
 			}
 			continue
 		}
-		res.Estimates = append(res.Estimates, e)
+		res.Estimates = append(res.Estimates, o.est)
 	}
 	if len(res.Estimates) == 0 {
 		return nil, firstErr

@@ -1,0 +1,134 @@
+// Package parallel provides the bounded worker pool the analysis engine
+// fans out on: per-server experiments, per-window batteries and the
+// independent estimators inside one analysis run all share this
+// primitive. Tasks are indexed and results are collected by index, so a
+// fan-out produces identical output at any pool size — parallelism never
+// changes what is computed, only when.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded set of worker slots. The zero value is not usable;
+// construct with NewPool. A Pool is safe for concurrent use, and nested
+// fan-outs (a task that itself calls ForEach on the same pool) are safe:
+// when no slot is free the submitting goroutine runs the task inline
+// instead of blocking, so saturation can never deadlock and total extra
+// goroutines stay bounded by the pool size.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool with the given number of worker slots.
+// workers <= 0 means runtime.NumCPU() — the "as fast as the hardware
+// allows" default; workers == 1 still permits one background slot but
+// keeps concurrency minimal.
+func NewPool(workers int) *Pool {
+	return &Pool{sem: make(chan struct{}, Workers(workers))}
+}
+
+// Workers resolves a worker-count override: n > 0 is taken as given,
+// anything else means runtime.NumCPU().
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Size returns the pool's slot count.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// ForEach runs fn(ctx, i) for every i in [0, n). At most Size tasks run
+// on background goroutines; the remainder run inline on the caller. The
+// context passed to tasks is canceled as soon as any task returns a
+// non-nil error, so a failing experiment aborts its siblings: tasks not
+// yet started are skipped, and running tasks can observe ctx.Done().
+//
+// ForEach returns the first error by task index, preferring genuine
+// failures over the context errors of canceled siblings (so the error
+// that triggered the cancellation is not masked by a sibling that was
+// merely interrupted). When the parent context is canceled and no task
+// failed, the parent's error is returned.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if cctx.Err() != nil {
+			break
+		}
+		run := func(i int) {
+			if cctx.Err() != nil {
+				return
+			}
+			if err := fn(cctx, i); err != nil {
+				errs[i] = err
+				cancel()
+			}
+		}
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				run(i)
+			}(i)
+		default:
+			run(i)
+		}
+	}
+	wg.Wait()
+	return firstError(errs, ctx)
+}
+
+// firstError picks the error ForEach reports: the lowest-index error
+// that is not itself a context cancellation, falling back to the
+// lowest-index error of any kind, then to the parent context's error.
+func firstError(errs []error, ctx context.Context) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on the pool and returns the
+// results in index order — the deterministic ordered-collection
+// primitive behind the engine's byte-identical guarantee. On error the
+// partial results are discarded and the ForEach error contract applies.
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.ForEach(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if NewPool(7).Size() != 7 {
+		t.Error("pool size not respected")
+	}
+}
+
+func TestForEachRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		const n = 100
+		var ran [n]int32
+		err := p.ForEach(context.Background(), n, func(ctx context.Context, i int) error {
+			atomic.AddInt32(&ran[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range ran {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	p := NewPool(2)
+	if err := p.ForEach(context.Background(), 0, nil); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var inFlight, peak int32
+	err := p.ForEach(context.Background(), 50, func(ctx context.Context, i int) error {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if cur <= old || atomic.CompareAndSwapInt32(&peak, old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The caller works inline alongside the pool, so the bound is
+	// workers background slots + 1 submitting goroutine.
+	if peak > workers+1 {
+		t.Errorf("peak concurrency %d, want <= %d", peak, workers+1)
+	}
+}
+
+func TestForEachErrorCancelsSiblings(t *testing.T) {
+	p := NewPool(2)
+	boom := errors.New("boom")
+	var started int32
+	err := p.ForEach(context.Background(), 100, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 0 {
+			return boom
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(50 * time.Millisecond):
+		}
+		return ctx.Err()
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom (genuine failures outrank canceled siblings)", err)
+	}
+	if atomic.LoadInt32(&started) == 100 {
+		t.Log("note: all tasks started before cancellation propagated (legal, but unexpected on a small pool)")
+	}
+}
+
+func TestForEachPrefersLowestIndexError(t *testing.T) {
+	p := NewPool(1)
+	err := p.ForEach(context.Background(), 10, func(ctx context.Context, i int) error {
+		if i >= 3 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 3 failed" {
+		t.Fatalf("error = %v, want task 3 failed", err)
+	}
+}
+
+func TestForEachParentCancellation(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := p.ForEach(ctx, 10, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got != 0 {
+		t.Errorf("%d tasks ran under a canceled parent", got)
+	}
+}
+
+func TestNestedForEachDoesNotDeadlock(t *testing.T) {
+	p := NewPool(2)
+	var ran int32
+	done := make(chan error, 1)
+	go func() {
+		done <- p.ForEach(context.Background(), 8, func(ctx context.Context, i int) error {
+			return p.ForEach(ctx, 8, func(ctx context.Context, j int) error {
+				atomic.AddInt32(&ran, 1)
+				return nil
+			})
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested fan-out deadlocked")
+	}
+	if ran != 64 {
+		t.Fatalf("ran %d inner tasks, want 64", ran)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	p := NewPool(4)
+	out, err := Map(context.Background(), p, 50, func(ctx context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	p := NewPool(4)
+	boom := errors.New("boom")
+	out, err := Map(context.Background(), p, 10, func(ctx context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, boom)", out, err)
+	}
+}

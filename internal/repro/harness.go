@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"fullweb/internal/core"
 	"fullweb/internal/heavytail"
 	"fullweb/internal/lrd"
+	"fullweb/internal/parallel"
 	"fullweb/internal/session"
 	"fullweb/internal/stats"
 	"fullweb/internal/weblog"
@@ -21,7 +23,12 @@ var ErrUnknownServer = errors.New("repro: unknown server")
 // Harness regenerates the paper's experiments from synthetic traces.
 // Traces and derived artifacts are generated lazily and cached, so
 // experiments sharing a server reuse the work. A Harness is safe for
-// sequential use only.
+// concurrent use: each per-server artifact (trace, arrival analyses,
+// typical windows) is computed once under its own singleflight latch, so
+// concurrent experiments wait for — rather than duplicate or race — the
+// generation work, and the multi-server experiments fan out on a bounded
+// worker pool. All randomness derives from Seed per server and per
+// battery, so results are identical at any Workers setting.
 type Harness struct {
 	// Scale multiplies the paper's Table 1 volumes (DESIGN.md documents
 	// the default 0.1 substitution); Seed fixes all randomness.
@@ -33,20 +40,41 @@ type Harness struct {
 	// AnalyzerConfig tunes the pipeline; zero value means
 	// core.DefaultConfig.
 	AnalyzerConfig *core.Config
+	// Workers bounds the experiment fan-out (and, through the analyzer
+	// config, the estimator fan-out): 0 means runtime.NumCPU(), 1 forces
+	// near-sequential execution. Set before the first experiment runs.
+	Workers int
 
 	mu      sync.Mutex
 	servers map[string]*serverData
+
+	analyzerOnce sync.Once
+	analyzerVal  *core.Analyzer
+	analyzerErr  error
 }
 
+// serverData holds one server's lazily generated artifacts. Each
+// artifact has its own sync.Once: the first goroutine to need it
+// computes it (errors are latched alongside), later goroutines reuse it.
 type serverData struct {
+	genOnce  sync.Once
+	genErr   error
 	profile  workload.Profile
 	trace    *workload.Trace
 	store    *weblog.Store
 	sessions []session.Session
 
+	reqOnce         sync.Once
+	reqErr          error
 	requestArrivals *core.ArrivalAnalysis
+
+	sessOnce        sync.Once
+	sessErr         error
 	sessionArrivals *core.ArrivalAnalysis
-	windows         map[weblog.WorkloadLevel]weblog.Window
+
+	winOnce sync.Once
+	winErr  error
+	windows map[weblog.WorkloadLevel]weblog.Window
 }
 
 // NewHarness returns a harness at the given scale and seed.
@@ -54,12 +82,30 @@ func NewHarness(scale float64, seed int64) *Harness {
 	return &Harness{Scale: scale, Seed: seed, servers: make(map[string]*serverData)}
 }
 
+// analyzer returns the harness's shared analyzer, built once from
+// AnalyzerConfig with the Workers override applied.
 func (h *Harness) analyzer() (*core.Analyzer, error) {
-	cfg := core.DefaultConfig()
-	if h.AnalyzerConfig != nil {
-		cfg = *h.AnalyzerConfig
+	h.analyzerOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		if h.AnalyzerConfig != nil {
+			cfg = *h.AnalyzerConfig
+		}
+		if cfg.Workers == 0 {
+			cfg.Workers = h.Workers
+		}
+		h.analyzerVal, h.analyzerErr = core.NewAnalyzer(cfg)
+	})
+	return h.analyzerVal, h.analyzerErr
+}
+
+// pool returns the worker pool the multi-server experiments fan out on —
+// the analyzer's own pool, so estimator-level and experiment-level
+// parallelism share one bound.
+func (h *Harness) pool() *parallel.Pool {
+	if a, err := h.analyzer(); err == nil {
+		return a.Pool()
 	}
-	return core.NewAnalyzer(cfg)
+	return parallel.NewPool(1)
 }
 
 func (h *Harness) profileFor(server string) (workload.Profile, error) {
@@ -71,80 +117,103 @@ func (h *Harness) profileFor(server string) (workload.Profile, error) {
 	return workload.Profile{}, fmt.Errorf("%w: %q", ErrUnknownServer, server)
 }
 
+// slot returns the (possibly empty) serverData for a name, creating it
+// under the harness lock. The artifacts themselves are computed outside
+// the lock, so generating one server never blocks queries for another.
+func (h *Harness) slot(name string) *serverData {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sd, ok := h.servers[name]
+	if !ok {
+		sd = &serverData{}
+		h.servers[name] = sd
+	}
+	return sd
+}
+
 // server lazily generates and caches the trace and sessionization of one
 // server.
 func (h *Harness) server(name string) (*serverData, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if sd, ok := h.servers[name]; ok {
-		return sd, nil
+	sd := h.slot(name)
+	sd.genOnce.Do(func() {
+		profile, err := h.profileFor(name)
+		if err != nil {
+			sd.genErr = err
+			return
+		}
+		trace, err := workload.Generate(profile, workload.Config{Scale: h.Scale, Seed: h.Seed, Days: h.Days})
+		if err != nil {
+			sd.genErr = fmt.Errorf("repro: generating %s: %w", name, err)
+			return
+		}
+		sessions, err := session.Sessionize(trace.Records, session.DefaultThreshold)
+		if err != nil {
+			sd.genErr = fmt.Errorf("repro: sessionizing %s: %w", name, err)
+			return
+		}
+		sd.profile = profile
+		sd.trace = trace
+		sd.store = weblog.NewStore(trace.Records)
+		sd.sessions = sessions
+	})
+	if sd.genErr != nil {
+		return nil, sd.genErr
 	}
-	profile, err := h.profileFor(name)
-	if err != nil {
-		return nil, err
-	}
-	trace, err := workload.Generate(profile, workload.Config{Scale: h.Scale, Seed: h.Seed, Days: h.Days})
-	if err != nil {
-		return nil, fmt.Errorf("repro: generating %s: %w", name, err)
-	}
-	store := weblog.NewStore(trace.Records)
-	sessions, err := session.Sessionize(trace.Records, session.DefaultThreshold)
-	if err != nil {
-		return nil, fmt.Errorf("repro: sessionizing %s: %w", name, err)
-	}
-	sd := &serverData{profile: profile, trace: trace, store: store, sessions: sessions}
-	h.servers[name] = sd
 	return sd, nil
 }
 
 // requestArrivals lazily runs the Section 4 arrival analysis.
-func (h *Harness) requestArrivals(name string) (*core.ArrivalAnalysis, error) {
+func (h *Harness) requestArrivals(ctx context.Context, name string) (*core.ArrivalAnalysis, error) {
 	sd, err := h.server(name)
 	if err != nil {
 		return nil, err
 	}
-	if sd.requestArrivals != nil {
-		return sd.requestArrivals, nil
-	}
-	a, err := h.analyzer()
-	if err != nil {
-		return nil, err
-	}
-	counts, err := sd.store.CountsPerSecond()
-	if err != nil {
-		return nil, fmt.Errorf("repro: %s request series: %w", name, err)
-	}
-	res, err := a.AnalyzeArrivalSeries(counts)
-	if err != nil {
-		return nil, fmt.Errorf("repro: %s request arrivals: %w", name, err)
-	}
-	sd.requestArrivals = res
-	return res, nil
+	sd.reqOnce.Do(func() {
+		a, err := h.analyzer()
+		if err != nil {
+			sd.reqErr = err
+			return
+		}
+		counts, err := sd.store.CountsPerSecond()
+		if err != nil {
+			sd.reqErr = fmt.Errorf("repro: %s request series: %w", name, err)
+			return
+		}
+		res, err := a.AnalyzeArrivalSeriesCtx(ctx, counts)
+		if err != nil {
+			sd.reqErr = fmt.Errorf("repro: %s request arrivals: %w", name, err)
+			return
+		}
+		sd.requestArrivals = res
+	})
+	return sd.requestArrivals, sd.reqErr
 }
 
 // sessionArrivals lazily runs the Section 5.1.1 arrival analysis.
-func (h *Harness) sessionArrivals(name string) (*core.ArrivalAnalysis, error) {
+func (h *Harness) sessionArrivals(ctx context.Context, name string) (*core.ArrivalAnalysis, error) {
 	sd, err := h.server(name)
 	if err != nil {
 		return nil, err
 	}
-	if sd.sessionArrivals != nil {
-		return sd.sessionArrivals, nil
-	}
-	a, err := h.analyzer()
-	if err != nil {
-		return nil, err
-	}
-	counts, err := session.InitiatedPerSecond(sd.sessions)
-	if err != nil {
-		return nil, fmt.Errorf("repro: %s session series: %w", name, err)
-	}
-	res, err := a.AnalyzeArrivalSeries(counts)
-	if err != nil {
-		return nil, fmt.Errorf("repro: %s session arrivals: %w", name, err)
-	}
-	sd.sessionArrivals = res
-	return res, nil
+	sd.sessOnce.Do(func() {
+		a, err := h.analyzer()
+		if err != nil {
+			sd.sessErr = err
+			return
+		}
+		counts, err := session.InitiatedPerSecond(sd.sessions)
+		if err != nil {
+			sd.sessErr = fmt.Errorf("repro: %s session series: %w", name, err)
+			return
+		}
+		res, err := a.AnalyzeArrivalSeriesCtx(ctx, counts)
+		if err != nil {
+			sd.sessErr = fmt.Errorf("repro: %s session arrivals: %w", name, err)
+			return
+		}
+		sd.sessionArrivals = res
+	})
+	return sd.sessionArrivals, sd.sessErr
 }
 
 func (h *Harness) typicalWindows(name string) (map[weblog.WorkloadLevel]weblog.Window, error) {
@@ -152,19 +221,20 @@ func (h *Harness) typicalWindows(name string) (map[weblog.WorkloadLevel]weblog.W
 	if err != nil {
 		return nil, err
 	}
-	if sd.windows != nil {
-		return sd.windows, nil
-	}
-	a, err := h.analyzer()
-	if err != nil {
-		return nil, err
-	}
-	windows, err := sd.store.SelectTypicalWindows(a.Config().WindowDuration)
-	if err != nil {
-		return nil, fmt.Errorf("repro: %s windows: %w", name, err)
-	}
-	sd.windows = windows
-	return windows, nil
+	sd.winOnce.Do(func() {
+		a, err := h.analyzer()
+		if err != nil {
+			sd.winErr = err
+			return
+		}
+		windows, err := sd.store.SelectTypicalWindows(a.Config().WindowDuration)
+		if err != nil {
+			sd.winErr = fmt.Errorf("repro: %s windows: %w", name, err)
+			return
+		}
+		sd.windows = windows
+	})
+	return sd.windows, sd.winErr
 }
 
 // Table1Row is one measured row of Table 1.
@@ -176,22 +246,22 @@ type Table1Row struct {
 }
 
 // Table1 regenerates Table 1: the one-week volumes of the four synthetic
-// traces (scaled by h.Scale).
+// traces (scaled by h.Scale). The four trace generations fan out on the
+// worker pool; rows come back in Servers() order regardless.
 func (h *Harness) Table1() ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, 4)
-	for _, name := range Servers() {
-		sd, err := h.server(name)
+	servers := Servers()
+	return parallel.Map(context.Background(), h.pool(), len(servers), func(ctx context.Context, i int) (Table1Row, error) {
+		sd, err := h.server(servers[i])
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
-		rows = append(rows, Table1Row{
-			Server:   name,
+		return Table1Row{
+			Server:   servers[i],
 			Requests: sd.store.Len(),
 			Sessions: len(sd.sessions),
 			MB:       float64(sd.store.TotalBytes()) / 1e6,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Figure2 returns the WVU requests-per-second series (the time-series
@@ -210,7 +280,7 @@ func (h *Harness) Figure2() ([]float64, error) {
 
 // Figure3 returns the raw ACF of the WVU request series (Figure 3).
 func (h *Harness) Figure3() ([]float64, error) {
-	ra, err := h.requestArrivals("WVU")
+	ra, err := h.requestArrivals(context.Background(), "WVU")
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +289,7 @@ func (h *Harness) Figure3() ([]float64, error) {
 
 // Figure5 returns the ACF after trend and periodicity removal (Figure 5).
 func (h *Harness) Figure5() ([]float64, error) {
-	ra, err := h.requestArrivals("WVU")
+	ra, err := h.requestArrivals(context.Background(), "WVU")
 	if err != nil {
 		return nil, err
 	}
@@ -253,18 +323,26 @@ func (h *Harness) Figure10() (HurstMatrix, error) {
 	return h.hurstMatrix(h.sessionArrivals, false)
 }
 
-func (h *Harness) hurstMatrix(get func(string) (*core.ArrivalAnalysis, error), raw bool) (HurstMatrix, error) {
-	out := make(HurstMatrix, 4)
-	for _, name := range Servers() {
-		aa, err := get(name)
+// hurstMatrix runs one arrival analysis per server concurrently; a
+// failing server cancels analyses not yet started on the others.
+func (h *Harness) hurstMatrix(get func(context.Context, string) (*core.ArrivalAnalysis, error), raw bool) (HurstMatrix, error) {
+	servers := Servers()
+	batteries, err := parallel.Map(context.Background(), h.pool(), len(servers), func(ctx context.Context, i int) (*lrd.BatteryResult, error) {
+		aa, err := get(ctx, servers[i])
 		if err != nil {
 			return nil, err
 		}
 		if raw {
-			out[name] = aa.RawHurst
-		} else {
-			out[name] = aa.StationaryHurst
+			return aa.RawHurst, nil
 		}
+		return aa.StationaryHurst, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(HurstMatrix, len(servers))
+	for i, name := range servers {
+		out[name] = batteries[i]
 	}
 	return out, nil
 }
@@ -272,7 +350,7 @@ func (h *Harness) hurstMatrix(get func(string) (*core.ArrivalAnalysis, error), r
 // Figure7 returns the Whittle aggregation sweep of the stationary WVU
 // request series (Figure 7).
 func (h *Harness) Figure7() ([]lrd.SweepPoint, error) {
-	ra, err := h.requestArrivals("WVU")
+	ra, err := h.requestArrivals(context.Background(), "WVU")
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +359,7 @@ func (h *Harness) Figure7() ([]lrd.SweepPoint, error) {
 
 // Figure8 returns the Abry-Veitch aggregation sweep (Figure 8).
 func (h *Harness) Figure8() ([]lrd.SweepPoint, error) {
-	ra, err := h.requestArrivals("WVU")
+	ra, err := h.requestArrivals(context.Background(), "WVU")
 	if err != nil {
 		return nil, err
 	}
@@ -321,31 +399,67 @@ func (h *Harness) Section512() (PoissonVerdicts, error) {
 	})
 }
 
+// poissonVerdicts fans the batteries out at two grains: one task per
+// server (generation plus window selection), and inside it one task per
+// typical window. Windows run in fixed Low/Med/High order and land in
+// indexed slots, so the verdicts match the sequential run exactly.
 func (h *Harness) poissonVerdicts(events func(*serverData, weblog.Window) []int64) (PoissonVerdicts, error) {
 	a, err := h.analyzer()
 	if err != nil {
 		return nil, err
 	}
-	out := make(PoissonVerdicts, 4)
-	for _, name := range Servers() {
+	servers := Servers()
+	type serverVerdicts struct {
+		levels   []weblog.WorkloadLevel
+		analyses []*core.PoissonAnalysis
+	}
+	results, err := parallel.Map(context.Background(), h.pool(), len(servers), func(ctx context.Context, i int) (serverVerdicts, error) {
+		name := servers[i]
 		sd, err := h.server(name)
 		if err != nil {
-			return nil, err
+			return serverVerdicts{}, err
 		}
 		windows, err := h.typicalWindows(name)
 		if err != nil {
-			return nil, err
+			return serverVerdicts{}, err
 		}
-		out[name] = make(map[weblog.WorkloadLevel]*core.PoissonAnalysis, 3)
-		for level, w := range windows {
-			pa, err := a.AnalyzePoisson(level, w, events(sd, w))
+		levels := levelOrder(windows)
+		sv := serverVerdicts{levels: levels, analyses: make([]*core.PoissonAnalysis, len(levels))}
+		err = h.pool().ForEach(ctx, len(levels), func(ctx context.Context, j int) error {
+			level := levels[j]
+			w := windows[level]
+			pa, err := a.AnalyzePoissonCtx(ctx, level, w, events(sd, w))
 			if err != nil {
-				return nil, fmt.Errorf("repro: %s %v Poisson battery: %w", name, level, err)
+				return fmt.Errorf("repro: %s %v Poisson battery: %w", name, level, err)
 			}
-			out[name][level] = pa
+			sv.analyses[j] = pa
+			return nil
+		})
+		return sv, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(PoissonVerdicts, len(servers))
+	for i, name := range servers {
+		out[name] = make(map[weblog.WorkloadLevel]*core.PoissonAnalysis, len(results[i].levels))
+		for j, level := range results[i].levels {
+			out[name][level] = results[i].analyses[j]
 		}
 	}
 	return out, nil
+}
+
+// levelOrder returns the window map's keys in ascending workload order —
+// the fixed fan-out order behind deterministic scheduling.
+func levelOrder(windows map[weblog.WorkloadLevel]weblog.Window) []weblog.WorkloadLevel {
+	var out []weblog.WorkloadLevel
+	for _, level := range []weblog.WorkloadLevel{weblog.Low, weblog.Med, weblog.High} {
+		if _, ok := windows[level]; ok {
+			out = append(out, level)
+		}
+	}
+	return out
 }
 
 // Figure11Result bundles the LLCD analysis of the WVU High-interval
@@ -464,8 +578,59 @@ func (h *Harness) Table4() (*MeasuredTable, error) {
 	})
 }
 
+// tailTable fans one task per server out on the pool; inside each, the
+// Week row and the Low/Med/High rows fan out again. Rows are built in a
+// fixed order into indexed slots and assembled into the cell maps after
+// the barrier, so the table is identical at any pool size.
 func (h *Harness) tailTable(char string, extract func([]session.Session) []float64) (*MeasuredTable, error) {
 	a, err := h.analyzer()
+	if err != nil {
+		return nil, err
+	}
+	servers := Servers()
+	type serverRows struct {
+		intervals []string
+		rows      []core.TailAnalysis
+	}
+	results, err := parallel.Map(context.Background(), h.pool(), len(servers), func(ctx context.Context, i int) (serverRows, error) {
+		name := servers[i]
+		sd, err := h.server(name)
+		if err != nil {
+			return serverRows{}, err
+		}
+		windows, err := h.typicalWindows(name)
+		if err != nil {
+			return serverRows{}, err
+		}
+		type rowTask struct {
+			interval string
+			values   []float64
+		}
+		tasks := []rowTask{{interval: "Week", values: extract(sd.sessions)}}
+		for _, level := range levelOrder(windows) {
+			w := windows[level]
+			end := w.Start.Add(w.Duration)
+			var subset []session.Session
+			for _, s := range sd.sessions {
+				if !s.Start.Before(w.Start) && s.Start.Before(end) {
+					subset = append(subset, s)
+				}
+			}
+			tasks = append(tasks, rowTask{interval: level.String(), values: extract(subset)})
+		}
+		sr := serverRows{intervals: make([]string, len(tasks)), rows: make([]core.TailAnalysis, len(tasks))}
+		err = h.pool().ForEach(ctx, len(tasks), func(ctx context.Context, j int) error {
+			t := tasks[j]
+			row, err := a.AnalyzeTailCtx(ctx, char, t.interval, t.values)
+			if err != nil {
+				return fmt.Errorf("repro: %s %s %s: %w", name, char, t.interval, err)
+			}
+			sr.intervals[j] = t.interval
+			sr.rows[j] = row
+			return nil
+		})
+		return sr, err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -474,37 +639,11 @@ func (h *Harness) tailTable(char string, extract func([]session.Session) []float
 		Cells:          make(map[string]map[string]core.TailAnalysis),
 	}
 	for _, interval := range Intervals() {
-		out.Cells[interval] = make(map[string]core.TailAnalysis, 4)
+		out.Cells[interval] = make(map[string]core.TailAnalysis, len(servers))
 	}
-	for _, name := range Servers() {
-		sd, err := h.server(name)
-		if err != nil {
-			return nil, err
-		}
-		windows, err := h.typicalWindows(name)
-		if err != nil {
-			return nil, err
-		}
-		// Week row.
-		row, err := a.AnalyzeTail(char, "Week", extract(sd.sessions))
-		if err != nil {
-			return nil, fmt.Errorf("repro: %s %s week: %w", name, char, err)
-		}
-		out.Cells["Week"][name] = row
-		// Low/Med/High rows.
-		for level, w := range windows {
-			end := w.Start.Add(w.Duration)
-			var subset []session.Session
-			for _, s := range sd.sessions {
-				if !s.Start.Before(w.Start) && s.Start.Before(end) {
-					subset = append(subset, s)
-				}
-			}
-			row, err := a.AnalyzeTail(char, level.String(), extract(subset))
-			if err != nil {
-				return nil, fmt.Errorf("repro: %s %s %v: %w", name, char, level, err)
-			}
-			out.Cells[level.String()][name] = row
+	for i, name := range servers {
+		for j, interval := range results[i].intervals {
+			out.Cells[interval][name] = results[i].rows[j]
 		}
 	}
 	return out, nil
@@ -533,24 +672,28 @@ type IntensityResult struct {
 	Correlation float64
 }
 
-// Intensity regenerates observation 4.1(2) at both granularities.
+// Intensity regenerates observation 4.1(2) at both granularities. The
+// four per-server arrival analyses fan out on the pool; the row order
+// (the paper's descending-requests order) is fixed regardless.
 func (h *Harness) Intensity() (*IntensityResult, error) {
 	res := &IntensityResult{}
-	for _, name := range Servers() {
-		ra, err := h.requestArrivals(name)
+	servers := Servers()
+	across, err := parallel.Map(context.Background(), h.pool(), len(servers), func(ctx context.Context, i int) (ServerIntensity, error) {
+		name := servers[i]
+		ra, err := h.requestArrivals(ctx, name)
 		if err != nil {
-			return nil, err
+			return ServerIntensity{}, err
 		}
 		est, ok := ra.StationaryHurst.ByMethod(lrd.Whittle)
 		if !ok {
-			return nil, fmt.Errorf("repro: intensity: %s missing Whittle estimate", name)
+			return ServerIntensity{}, fmt.Errorf("repro: intensity: %s missing Whittle estimate", name)
 		}
-		res.AcrossServers = append(res.AcrossServers, ServerIntensity{
-			Server:   name,
-			MeanRate: ra.MeanPerSecond,
-			H:        est.H,
-		})
+		return ServerIntensity{Server: name, MeanRate: ra.MeanPerSecond, H: est.H}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.AcrossServers = across
 	sd, err := h.server("WVU")
 	if err != nil {
 		return nil, err

@@ -3,6 +3,8 @@ package repro
 import (
 	"errors"
 	"math"
+	"reflect"
+	"sync"
 	"testing"
 
 	"fullweb/internal/core"
@@ -291,6 +293,87 @@ func TestHarnessIntensity(t *testing.T) {
 	for _, w := range res.WithinWVU {
 		if w.MeanRate <= 0 {
 			t.Errorf("window at %d has non-positive rate %v (windowing must use the raw series)", w.Start, w.MeanRate)
+		}
+	}
+}
+
+// fastOneDayHarness builds a harness sized for quick end-to-end runs: a
+// one-day horizon with a sub-daily periodicity band (a single day cannot
+// contain the 24-hour cycle) and a cheaper curvature bootstrap.
+func fastOneDayHarness(seed int64, workers int) *Harness {
+	h := NewHarness(0.05, seed)
+	h.Days = 1
+	h.Workers = workers
+	cfg := core.DefaultConfig()
+	cfg.Stationarize.MinPeriod = 600
+	cfg.Stationarize.MaxPeriod = 43200
+	cfg.Curvature.Replications = 25
+	h.AnalyzerConfig = &cfg
+	return h
+}
+
+func TestHarnessConcurrentExperiments(t *testing.T) {
+	// Regression for the lazy-cache data races: overlapping experiments
+	// hammer one harness from many goroutines, twice each, so every
+	// artifact (trace, windows, arrival analyses) is both computed and
+	// reused under contention. Meaningful under -race.
+	h := fastOneDayHarness(10, 0)
+	experiments := []func() error{
+		func() error { _, err := h.Table1(); return err },
+		func() error { _, err := h.Figure2(); return err },
+		func() error { _, err := h.Figure4(); return err },
+		func() error { _, err := h.Figure7(); return err },
+		func() error { _, err := h.Section42(); return err },
+		func() error { _, err := h.Figure11(); return err },
+		func() error { _, err := h.Figure13(); return err },
+	}
+	const rounds = 2
+	var wg sync.WaitGroup
+	errs := make([]error, rounds*len(experiments))
+	for round := 0; round < rounds; round++ {
+		for i, run := range experiments {
+			wg.Add(1)
+			go func(slot int, run func() error) {
+				defer wg.Done()
+				errs[slot] = run()
+			}(round*len(experiments)+i, run)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("experiment %d: %v", i, err)
+		}
+	}
+}
+
+func TestHarnessParallelMatchesSequential(t *testing.T) {
+	// The tentpole determinism guarantee: a harness fanning out on many
+	// workers produces exactly the results of the near-sequential one.
+	seq := fastOneDayHarness(9, 1)
+	par := fastOneDayHarness(9, 4)
+
+	type experiment struct {
+		name string
+		run  func(h *Harness) (any, error)
+	}
+	for _, e := range []experiment{
+		{"Table1", func(h *Harness) (any, error) { return h.Table1() }},
+		{"Figure4", func(h *Harness) (any, error) { return h.Figure4() }},
+		{"Figure6", func(h *Harness) (any, error) { return h.Figure6() }},
+		{"Section42", func(h *Harness) (any, error) { return h.Section42() }},
+		{"Table2", func(h *Harness) (any, error) { return h.Table2() }},
+	} {
+		want, err := e.run(seq)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", e.name, err)
+		}
+		got, err := e.run(par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", e.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: parallel result differs from sequential", e.name)
 		}
 	}
 }

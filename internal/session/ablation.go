@@ -55,6 +55,6 @@ func SessionizeSorted(records []weblog.Record, threshold time.Duration) ([]Sessi
 		}
 	}
 	flush()
-	sort.SliceStable(sessions, func(i, j int) bool { return sessions[i].Start.Before(sessions[j].Start) })
+	sortSessions(sessions)
 	return sessions, nil
 }

@@ -36,18 +36,14 @@ func TestSessionizersEquivalentProperty(t *testing.T) {
 		if err1 != nil || err2 != nil || len(a) != len(b) {
 			return false
 		}
-		// Both are sorted by start; sessions with identical start times
-		// may be ordered differently across hosts, so compare as
-		// multisets keyed by full content.
-		count := map[Session]int{}
-		for _, s := range a {
-			count[s]++
-		}
-		for _, s := range b {
-			count[s]--
-		}
-		for _, c := range count {
-			if c != 0 {
+		// Every sessionizer variant emits the canonical (start, host)
+		// order, so equality is exact — order included. This guards the
+		// determinism the parallel engine depends on: map-bucketing must
+		// not leak map iteration order into the output (tied start times
+		// are common at one-second log granularity, and downstream
+		// floating-point accumulations are order-sensitive).
+		for i := range a {
+			if a[i] != b[i] {
 				return false
 			}
 		}

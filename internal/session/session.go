@@ -1,8 +1,10 @@
 // Package session implements the paper's session model: a session is a
 // sequence of requests from the same IP address with inter-request gaps
-// below a threshold (30 minutes in the paper). The package provides the
-// sessionizer and the inter-session (arrival process) and intra-session
-// (length, request count, bytes) characteristics of Section 5.
+// of at most a threshold (30 minutes in the paper) — only a gap strictly
+// exceeding the threshold starts a new session, so a gap of exactly the
+// threshold stays in-session. The package provides the sessionizer and
+// the inter-session (arrival process) and intra-session (length, request
+// count, bytes) characteristics of Section 5.
 package session
 
 import (
@@ -49,7 +51,11 @@ func (s Session) Duration() time.Duration { return s.End.Sub(s.Start) }
 // Sessionize groups records into sessions per host with the given
 // inactivity threshold: a request more than threshold after the previous
 // request from the same host starts a new session. The returned sessions
-// are sorted by start time. The input is not modified.
+// are sorted by start time, ties broken by host — a total order, so the
+// output is identical run to run even though the hosts are bucketed in a
+// map (downstream floating-point accumulations are order-sensitive, and
+// tied start times are common at the log format's one-second
+// granularity). The input is not modified.
 func Sessionize(records []weblog.Record, threshold time.Duration) ([]Session, error) {
 	if len(records) == 0 {
 		return nil, ErrNoRecords
@@ -85,8 +91,20 @@ func Sessionize(records []weblog.Record, threshold time.Duration) ([]Session, er
 		}
 		sessions = append(sessions, cur)
 	}
-	sort.SliceStable(sessions, func(i, j int) bool { return sessions[i].Start.Before(sessions[j].Start) })
+	sortSessions(sessions)
 	return sessions, nil
+}
+
+// sortSessions puts sessions into the canonical (start time, host) order
+// shared by every sessionizer variant. Two sessions of the same host
+// never share a start time, so the order is total and deterministic.
+func sortSessions(sessions []Session) {
+	sort.Slice(sessions, func(i, j int) bool {
+		if !sessions[i].Start.Equal(sessions[j].Start) {
+			return sessions[i].Start.Before(sessions[j].Start)
+		}
+		return sessions[i].Host < sessions[j].Host
+	})
 }
 
 // StartSeconds returns each session's start timestamp as Unix seconds,
@@ -202,8 +220,17 @@ func ThinkTimes(records []weblog.Record, threshold time.Duration) ([]float64, er
 	for _, r := range records {
 		byHost[r.Host] = append(byHost[r.Host], r.Time)
 	}
+	// Walk hosts in sorted order so the gap sequence is deterministic
+	// (map iteration order is randomized; downstream statistics accumulate
+	// floating point in slice order).
+	hosts := make([]string, 0, len(byHost))
+	for host := range byHost {
+		hosts = append(hosts, host)
+	}
+	sort.Strings(hosts)
 	var gaps []float64
-	for _, times := range byHost {
+	for _, host := range hosts {
+		times := byHost[host]
 		sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
 		for i := 1; i < len(times); i++ {
 			gap := times[i].Sub(times[i-1])

@@ -2,6 +2,7 @@ package session
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -45,19 +46,32 @@ func TestSessionizeSingleHost(t *testing.T) {
 }
 
 func TestSessionizeGapExactlyThreshold(t *testing.T) {
-	// A gap of exactly the threshold does NOT split (paper: "time between
-	// requests less than some threshold" delimits; we split on strictly
-	// greater).
-	records := []weblog.Record{
+	// Boundary semantics, pinned on both sides: a gap of exactly the
+	// threshold stays in-session (the split condition is strictly
+	// greater, matching the package doc), while one second more splits.
+	atThreshold := []weblog.Record{
 		rec("a", 0, 200, 1),
 		rec("a", 1800, 200, 1),
 	}
-	sessions, err := Sessionize(records, DefaultThreshold)
+	sessions, err := Sessionize(atThreshold, DefaultThreshold)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(sessions) != 1 {
-		t.Fatalf("sessions = %d, want 1", len(sessions))
+		t.Fatalf("gap == threshold: sessions = %d, want 1", len(sessions))
+	}
+	if sessions[0].Requests != 2 {
+		t.Fatalf("gap == threshold: requests = %d, want 2", sessions[0].Requests)
+	}
+	beyondThreshold := []weblog.Record{
+		rec("a", 0, 200, 1),
+		rec("a", 1801, 200, 1),
+	}
+	if sessions, err = Sessionize(beyondThreshold, DefaultThreshold); err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 2 {
+		t.Fatalf("gap == threshold+1s: sessions = %d, want 2", len(sessions))
 	}
 }
 
@@ -79,6 +93,38 @@ func TestSessionizeMultipleHosts(t *testing.T) {
 	for i := 1; i < len(sessions); i++ {
 		if sessions[i].Start.Before(sessions[i-1].Start) {
 			t.Fatal("sessions not sorted by start")
+		}
+	}
+}
+
+// TestSessionizeDeterministicOrder: with many hosts sharing the same
+// start second, the output order must be identical across calls (map
+// iteration order must not leak through — regression for a flake where
+// tied-start ordering changed run to run and perturbed downstream
+// floating-point sums).
+func TestSessionizeDeterministicOrder(t *testing.T) {
+	var records []weblog.Record
+	for i := 0; i < 200; i++ {
+		records = append(records, rec(fmt.Sprintf("h%03d", i), 0, 200, 1))
+	}
+	first, err := Sessionize(records, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		again, err := Sessionize(records, DefaultThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("round %d: session %d = %+v, want %+v", round, i, again[i], first[i])
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].Host <= first[i-1].Host {
+			t.Fatalf("tied-start sessions not host-ordered: %q after %q", first[i].Host, first[i-1].Host)
 		}
 	}
 }

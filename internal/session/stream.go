@@ -3,7 +3,6 @@ package session
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 	"time"
 
 	"fullweb/internal/weblog"
@@ -120,11 +119,6 @@ func (s *Streamer) Flush() []Session {
 	s.active = make(map[string]*Session)
 	s.expiry = s.expiry[:0]
 	s.sawAny = false
-	sort.SliceStable(out, func(i, j int) bool {
-		if !out[i].Start.Equal(out[j].Start) {
-			return out[i].Start.Before(out[j].Start)
-		}
-		return out[i].Host < out[j].Host
-	})
+	sortSessions(out)
 	return out
 }

@@ -6,10 +6,13 @@ import (
 )
 
 // FuzzParseCLF checks that the parser never panics and that every
-// successfully parsed record survives a format/parse round trip.
+// successfully parsed record survives a format/parse round trip with
+// every field equal — including the zero-bytes / missing-bytes
+// distinction, which an earlier formatter collapsed to "-".
 func FuzzParseCLF(f *testing.F) {
 	f.Add(sampleLine)
 	f.Add(`h - - [12/Jan/2004:10:30:45 -0500] "GET / HTTP/1.1" 304 -`)
+	f.Add(`h - - [12/Jan/2004:10:30:45 -0500] "GET / HTTP/1.1" 304 0`)
 	f.Add("")
 	f.Add(`x - - [bad] "GET / H" 200 1`)
 	f.Add(strings.Repeat(`"`, 30))
@@ -23,10 +26,18 @@ func FuzzParseCLF(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round trip of %q failed: %v", line, err)
 		}
-		// The formatter sanitizes framing-breaking characters, so fields
-		// are preserved modulo sanitization.
-		if back.Host != sanitizeField(rec.Host) || back.Status != rec.Status || back.Bytes != rec.Bytes {
-			t.Fatalf("round trip changed record: %+v vs %+v", rec, back)
+		// The formatter sanitizes framing-breaking characters, so string
+		// fields are preserved modulo sanitization; everything else must
+		// be exactly equal. Time needs Equal, not ==: time.Parse builds a
+		// fresh FixedZone per call.
+		if back.Host != sanitizeField(rec.Host) ||
+			back.Method != sanitizeField(rec.Method) ||
+			back.Path != sanitizeField(rec.Path) ||
+			back.Proto != sanitizeField(rec.Proto) {
+			t.Fatalf("round trip changed request fields: %+v vs %+v", rec, back)
+		}
+		if back.Status != rec.Status || back.Bytes != rec.Bytes || back.BytesMissing != rec.BytesMissing {
+			t.Fatalf("round trip changed status/bytes: %+v vs %+v", rec, back)
 		}
 		if !back.Time.Equal(rec.Time) {
 			t.Fatalf("round trip changed time: %v vs %v", rec.Time, back.Time)

@@ -37,8 +37,14 @@ type Record struct {
 	Proto  string
 	// Status is the HTTP response status code.
 	Status int
-	// Bytes is the response size; 0 when the log field was "-".
+	// Bytes is the response size. A legitimate zero-byte response (e.g. a
+	// 304) keeps Bytes == 0 with BytesMissing false; a "-" field in the
+	// log sets BytesMissing instead. The two cases are distinct in CLF
+	// and must survive a format/parse round trip distinctly.
 	Bytes int64
+	// BytesMissing reports that the log carried "-" for the size field
+	// (the server did not record one).
+	BytesMissing bool
 }
 
 // IsError reports whether the record's status indicates a failure
@@ -51,7 +57,7 @@ func (r Record) IsError() bool { return r.Status >= 400 }
 // replaced by underscores first.
 func (r Record) FormatCLF() string {
 	bytesField := "-"
-	if r.Bytes > 0 {
+	if !r.BytesMissing && r.Bytes >= 0 {
 		bytesField = strconv.FormatInt(r.Bytes, 10)
 	}
 	return fmt.Sprintf("%s - - [%s] \"%s %s %s\" %d %s",
@@ -155,7 +161,9 @@ func ParseCLF(line string) (Record, error) {
 		return rec, fmt.Errorf("%w: status %q", ErrMalformed, fields[0])
 	}
 	rec.Status = status
-	if fields[1] != "-" {
+	if fields[1] == "-" {
+		rec.BytesMissing = true
+	} else {
 		b, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil || b < 0 {
 			return rec, fmt.Errorf("%w: bytes %q", ErrMalformed, fields[1])

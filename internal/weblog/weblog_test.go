@@ -39,8 +39,44 @@ func TestParseCLFDashBytes(t *testing.T) {
 	if rec.Bytes != 0 {
 		t.Errorf("bytes = %d, want 0", rec.Bytes)
 	}
+	if !rec.BytesMissing {
+		t.Error("BytesMissing should be set for a dash size field")
+	}
 	if rec.IsError() {
 		t.Error("304 is not an error")
+	}
+}
+
+func TestFormatCLFZeroVsMissingBytes(t *testing.T) {
+	// A genuine zero-byte response and an unrecorded size are distinct in
+	// CLF ("0" vs "-") and must stay distinct through format and parse.
+	base := Record{
+		Host: "h", Time: time.Date(2004, 1, 12, 10, 30, 45, 0, time.UTC),
+		Method: "GET", Path: "/", Proto: "HTTP/1.1", Status: 304,
+	}
+	zero := base
+	line := zero.FormatCLF()
+	if !strings.HasSuffix(line, " 304 0") {
+		t.Errorf("zero-byte response formatted as %q, want trailing \"304 0\"", line)
+	}
+	back, err := ParseCLF(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bytes != 0 || back.BytesMissing {
+		t.Errorf("zero-byte round trip: bytes=%d missing=%v", back.Bytes, back.BytesMissing)
+	}
+	missing := base
+	missing.BytesMissing = true
+	line = missing.FormatCLF()
+	if !strings.HasSuffix(line, " 304 -") {
+		t.Errorf("missing-size response formatted as %q, want trailing \"304 -\"", line)
+	}
+	if back, err = ParseCLF(line); err != nil {
+		t.Fatal(err)
+	}
+	if !back.BytesMissing || back.Bytes != 0 {
+		t.Errorf("missing-size round trip: bytes=%d missing=%v", back.Bytes, back.BytesMissing)
 	}
 }
 

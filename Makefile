@@ -1,29 +1,46 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench fuzz
+.PHONY: all build test race vet lint check bench fuzz fuzz-smoke
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order so
+# order-dependent tests can't hide behind source order.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's custom determinism/concurrency analyzers
+# (internal/lint, driven by cmd/fullweb-lint): maporder, globalrand,
+# walltime, rawgo, ctxflow. See DESIGN.md "Machine-checked invariants".
+lint:
+	$(GO) run ./cmd/fullweb-lint ./...
+
 # check is the tier-1 gate (see README "Testing"): everything must
-# compile, pass vet, and pass the full suite under the race detector.
-check: vet build race
+# compile, pass vet and the custom lint suite, pass the full test
+# suite (shuffled) under the race detector, and survive a short fuzz
+# smoke over the log parsers.
+check: vet lint build race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz pass over the log-parser targets.
+# Short fuzz smoke (~10s total) over the checked-in corpora; part of
+# the tier-1 gate so parser regressions surface immediately.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseCLF -fuzztime=5s ./internal/weblog/
+	$(GO) test -fuzz=FuzzParseCombined -fuzztime=5s ./internal/weblog/
+
+# Longer fuzz pass over the log-parser targets; starts warm from the
+# minimized seed corpora in internal/weblog/testdata/fuzz/.
 fuzz:
 	$(GO) test -fuzz=FuzzParseCLF -fuzztime=30s ./internal/weblog/
 	$(GO) test -fuzz=FuzzParseCombined -fuzztime=30s ./internal/weblog/

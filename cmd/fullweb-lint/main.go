@@ -1,0 +1,115 @@
+// Command fullweb-lint runs the repo's determinism and concurrency
+// analyzers (internal/lint) over the whole module — the multichecker
+// behind `make lint` and the tier-1 gate.
+//
+// Usage:
+//
+//	fullweb-lint [-rules maporder,rawgo] [-list] [./...]
+//
+// The tool always analyzes the full module containing the working
+// directory (the only pattern accepted is ./...); -rules restricts
+// the run to a comma-separated subset of analyzers. Non-test files
+// only: test-order effects are covered by `go test -shuffle=on`.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// Suppressions use `//lint:allow <rule> <reason>` on or directly
+// above the offending line; see DESIGN.md "Machine-checked
+// invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fullweb/internal/lint"
+	"fullweb/internal/lint/analysis"
+	"fullweb/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fullweb-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	rules := fs.String("rules", "", "comma-separated subset of analyzers to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+	if *rules != "" {
+		var err error
+		analyzers, err = selectRules(analyzers, *rules)
+		if err != nil {
+			fmt.Fprintln(stderr, "fullweb-lint:", err)
+			return 2
+		}
+	}
+	for _, pat := range fs.Args() {
+		if pat != "./..." {
+			fmt.Fprintf(stderr, "fullweb-lint: unsupported pattern %q (the module is always analyzed whole; use ./...)\n", pat)
+			return 2
+		}
+	}
+
+	pkgs, err := load.Module(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "fullweb-lint:", err)
+		return 2
+	}
+	status := 0
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			for _, e := range pkg.Errors {
+				fmt.Fprintf(stderr, "fullweb-lint: %s: %v\n", pkg.PkgPath, e)
+			}
+			return 2
+		}
+		findings, err := lint.Run(pkg, analyzers...)
+		if err != nil {
+			fmt.Fprintln(stderr, "fullweb-lint:", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+			status = 1
+		}
+	}
+	return status
+}
+
+// selectRules filters the suite down to the named analyzers.
+func selectRules(all []*analysis.Analyzer, rules string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (run -list for the suite)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"fullweb/internal/lint"
+)
+
+func TestListPrintsTheSuite(t *testing.T) {
+	var out, errb strings.Builder
+	if status := run([]string{"-list"}, &out, &errb); status != 0 {
+		t.Fatalf("-list: status %d, stderr %q", status, errb.String())
+	}
+	for _, name := range []string{"ctxflow", "globalrand", "maporder", "rawgo", "walltime"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestSelectRules(t *testing.T) {
+	picked, err := selectRules(lint.Analyzers(), "maporder, rawgo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 || picked[0].Name != "maporder" || picked[1].Name != "rawgo" {
+		t.Errorf("unexpected selection: %v", picked)
+	}
+	if _, err := selectRules(lint.Analyzers(), "nosuchrule"); err == nil {
+		t.Error("unknown rule not rejected")
+	}
+}
+
+func TestUnsupportedPatternRejected(t *testing.T) {
+	var out, errb strings.Builder
+	if status := run([]string{"./internal/session"}, &out, &errb); status != 2 {
+		t.Fatalf("unsupported pattern: status %d, want 2", status)
+	}
+	if !strings.Contains(errb.String(), "unsupported pattern") {
+		t.Errorf("missing usage error, got %q", errb.String())
+	}
+}

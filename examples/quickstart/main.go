@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"fullweb/internal/core"
 	"fullweb/internal/report"
@@ -61,7 +62,11 @@ func run() error {
 	}
 
 	fmt.Println("\nPoisson battery on request arrivals (paper: rejected everywhere):")
-	for level, pa := range model.RequestPoisson {
+	for _, level := range []weblog.WorkloadLevel{weblog.Low, weblog.Med, weblog.High} {
+		pa, ok := model.RequestPoisson[level]
+		if !ok {
+			continue
+		}
 		verdict := "rejected"
 		if pa.Accepted() {
 			verdict = "accepted"
@@ -71,7 +76,14 @@ func run() error {
 
 	fmt.Println("\nSession length heavy-tail analysis (paper Table 2):")
 	tb = report.NewTable("interval", "n", "alpha_LLCD", "R^2", "class")
-	for interval, row := range model.Tails[core.CharSessionLength].Rows {
+	rows := model.Tails[core.CharSessionLength].Rows
+	intervals := make([]string, 0, len(rows))
+	for interval := range rows {
+		intervals = append(intervals, interval)
+	}
+	sort.Strings(intervals)
+	for _, interval := range intervals {
+		row := rows[interval]
 		if row.Status == core.TailNA {
 			tb.AddRow(interval, fmt.Sprint(row.N), "NA", "NA", "too few sessions")
 			continue

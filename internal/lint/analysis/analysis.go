@@ -1,0 +1,64 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary — just enough surface
+// (Analyzer, Pass, Diagnostic) for the repo's custom determinism and
+// concurrency analyzers. The build environment is offline and the
+// module is stdlib-only by policy (DESIGN.md §3), so vendoring x/tools
+// is not an option; analyzers written against this package use the
+// same shapes and port to the upstream API mechanically if the
+// dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. It mirrors the upstream
+// x/tools Analyzer: a unique lowercase Name (also the rule name in
+// //lint:allow suppressions), human documentation, and a Run function
+// applied once per package.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics and suppressions. By
+	// convention a single lowercase word, e.g. "maporder".
+	Name string
+	// Doc is the rule's documentation: first line a one-sentence
+	// summary, then rationale.
+	Doc string
+	// Run applies the check to one package via the Pass. It reports
+	// findings through pass.Report/Reportf; the result value is
+	// reserved for upstream compatibility and is ignored by this
+	// repo's driver.
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one package's syntax and type information to an
+// Analyzer's Run function, plus the Report sink for diagnostics.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token.Pos values in Files to file positions.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's facts about Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Never nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. Category is
+// filled in by the runner with the analyzer name.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}

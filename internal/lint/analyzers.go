@@ -1,0 +1,22 @@
+package lint
+
+import (
+	"fullweb/internal/lint/analysis"
+	"fullweb/internal/lint/ctxflow"
+	"fullweb/internal/lint/globalrand"
+	"fullweb/internal/lint/maporder"
+	"fullweb/internal/lint/rawgo"
+	"fullweb/internal/lint/walltime"
+)
+
+// Analyzers returns the full determinism/concurrency suite in name
+// order — the set cmd/fullweb-lint runs and the tier-1 gate enforces.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		globalrand.Analyzer,
+		maporder.Analyzer,
+		rawgo.Analyzer,
+		walltime.Analyzer,
+	}
+}

@@ -1,0 +1,175 @@
+// Package ctxflow pins the repo's context-plumbing convention, which
+// is what lets a failing experiment cancel its siblings mid-fan-out
+// (parallel.Pool.ForEach's error contract):
+//
+//   - every exported function or method whose name ends in "Ctx" must
+//     take a context.Context and actually consult it — either check
+//     ctx.Err()/ctx.Done() or pass the context on to a callee; a Ctx
+//     entry point that ignores its context silently breaks
+//     cancellation for every caller above it;
+//   - an exported non-Ctx function whose package declares a matching
+//     Ctx variant (Analyze / AnalyzeCtx) must delegate to it, so the
+//     two entry points cannot drift apart.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fullweb/internal/lint/analysis"
+)
+
+// Analyzer is the ctxflow rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported ...Ctx functions must accept and consult a context.Context; their non-Ctx wrappers must delegate to them",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Index exported top-level functions by (receiver type, name) so
+	// wrappers can find their Ctx variants.
+	type key struct{ recv, name string }
+	decls := make(map[key]*ast.FuncDecl)
+	var all []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			decls[key{recvTypeName(fd), fd.Name.Name}] = fd
+			all = append(all, fd)
+		}
+	}
+	for _, fd := range all {
+		name := fd.Name.Name
+		if fd.Body == nil {
+			continue
+		}
+		if strings.HasSuffix(name, "Ctx") && len(name) > len("Ctx") {
+			checkCtxFunc(pass, fd)
+			continue
+		}
+		if ctxVariant, ok := decls[key{recvTypeName(fd), name + "Ctx"}]; ok {
+			checkWrapper(pass, fd, ctxVariant.Name.Name)
+		}
+	}
+	return nil, nil
+}
+
+// checkCtxFunc enforces the Ctx-suffix contract: a context.Context
+// parameter that the body either checks or forwards.
+func checkCtxFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ctxObj := contextParam(pass, fd)
+	if ctxObj == nil {
+		pass.Reportf(fd.Pos(), "exported %s has the Ctx suffix but no named context.Context parameter", fd.Name.Name)
+		return
+	}
+	// The context is "consulted" when it appears anywhere inside a
+	// call expression: ctx.Err(), ctx.Done(), context.WithCancel(ctx),
+	// pool.ForEach(ctx, ...) all qualify.
+	consulted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || consulted {
+			return !consulted
+		}
+		ast.Inspect(call, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ctxObj {
+				consulted = true
+				return false
+			}
+			return true
+		})
+		return !consulted
+	})
+	if !consulted {
+		pass.Reportf(fd.Pos(),
+			"exported %s never checks ctx.Err() nor passes its context to a callee; cancellation cannot propagate through it",
+			fd.Name.Name)
+	}
+}
+
+// checkWrapper enforces that a non-Ctx entry point with a Ctx sibling
+// delegates to it.
+func checkWrapper(pass *analysis.Pass, fd *ast.FuncDecl, ctxName string) {
+	delegates := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == ctxName {
+				delegates = true
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == ctxName {
+				delegates = true
+			}
+		}
+		return !delegates
+	})
+	if !delegates {
+		pass.Reportf(fd.Pos(),
+			"exported %s must delegate to %s so the two entry points share one implementation",
+			fd.Name.Name, ctxName)
+	}
+}
+
+// contextParam returns the object of the first parameter whose type
+// is context.Context, or nil.
+func contextParam(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+		// Unnamed (or _) context parameter: it exists but can never be
+		// consulted, which checkCtxFunc will report via nil.
+		return nil
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// recvTypeName returns the receiver's base type name ("" for plain
+// functions), so Analyze/AnalyzeCtx pairs match per receiver type.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"fullweb/internal/lint/ctxflow"
+	"fullweb/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), ctxflow.Analyzer, "ctxflowdata")
+}

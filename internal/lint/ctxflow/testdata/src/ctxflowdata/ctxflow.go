@@ -1,0 +1,81 @@
+// Package ctxflowdata exercises the ctxflow analyzer: Ctx entry
+// points that ignore or lack their context trigger, as do non-Ctx
+// wrappers that fail to delegate.
+package ctxflowdata
+
+import "context"
+
+// BadCtx takes a context but never consults it — cancellation dies here.
+func BadCtx(ctx context.Context, n int) int { // want `never checks ctx.Err\(\) nor passes its context`
+	return n * 2
+}
+
+// MissingCtx carries the suffix without the parameter.
+func MissingCtx(n int) int { // want `no named context.Context parameter`
+	return n
+}
+
+// GoodErrCtx checks ctx.Err() — the minimal compliant shape.
+func GoodErrCtx(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// GoodDelegateCtx forwards its context to a callee.
+func GoodDelegateCtx(ctx context.Context, n int) (int, error) {
+	return GoodErrCtx(ctx, n)
+}
+
+// Sum delegates to SumCtx — the required wrapper shape.
+func Sum(n int) (int, error) {
+	return SumCtx(context.Background(), n)
+}
+
+// SumCtx is Sum's context-aware implementation.
+func SumCtx(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Prod has a Ctx sibling but recomputes instead of delegating, so the
+// two entry points can drift apart.
+func Prod(n int) int { // want `must delegate to ProdCtx`
+	return n * n
+}
+
+// ProdCtx is the context-aware variant Prod ignores.
+func ProdCtx(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n * n, nil
+}
+
+// Engine checks that wrapper/variant matching is per receiver type.
+type Engine struct{}
+
+// Run delegates to RunCtx on the same receiver.
+func (e *Engine) Run(n int) (int, error) {
+	return e.RunCtx(context.Background(), n)
+}
+
+// RunCtx consults its context via the pool-style forward.
+func (e *Engine) RunCtx(ctx context.Context, n int) (int, error) {
+	return GoodErrCtx(ctx, n)
+}
+
+// unexportedCtx is not exported, so the contract does not apply.
+func unexportedCtx(ctx context.Context, n int) int {
+	return n
+}
+
+// AllowedCtx demonstrates the escape hatch.
+//
+//lint:allow ctxflow demo of the suppression syntax
+func AllowedCtx(ctx context.Context, n int) int {
+	return n
+}

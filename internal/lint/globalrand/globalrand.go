@@ -1,0 +1,64 @@
+// Package globalrand forbids the package-level convenience functions
+// of math/rand (and math/rand/v2): rand.Intn, rand.Float64,
+// rand.Shuffle, rand.Seed and friends draw from a process-global
+// source, so their output depends on everything else the process has
+// sampled — across goroutines, in scheduling order. Every estimator
+// and generator in this repo must instead thread an explicit
+// *rand.Rand derived from a config-fixed seed (DESIGN.md
+// seed-derivation rules), which is what makes the Monte-Carlo
+// batteries and synthetic traces byte-identical run to run.
+//
+// Constructors are allowed: rand.New, rand.NewSource, rand.NewZipf
+// (and the v2 New* family) build the explicit generators the rule
+// demands.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fullweb/internal/lint/analysis"
+)
+
+// Analyzer is the globalrand rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "forbids math/rand package-level functions; randomness must flow through a seeded *rand.Rand",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true // types (rand.Rand, rand.Source) are fine
+			}
+			if strings.HasPrefix(sel.Sel.Name, "New") {
+				return true // constructors build the explicit generators we want
+			}
+			pass.Reportf(sel.Pos(),
+				"global %s.%s draws from the shared process-wide source; derive a *rand.Rand from the configured seed instead",
+				path, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil, nil
+}

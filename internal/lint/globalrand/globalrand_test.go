@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"fullweb/internal/lint/globalrand"
+	"fullweb/internal/lint/linttest"
+)
+
+func TestGlobalRand(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), globalrand.Analyzer, "globalranddata")
+}

@@ -1,0 +1,38 @@
+// Package globalranddata exercises the globalrand analyzer: global
+// math/rand conveniences trigger; explicit seeded generators and the
+// suppression syntax stay silent.
+package globalranddata
+
+import "math/rand"
+
+func bad() int {
+	return rand.Intn(10) // want `global math/rand.Intn`
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want `global math/rand.Float64`
+}
+
+func badShuffle(x []int) {
+	rand.Shuffle(len(x), func(i, j int) { x[i], x[j] = x[j], x[i] }) // want `global math/rand.Shuffle`
+}
+
+func badValue() func() int64 {
+	return rand.Int63 // want `global math/rand.Int63`
+}
+
+// good threads an explicit generator derived from a fixed seed — the
+// repo-wide convention (DESIGN.md seed-derivation rules).
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// goodType references the rand.Rand type, which is not a draw.
+func goodType(rng *rand.Rand) int {
+	return rng.Intn(3)
+}
+
+func allowedUse() int {
+	return rand.Int() //lint:allow globalrand demo of the suppression syntax
+}

@@ -1,0 +1,129 @@
+// Package lint runs the repo's custom determinism and concurrency
+// analyzers (see DESIGN.md "Machine-checked invariants") over loaded
+// packages and applies the //lint:allow suppression convention.
+//
+// A diagnostic can be suppressed with a comment of the form
+//
+//	//lint:allow <rule> <reason>
+//
+// placed either on the offending line or on the line directly above
+// it. The rule name must match the analyzer that produced the
+// diagnostic and the reason is mandatory — a bare allow with no
+// justification is itself reported as a "lint" finding, so every
+// suppression in the tree carries its audit trail.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"fullweb/internal/lint/analysis"
+	"fullweb/internal/lint/load"
+)
+
+// Finding is one resolved diagnostic: a file position, the rule
+// (analyzer name) that fired, and the message.
+type Finding struct {
+	Position token.Position
+	Rule     string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Rule)
+}
+
+// Run applies the analyzers to one package, drops diagnostics
+// suppressed by //lint:allow comments, and returns the remaining
+// findings sorted by position then rule. Malformed allow comments are
+// returned as findings under the rule name "lint".
+func Run(pkg *load.Package, analyzers ...*analysis.Analyzer) ([]Finding, error) {
+	allows, malformed := collectAllows(pkg)
+	findings := malformed
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report: func(d analysis.Diagnostic) {
+				d.Category = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.PkgPath, a.Name, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if allows[allowKey{pos.Filename, pos.Line, a.Name}] {
+				continue
+			}
+			findings = append(findings, Finding{Position: pos, Rule: a.Name, Message: d.Message})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings, nil
+}
+
+// allowKey addresses one (file, line, rule) suppression.
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+// collectAllows scans the package's comments for //lint:allow
+// directives. A well-formed directive suppresses its rule on the
+// comment's own line and on the following line (so it works both
+// inline and as a standalone comment above the code). Directives
+// missing the rule or the reason are returned as malformed findings.
+func collectAllows(pkg *load.Package) (map[allowKey]bool, []Finding) {
+	allows := make(map[allowKey]bool)
+	var malformed []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok { // /* */ comments don't carry directives
+					continue
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:allow")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Finding{
+						Position: pos,
+						Rule:     "lint",
+						Message:  "malformed //lint:allow: want \"//lint:allow <rule> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				rule := fields[0]
+				allows[allowKey{pos.Filename, pos.Line, rule}] = true
+				allows[allowKey{pos.Filename, pos.Line + 1, rule}] = true
+			}
+		}
+	}
+	return allows, malformed
+}

@@ -1,0 +1,282 @@
+// Package load parses and type-checks the module's packages for the
+// lint driver, using only the standard library. Imports are resolved
+// two ways: paths inside the module map to directories under the
+// module root and are loaded recursively; everything else (stdlib)
+// goes through go/importer's source importer, which compiles export
+// information from GOROOT sources and therefore works offline.
+//
+// Only non-test files are loaded: the determinism invariants guard
+// what analysis runs compute, and test-only order dependence is
+// covered separately by `go test -shuffle=on` (see Makefile).
+package load
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path ("fullweb/internal/session").
+	PkgPath string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset maps positions for Files (shared across the whole load).
+	Fset *token.FileSet
+	// Files is the parsed syntax, comments included, in filename order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo records the checker's facts about Files.
+	TypesInfo *types.Info
+	// Errors holds any type-check errors. Analyses still run on a
+	// package with errors, but drivers should surface them.
+	Errors []error
+}
+
+// Loader resolves and caches package loads. It implements
+// types.Importer so the type-checker can pull in dependencies.
+type Loader struct {
+	// Fset is shared by every file the loader touches.
+	Fset *token.FileSet
+
+	root       string // absolute directory the module/fixture tree lives in
+	modulePath string // module path mapped to root; "" means map import paths to root/<path>
+	std        types.Importer
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+// New returns a loader rooted at dir. modulePath is the import-path
+// prefix that maps to dir; pass "" (fixture mode, used by linttest) to
+// map any import path p to dir/p when that directory exists.
+func New(dir, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		root:       dir,
+		modulePath: modulePath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir := l.dirFor(path); dir != "" {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps an import path to a source directory inside the load
+// root, or "" when the path is not ours (stdlib).
+func (l *Loader) dirFor(path string) string {
+	switch {
+	case l.modulePath == "":
+		dir := filepath.Join(l.root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+		return ""
+	case path == l.modulePath:
+		return l.root
+	case strings.HasPrefix(path, l.modulePath+"/"):
+		return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modulePath+"/")))
+	default:
+		return ""
+	}
+}
+
+// Load parses and type-checks the package at the given import path
+// (which must resolve inside the loader's root). Results are cached.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("load: %q is outside the load root %s", path, l.root)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := parseDir(l.Fset, dir)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load %s: no non-test Go files in %s", path, dir)
+	}
+
+	pkg := &Package{
+		PkgPath: path,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Files:   files,
+		TypesInfo: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, pkg.TypesInfo)
+	if err != nil && len(pkg.Errors) == 0 {
+		pkg.Errors = append(pkg.Errors, err)
+	}
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test .go file in dir, in filename order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Module loads every non-test package under the module rooted at dir
+// (found via its go.mod), in import-path order. Directories named
+// testdata, hidden directories and _-prefixed directories are skipped,
+// matching the go tool's conventions.
+func Module(dir string) ([]*Package, error) {
+	root, modulePath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := New(root, modulePath)
+	var paths []string
+	err = filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(p) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, modulePath)
+		} else {
+			paths = append(paths, modulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			mp := parseModulePath(string(data))
+			if mp == "" {
+				return "", "", fmt.Errorf("load: no module directive in %s/go.mod", d)
+			}
+			return d, mp, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", errors.New("load: no go.mod found above " + abs)
+		}
+		d = parent
+	}
+}
+
+// parseModulePath extracts the module path from go.mod contents.
+func parseModulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}

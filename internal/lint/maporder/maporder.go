@@ -1,0 +1,255 @@
+// Package maporder flags code whose output can depend on Go's
+// randomized map iteration order — the exact bug class fixed by hand
+// in PR 1, where the sessionizer ranged over a per-host map and
+// appended sessions in map order, leaking nondeterminism into every
+// downstream floating-point accumulation and session-level estimate.
+//
+// A `for ... range m` over a map is reported when its body
+//
+//   - appends to a slice declared outside the loop, unless a
+//     canonical sort of that slice follows the loop in the same
+//     block (the sort-keys-first and sort-results-after idioms both
+//     pass),
+//   - accumulates into a floating-point variable declared outside
+//     the loop (FP addition is not associative, so no after-the-fact
+//     sort can repair the sum), or
+//   - writes output (fmt print family, Write* methods, or this
+//     repo's report.Table.AddRow), which emits in map order.
+//
+// Intentional order-insensitive uses are suppressed with
+// //lint:allow maporder <reason>.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fullweb/internal/lint/analysis"
+)
+
+// Analyzer is the maporder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map-range loops whose accumulated or emitted results depend on map iteration order",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkStmts(pass, n.List)
+			case *ast.CaseClause:
+				checkStmts(pass, n.Body)
+			case *ast.CommClause:
+				checkStmts(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkStmts examines each statement list for map-range loops; the
+// statements after a loop are its redemption window — where a
+// canonical sort of the accumulated slice may appear.
+func checkStmts(pass *analysis.Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		rs, ok := s.(*ast.RangeStmt)
+		if !ok || !rangesOverMap(pass, rs) {
+			continue
+		}
+		checkMapRange(pass, rs, stmts[i+1:])
+	}
+}
+
+func rangesOverMap(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, after []ast.Stmt) {
+	wroteReported := false // one output-write diagnostic per loop, not per call
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, n, after)
+		case *ast.CallExpr:
+			if !wroteReported && isOutputWrite(pass, rs, n) {
+				wroteReported = true
+				pass.Reportf(rs.Pos(),
+					"output is written inside a range over a map and emits in map iteration order; iterate sorted keys")
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign reports order-sensitive accumulation: appends to an
+// outer slice with no later sort, and any compound floating-point
+// update of an outer variable.
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, after []ast.Stmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	obj := baseObject(pass, as.Lhs[0])
+	if obj == nil || declaredWithin(obj, rs) {
+		return
+	}
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+			if !sortedAfter(pass, obj, after) {
+				pass.Reportf(rs.Pos(),
+					"%s is appended to inside a range over a map and not canonically sorted afterwards; iterate sorted keys or sort the result (the PR-1 sessionizer bug class)",
+					types.ExprString(as.Lhs[0]))
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if isFloat(pass.TypesInfo.TypeOf(as.Lhs[0])) {
+			pass.Reportf(rs.Pos(),
+				"floating-point accumulation into %s inside a range over a map depends on iteration order (FP addition is not associative); iterate sorted keys",
+				types.ExprString(as.Lhs[0]))
+		}
+	}
+}
+
+// isOutputWrite reports whether a call emits output from inside the
+// loop body: the fmt print family and
+// Write/WriteString/WriteByte/WriteRune/AddRow method calls on
+// loop-external receivers.
+func isOutputWrite(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if x, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName); ok {
+			return pn.Imported().Path() == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint"))
+		}
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "AddRow":
+		obj := baseObject(pass, sel.X)
+		return obj != nil && !declaredWithin(obj, rs)
+	}
+	return false
+}
+
+// sortedAfter reports whether any statement after the loop (in the
+// same block) calls a sort on obj: a call whose package or function
+// name contains "sort" (sort.Strings, sort.Slice, slices.Sort, a
+// local sortSessions helper, ...) with obj appearing in its argument
+// list.
+func sortedAfter(pass *analysis.Pass, obj types.Object, after []ast.Stmt) bool {
+	found := false
+	for _, s := range after {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !calleeMentionsSort(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if usesObject(pass, arg, obj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeMentionsSort(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return containsSort(fun.Name)
+	case *ast.SelectorExpr:
+		if containsSort(fun.Sel.Name) {
+			return true
+		}
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return containsSort(x.Name)
+		}
+	}
+	return false
+}
+
+func containsSort(name string) bool {
+	return strings.Contains(strings.ToLower(name), "sort")
+}
+
+// usesObject reports whether expr mentions an identifier resolving to
+// obj.
+func usesObject(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// baseObject resolves the root identifier of an lvalue-ish expression
+// (x, x.f, x[i], (*x).f → x) to its object.
+func baseObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// range statement (loop-local state resets every iteration and cannot
+// leak order).
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() != token.NoPos && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

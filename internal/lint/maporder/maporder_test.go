@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"fullweb/internal/lint/linttest"
+	"fullweb/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), maporder.Analyzer, "maporderdata", "sessionizer")
+}

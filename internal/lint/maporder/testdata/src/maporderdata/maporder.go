@@ -1,0 +1,102 @@
+// Package maporderdata exercises the maporder analyzer: each
+// triggering shape carries a want comment; the redeemed and
+// order-insensitive shapes must stay silent.
+package maporderdata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// appendNoSort is the bare bug: the result leaks map iteration order.
+func appendNoSort(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `appended to inside a range over a map`
+		out = append(out, v)
+	}
+	return out
+}
+
+// appendThenSort is the canonical sort-the-keys idiom: redeemed.
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortInts(x []int) { sort.Ints(x) }
+
+// appendThenHelperSort is redeemed by a local sort helper — the shape
+// of the PR-1 sessionizer fix (sortSessions).
+func appendThenHelperSort(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sortInts(out)
+	return out
+}
+
+// floatAccum cannot be redeemed after the fact: FP addition is not
+// associative, so the sum depends on iteration order.
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `floating-point accumulation`
+		sum += v
+	}
+	return sum
+}
+
+// intAccum is fine: integer addition is associative.
+func intAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// printLoop emits lines in map iteration order.
+func printLoop(m map[string]int) {
+	for k, v := range m { // want `output is written inside a range over a map`
+		fmt.Println(k, v)
+	}
+}
+
+// builderLoop writes to an outer builder in map iteration order.
+func builderLoop(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `output is written inside a range over a map`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// loopLocalAppend accumulates into loop-local state that resets every
+// iteration — nothing leaks.
+func loopLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}
+
+// allowedAccum demonstrates the escape hatch: the suppression names
+// the rule and carries a reason, so no diagnostic survives.
+func allowedAccum(m map[string]float64) float64 {
+	var sum float64
+	//lint:allow maporder vetted order-insensitive demo of the suppression syntax
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,69 @@
+// Package sessionizer reproduces the PR-1 sessionizer map-order leak:
+// sessions bucketed per host in a map, then appended to the output
+// slice while ranging over that map. Without a canonical sort after
+// the loop, every downstream order-sensitive statistic (FP sums,
+// inter-session gaps) differs run to run. buggySessionize is the
+// pre-fix shape; fixedSessionize is the shipped fix
+// (internal/session.Sessionize + sortSessions).
+package sessionizer
+
+import "sort"
+
+type record struct {
+	host  string
+	t     int64
+	bytes int64
+}
+
+type session struct {
+	host  string
+	start int64
+	bytes int64
+}
+
+// buggySessionize appends sessions in map iteration order — the exact
+// nondeterminism PR 1 fixed by hand.
+func buggySessionize(records []record) []session {
+	byHost := make(map[string][]record)
+	for _, r := range records {
+		byHost[r.host] = append(byHost[r.host], r)
+	}
+	var sessions []session
+	for host, recs := range byHost { // want `sessions is appended to inside a range over a map`
+		cur := session{host: host, start: recs[0].t}
+		for _, r := range recs {
+			cur.bytes += r.bytes
+		}
+		sessions = append(sessions, cur)
+	}
+	return sessions
+}
+
+// fixedSessionize is the shipped shape: same bucketing, but the output
+// is put into the canonical (start, host) order before anything
+// order-sensitive consumes it.
+func fixedSessionize(records []record) []session {
+	byHost := make(map[string][]record)
+	for _, r := range records {
+		byHost[r.host] = append(byHost[r.host], r)
+	}
+	var sessions []session
+	for host, recs := range byHost {
+		cur := session{host: host, start: recs[0].t}
+		for _, r := range recs {
+			cur.bytes += r.bytes
+		}
+		sessions = append(sessions, cur)
+	}
+	sortSessions(sessions)
+	return sessions
+}
+
+func sortSessions(s []session) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].start != s[j].start {
+			return s[i].start < s[j].start
+		}
+		return s[i].host < s[j].host
+	})
+}

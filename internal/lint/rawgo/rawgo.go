@@ -1,0 +1,39 @@
+// Package rawgo forbids `go` statements outside internal/parallel.
+// The analysis engine's byte-identical guarantee rests on one
+// concurrency primitive: the bounded, index-collecting worker pool
+// (parallel.Pool), whose fan-outs produce the same output at any pool
+// size. A raw goroutine anywhere else reopens the door to unbounded
+// concurrency and order-dependent result collection, so all
+// parallelism must flow through the pool.
+package rawgo
+
+import (
+	"go/ast"
+	"strings"
+
+	"fullweb/internal/lint/analysis"
+)
+
+// Analyzer is the rawgo rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawgo",
+	Doc:  "forbids go statements outside internal/parallel; use the bounded parallel.Pool",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if path == "internal/parallel" || strings.HasSuffix(path, "/internal/parallel") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"raw go statement outside internal/parallel; fan out on the bounded parallel.Pool so results stay deterministic")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

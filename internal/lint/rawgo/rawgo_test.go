@@ -1,0 +1,12 @@
+package rawgo_test
+
+import (
+	"testing"
+
+	"fullweb/internal/lint/linttest"
+	"fullweb/internal/lint/rawgo"
+)
+
+func TestRawGo(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), rawgo.Analyzer, "rawgodata", "fullweb/internal/parallel")
+}

@@ -1,0 +1,12 @@
+// Package rawgodata exercises the rawgo analyzer: raw goroutines
+// outside internal/parallel trigger; the suppression syntax works.
+package rawgodata
+
+func bad(done chan struct{}) {
+	go func() { close(done) }() // want `raw go statement outside internal/parallel`
+}
+
+func allowed(done chan struct{}) {
+	//lint:allow rawgo demo of the suppression syntax
+	go func() { close(done) }()
+}

@@ -1,0 +1,64 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fullweb/internal/lint"
+	"fullweb/internal/lint/load"
+)
+
+// TestSelfCheck runs every analyzer over the repo's own packages and
+// asserts zero diagnostics — the gate that keeps `make lint` honest:
+// if an invariant violation (or a malformed //lint:allow) ever lands,
+// this test fails alongside the driver, so the lint step cannot rot
+// out of CI unnoticed.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := moduleRoot(t)
+	pkgs, err := load.Module(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walker is missing the tree", len(pkgs))
+	}
+	analyzers := lint.Analyzers()
+	if len(analyzers) != 5 {
+		t.Fatalf("expected the 5-analyzer suite, got %d", len(analyzers))
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			t.Errorf("%s: type-check: %v", pkg.PkgPath, e)
+		}
+		findings, err := lint.Run(pkg, analyzers...)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,91 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fullweb/internal/lint"
+	"fullweb/internal/lint/load"
+	"fullweb/internal/lint/rawgo"
+)
+
+// writeFixture materializes a one-package fixture tree and loads it.
+func writeFixture(t *testing.T, src string) *load.Package {
+	t.Helper()
+	dir := t.TempDir()
+	pkgDir := filepath.Join(dir, "fixture")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := load.New(dir, "").Load("fixture")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkg.Errors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.Errors[0])
+	}
+	return pkg
+}
+
+func TestAllowSuppressesOnlyItsRule(t *testing.T) {
+	pkg := writeFixture(t, `package fixture
+
+func spawnSameLine(fn func()) {
+	go fn() //lint:allow rawgo vetted one-shot
+}
+
+func spawnLineAbove(fn func()) {
+	//lint:allow rawgo vetted one-shot
+	go fn()
+}
+
+func spawnWrongRule(fn func()) {
+	//lint:allow maporder wrong rule named
+	go fn()
+}
+`)
+	findings, err := lint.Run(pkg, rawgo.Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the wrong-rule finding, got %d: %v", len(findings), findings)
+	}
+	if findings[0].Rule != "rawgo" || findings[0].Position.Line != 14 {
+		t.Errorf("unexpected finding: %v", findings[0])
+	}
+}
+
+func TestMalformedAllowIsReported(t *testing.T) {
+	pkg := writeFixture(t, `package fixture
+
+//lint:allow rawgo
+func spawn(fn func()) {
+	go fn()
+}
+`)
+	findings, err := lint.Run(pkg, rawgo.Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotMalformed, gotRawgo bool
+	for _, f := range findings {
+		switch f.Rule {
+		case "lint":
+			gotMalformed = gotMalformed || strings.Contains(f.Message, "malformed //lint:allow")
+		case "rawgo":
+			gotRawgo = true
+		}
+	}
+	if !gotMalformed {
+		t.Errorf("reason-less allow not reported as malformed: %v", findings)
+	}
+	if !gotRawgo {
+		t.Errorf("reason-less allow must not suppress the diagnostic: %v", findings)
+	}
+}

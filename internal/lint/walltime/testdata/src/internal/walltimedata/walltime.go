@@ -1,0 +1,27 @@
+// Package walltimedata exercises the walltime analyzer inside an
+// internal/ import path, where wall-clock reads are forbidden.
+package walltimedata
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func badUntil(t0 time.Time) time.Duration {
+	return time.Until(t0) // want `time.Until reads the wall clock`
+}
+
+// good manipulates timestamps that came from the data — fine.
+func good(t time.Time) time.Time {
+	return t.Add(30 * time.Minute)
+}
+
+func allowedUse() time.Time {
+	//lint:allow walltime demo of the suppression syntax
+	return time.Now()
+}

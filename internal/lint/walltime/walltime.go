@@ -1,0 +1,57 @@
+// Package walltime forbids reading the wall clock (time.Now,
+// time.Since, time.Until) in the repo's internal analysis packages.
+// Every quantity the reproduction reports — Hurst estimates, battery
+// rejection counts, session statistics — must be a pure function of
+// the input trace and the configuration, so a result can never differ
+// because the analysis ran at a different moment. Timestamps belong
+// in the data (weblog.Record.Time); durations belong in config.
+//
+// The rule applies to packages whose import path contains
+// "internal/"; cmd/ and examples/ may time themselves for progress
+// reporting.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fullweb/internal/lint/analysis"
+)
+
+// Analyzer is the walltime rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbids time.Now/time.Since/time.Until in internal analysis packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !strings.Contains(pass.Pkg.Path(), "internal/") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Now", "Since", "Until":
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; analysis results must be a pure function of trace and config — take timestamps from the input data",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"fullweb/internal/lint/linttest"
+	"fullweb/internal/lint/walltime"
+)
+
+func TestWallTime(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), walltime.Analyzer, "internal/walltimedata", "cmdpkg")
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench fuzz fuzz-smoke
+.PHONY: all build test race vet lint check bench bench-obs fuzz fuzz-smoke
 
 all: build
 
@@ -32,6 +32,12 @@ check: vet lint build race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-obs captures the PR 3 benchmark evidence: the repro sweep pair
+# and the observability overhead pair, benchstat-compatible, three
+# samples each. The committed BENCH_pr3.json is one run of this target.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'ReproSweep|ObsOverhead' -benchmem -count=3 . | tee BENCH_pr3.json
 
 # Short fuzz smoke (~10s total) over the checked-in corpora; part of
 # the tier-1 gate so parser regressions surface immediately.

@@ -8,9 +8,12 @@
 package fullweb_test
 
 import (
+	"io"
 	"testing"
+	"time"
 
 	"fullweb/internal/core"
+	"fullweb/internal/obs"
 	"fullweb/internal/repro"
 )
 
@@ -62,6 +65,34 @@ func benchSweep(b *testing.B, workers int) {
 func BenchmarkReproSweepSequential(b *testing.B) { benchSweep(b, 1) }
 
 func BenchmarkReproSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// benchObsOverhead measures one full Figure 4 experiment (generation +
+// sessionization + four-server Hurst battery) with the given
+// instrumentation. The Off/On pair bounds the observability tax: the
+// contract in DESIGN.md is that full tracing plus metrics stays within
+// a few percent of the uninstrumented run.
+func benchObsOverhead(b *testing.B, instrument bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness(1)
+		if instrument {
+			clock := obs.NewManualClock(time.Unix(0, 0).UTC(), time.Microsecond)
+			h.Tracer = obs.NewTracer(clock, obs.NewJSONLWriter(io.Discard))
+			h.Metrics = obs.NewRegistry()
+		}
+		if _, err := h.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsOverheadTracingOff and BenchmarkObsOverheadTracingOn are
+// the observability before/after pair: identical work and identical
+// results (TestHarnessDeterministicUnderInstrumentation) with the no-op
+// path vs full JSONL tracing and a live metrics registry.
+func BenchmarkObsOverheadTracingOff(b *testing.B) { benchObsOverhead(b, false) }
+
+func BenchmarkObsOverheadTracingOn(b *testing.B) { benchObsOverhead(b, true) }
 
 func BenchmarkTable1RawData(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 
 	"fullweb/internal/core"
 	"fullweb/internal/gof"
+	"fullweb/internal/obs"
 	"fullweb/internal/reliability"
 	"fullweb/internal/report"
 	"fullweb/internal/session"
@@ -117,13 +119,13 @@ func cmdGenerate(args []string, out io.Writer) error {
 	return nil
 }
 
-func loadLog(path string) (*weblog.Store, error) {
+func loadLog(ctx context.Context, path string) (*weblog.Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("opening log: %w", err)
 	}
 	defer f.Close()
-	records, bad, err := weblog.ReadAll(f)
+	records, bad, err := weblog.ReadAllCtx(ctx, f)
 	if err != nil {
 		return nil, err
 	}
@@ -136,11 +138,13 @@ func loadLog(path string) (*weblog.Store, error) {
 	return weblog.NewStore(records), nil
 }
 
-func cmdAnalyze(args []string, out io.Writer) error {
+func cmdAnalyze(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	logPath := fs.String("log", "", "CLF log file to analyze (required)")
 	server := fs.String("server", "log", "label for the report")
 	workers := fs.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical at any setting")
+	var obsCfg obs.CLIConfig
+	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,17 +154,28 @@ func cmdAnalyze(args []string, out io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("analyze: -parallel must be >= 0, got %d", *workers)
 	}
-	store, err := loadLog(*logPath)
+	sess, err := obsCfg.Start(obs.SystemClock(), os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	ctx := sess.Context(context.Background())
+	store, err := loadLog(ctx, *logPath)
 	if err != nil {
 		return err
 	}
 	cfg := core.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.Metrics = sess.Metrics
 	analyzer, err := core.NewAnalyzer(cfg)
 	if err != nil {
 		return err
 	}
-	model, err := analyzer.Analyze(*server, store)
+	model, err := analyzer.AnalyzeCtx(ctx, *server, store)
 	if err != nil {
 		return err
 	}
@@ -291,21 +306,33 @@ func curvString(row core.TailAnalysis, pareto bool) string {
 	return report.F(row.Curvature.PLognormal)
 }
 
-func cmdSessions(args []string, out io.Writer) error {
+func cmdSessions(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("sessions", flag.ContinueOnError)
 	logPath := fs.String("log", "", "CLF log file (required)")
 	threshold := fs.Duration("threshold", session.DefaultThreshold, "inactivity threshold")
+	var obsCfg obs.CLIConfig
+	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *logPath == "" {
 		return fmt.Errorf("sessions: -log is required")
 	}
-	store, err := loadLog(*logPath)
+	osess, err := obsCfg.Start(obs.SystemClock(), os.Stderr)
 	if err != nil {
 		return err
 	}
-	sessions, err := session.Sessionize(store.All(), *threshold)
+	defer func() {
+		if cerr := osess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	ctx := osess.Context(context.Background())
+	store, err := loadLog(ctx, *logPath)
+	if err != nil {
+		return err
+	}
+	sessions, err := session.SessionizeCtx(ctx, store.All(), *threshold)
 	if err != nil {
 		return err
 	}
@@ -374,7 +401,7 @@ func cmdReliability(args []string, out io.Writer) error {
 	if *logPath == "" {
 		return fmt.Errorf("reliability: -log is required")
 	}
-	store, err := loadLog(*logPath)
+	store, err := loadLog(context.Background(), *logPath)
 	if err != nil {
 		return err
 	}
@@ -419,7 +446,7 @@ func cmdThresholds(args []string, out io.Writer) error {
 	if *logPath == "" {
 		return fmt.Errorf("thresholds: -log is required")
 	}
-	store, err := loadLog(*logPath)
+	store, err := loadLog(context.Background(), *logPath)
 	if err != nil {
 		return err
 	}
@@ -437,12 +464,14 @@ func cmdThresholds(args []string, out io.Writer) error {
 	return nil
 }
 
-func cmdFit(args []string, out io.Writer) error {
+func cmdFit(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
 	logPath := fs.String("log", "", "CLF log file (required)")
 	server := fs.String("server", "log", "name for the fitted profile")
 	outPath := fs.String("out", "", "write the fitted profile as JSON to this file")
 	workers := fs.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical at any setting")
+	var obsCfg obs.CLIConfig
+	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -452,17 +481,28 @@ func cmdFit(args []string, out io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("fit: -parallel must be >= 0, got %d", *workers)
 	}
-	store, err := loadLog(*logPath)
+	sess, err := obsCfg.Start(obs.SystemClock(), os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	ctx := sess.Context(context.Background())
+	store, err := loadLog(ctx, *logPath)
 	if err != nil {
 		return err
 	}
 	cfg := core.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.Metrics = sess.Metrics
 	analyzer, err := core.NewAnalyzer(cfg)
 	if err != nil {
 		return err
 	}
-	model, err := analyzer.Analyze(*server, store)
+	model, err := analyzer.AnalyzeCtx(ctx, *server, store)
 	if err != nil {
 		return err
 	}

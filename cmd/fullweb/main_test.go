@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -68,15 +70,104 @@ func TestGeneratePoissonBaselineFlag(t *testing.T) {
 	}
 }
 
+// TestAnalyzeDeterministicUnderInstrumentation is the observability
+// determinism contract: turning tracing and metrics on must not change
+// a single byte of the analysis report.
+func TestAnalyzeDeterministicUnderInstrumentation(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "trace.log")
+	var out bytes.Buffer
+	err := run([]string{"generate",
+		"-profile", "NASA-Pub2", "-scale", "1", "-seed", "5", "-days", "2",
+		"-out", logPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run([]string{"analyze", "-log", logPath, "-parallel", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	plain := out.String()
+
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	out.Reset()
+	err = run([]string{"analyze", "-log", logPath, "-parallel", "4",
+		"-trace", tracePath, "-metrics", metricsPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instrumented := out.String(); instrumented != plain {
+		t.Errorf("analyze output changed when instrumentation was enabled:\nplain:\n%s\ninstrumented:\n%s", plain, instrumented)
+	}
+
+	// Every trace line must be valid JSON, and the span taxonomy must
+	// cover the whole pipeline: parse, sessionize, estimators, batteries.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var span struct {
+			Name  string `json:"name"`
+			DurNS int64  `json:"dur_ns"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("invalid trace line %q: %v", line, err)
+		}
+		if span.Name == "" {
+			t.Fatalf("trace line missing span name: %q", line)
+		}
+		if span.DurNS < 0 {
+			t.Errorf("span %s has negative duration %d", span.Name, span.DurNS)
+		}
+		seen[span.Name] = true
+	}
+	for _, want := range []string{
+		"weblog.parse", "session.sessionize", "core.analyze",
+		"lrd.estimate", "gof.battery", "heavytail.estimate", "parallel.task",
+	} {
+		if !seen[want] {
+			t.Errorf("trace missing span %q; got %v", want, seen)
+		}
+	}
+
+	// The metrics snapshot must be valid JSON with the core counters.
+	mraw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(mraw, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	have := map[string]int64{}
+	for _, c := range snap.Counters {
+		have[c.Name] = c.Value
+	}
+	for _, want := range []string{"weblog.records_parsed", "session.sessions_built"} {
+		if v, ok := have[want]; !ok || v <= 0 {
+			t.Errorf("metrics counter %q missing or zero; got %v", want, have)
+		}
+	}
+}
+
 func TestLoadLogRejectsMissingAndEmpty(t *testing.T) {
-	if _, err := loadLog(filepath.Join(t.TempDir(), "missing.log")); err == nil {
+	if _, err := loadLog(context.Background(), filepath.Join(t.TempDir(), "missing.log")); err == nil {
 		t.Error("missing file should error")
 	}
 	empty := filepath.Join(t.TempDir(), "empty.log")
 	if err := os.WriteFile(empty, []byte("garbage\nmore garbage\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadLog(empty); err == nil {
+	if _, err := loadLog(context.Background(), empty); err == nil {
 		t.Error("log without parseable records should error")
 	}
 }

@@ -4,6 +4,7 @@
 //
 //	paperrepro -scale 0.1 -seed 1
 //	paperrepro -experiments table2,fig7
+//	paperrepro -progress -trace trace.jsonl -metrics metrics.json
 //
 // Absolute agreement is not expected — the traces are synthetic — but
 // the shape must hold: H > 0.5 everywhere, raw H above stationary H,
@@ -21,6 +22,7 @@ import (
 
 	"fullweb/internal/core"
 	"fullweb/internal/lrd"
+	"fullweb/internal/obs"
 	"fullweb/internal/report"
 	"fullweb/internal/repro"
 	"fullweb/internal/weblog"
@@ -59,7 +61,7 @@ func experiments() []experiment {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.1, "fraction of the paper's Table 1 volumes")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -67,6 +69,8 @@ func run(args []string, out io.Writer) error {
 	list := fs.String("experiments", "all", "comma-separated experiment names or 'all'")
 	csvDir := fs.String("csv", "", "directory to write per-figure CSV data files (optional)")
 	workers := fs.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical at any setting")
+	var obsCfg obs.CLIConfig
+	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,9 +83,20 @@ func run(args []string, out io.Writer) error {
 			wanted[strings.TrimSpace(name)] = true
 		}
 	}
+	sess, err := obsCfg.Start(obs.SystemClock(), os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	h := repro.NewHarness(*scale, *seed)
 	h.Days = *days
 	h.Workers = *workers
+	h.Tracer = sess.Tracer
+	h.Metrics = sess.Metrics
 	fmt.Fprintf(out, "FULL-Web paper reproduction  scale=%v seed=%d days=%d\n", *scale, *seed, *days)
 	fmt.Fprintf(out, "(synthetic traces; compare shapes, not absolute values)\n\n")
 	ran := 0

@@ -4,15 +4,19 @@
 // heavy-tail table for session length.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -progress -trace trace.jsonl
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
 
 	"fullweb/internal/core"
+	"fullweb/internal/obs"
 	"fullweb/internal/report"
 	"fullweb/internal/weblog"
 	"fullweb/internal/workload"
@@ -25,7 +29,21 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
+	var obsCfg obs.CLIConfig
+	obsCfg.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	sess, err := obsCfg.Start(obs.SystemClock(), os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	ctx := sess.Context(context.Background())
+
 	// 1. Generate one week of synthetic NASA-Pub2-like traffic (the
 	//    paper's lightest server, so the whole example runs in seconds).
 	trace, err := workload.Generate(workload.NASAPub2(), workload.Config{Scale: 1, Seed: 42})
@@ -37,11 +55,13 @@ func run() error {
 
 	// 2. Run the full pipeline: request- and session-level arrival
 	//    analysis, Poisson batteries, and the heavy-tail tables.
-	analyzer, err := core.NewAnalyzer(core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Metrics = sess.Metrics
+	analyzer, err := core.NewAnalyzer(cfg)
 	if err != nil {
 		return err
 	}
-	model, err := analyzer.Analyze(trace.Profile.Name, weblog.NewStore(trace.Records))
+	model, err := analyzer.AnalyzeCtx(ctx, trace.Profile.Name, weblog.NewStore(trace.Records))
 	if err != nil {
 		return err
 	}

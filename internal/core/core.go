@@ -18,6 +18,7 @@ import (
 	"fullweb/internal/gof"
 	"fullweb/internal/heavytail"
 	"fullweb/internal/lrd"
+	"fullweb/internal/obs"
 	"fullweb/internal/parallel"
 	"fullweb/internal/session"
 	"fullweb/internal/stats"
@@ -60,6 +61,11 @@ type Config struct {
 	// Every fan-out collects results in a fixed order with fixed
 	// per-task seeds, so the output is byte-identical at any setting.
 	Workers int
+	// Metrics optionally instruments the analyzer's worker pool (run
+	// counts, occupancy) in addition to whatever registry travels in the
+	// analysis context. Nil — the default — costs nothing and changes
+	// nothing: instrumentation never influences computed results.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's parameters.
@@ -102,7 +108,9 @@ func NewAnalyzer(cfg Config) (*Analyzer, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("core: negative worker count %d", cfg.Workers)
 	}
-	return &Analyzer{cfg: cfg, pool: parallel.NewPool(cfg.Workers)}, nil
+	pool := parallel.NewPool(cfg.Workers)
+	pool.Instrument(cfg.Metrics)
+	return &Analyzer{cfg: cfg, pool: pool}, nil
 }
 
 // Config returns the analyzer's configuration.
@@ -171,6 +179,9 @@ func (a *Analyzer) AnalyzeArrivalSeries(counts []float64) (*ArrivalAnalysis, err
 // stationary battery, Whittle sweep, Abry-Veitch sweep). A failing task
 // cancels its unstarted siblings through ctx.
 func (a *Analyzer) AnalyzeArrivalSeriesCtx(ctx context.Context, counts []float64) (*ArrivalAnalysis, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.arrivals")
+	sp.SetInt("n", int64(len(counts)))
+	defer sp.End()
 	if len(counts) < 256 {
 		return nil, fmt.Errorf("%w: %d seconds of counts", ErrNoData, len(counts))
 	}
@@ -184,7 +195,10 @@ func (a *Analyzer) AnalyzeArrivalSeriesCtx(ctx context.Context, counts []float64
 		var err error
 		switch i {
 		case 0:
-			if res.ACFRaw, err = stats.AutocorrelationFFT(counts, maxLag); err != nil {
+			_, ssp := obs.StartSpan(ctx, "core.acf.raw")
+			res.ACFRaw, err = stats.AutocorrelationFFT(counts, maxLag)
+			ssp.End()
+			if err != nil {
 				return fmt.Errorf("core: raw ACF: %w", err)
 			}
 		case 1:
@@ -192,7 +206,10 @@ func (a *Analyzer) AnalyzeArrivalSeriesCtx(ctx context.Context, counts []float64
 				return fmt.Errorf("core: raw Hurst battery: %w", err)
 			}
 		case 2:
-			if res.Stationarity, err = timeseries.Stationarize(counts, a.cfg.Stationarize); err != nil {
+			_, ssp := obs.StartSpan(ctx, "core.stationarize")
+			res.Stationarity, err = timeseries.Stationarize(counts, a.cfg.Stationarize)
+			ssp.End()
+			if err != nil {
 				return fmt.Errorf("core: stationarizing: %w", err)
 			}
 		}
@@ -210,7 +227,10 @@ func (a *Analyzer) AnalyzeArrivalSeriesCtx(ctx context.Context, counts []float64
 		var err error
 		switch i {
 		case 0:
-			if res.ACFStationary, err = stats.AutocorrelationFFT(stationary, maxLag); err != nil {
+			_, ssp := obs.StartSpan(ctx, "core.acf.stationary")
+			res.ACFStationary, err = stats.AutocorrelationFFT(stationary, maxLag)
+			ssp.End()
+			if err != nil {
 				return fmt.Errorf("core: stationary ACF: %w", err)
 			}
 		case 1:
@@ -221,14 +241,14 @@ func (a *Analyzer) AnalyzeArrivalSeriesCtx(ctx context.Context, counts []float64
 			if len(levels) == 0 {
 				return nil
 			}
-			if res.WhittleSweep, err = lrd.AggregationSweep(stationary, lrd.Whittle, levels); err != nil {
+			if res.WhittleSweep, err = lrd.AggregationSweepCtx(ctx, stationary, lrd.Whittle, levels); err != nil {
 				return fmt.Errorf("core: Whittle sweep: %w", err)
 			}
 		case 3:
 			if len(levels) == 0 {
 				return nil
 			}
-			if res.AbryVeitchSweep, err = lrd.AggregationSweep(stationary, lrd.AbryVeitch, levels); err != nil {
+			if res.AbryVeitchSweep, err = lrd.AggregationSweepCtx(ctx, stationary, lrd.AbryVeitch, levels); err != nil {
 				return fmt.Errorf("core: Abry-Veitch sweep: %w", err)
 			}
 		}
@@ -330,9 +350,14 @@ func (a *Analyzer) AnalyzeTail(name, level string, values []float64) (TailAnalys
 // moments/QQ work is discarded when LLCD declares the sample NA —
 // exactly what the sequential path would never have computed.
 func (a *Analyzer) AnalyzeTailCtx(ctx context.Context, name, level string, values []float64) (TailAnalysis, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.tail")
+	sp.SetAttr("name", name)
+	sp.SetAttr("level", level)
+	defer sp.End()
 	res := TailAnalysis{Name: name, Level: level}
 	positive := session.PositiveOnly(values)
 	res.N = len(positive)
+	sp.SetInt("n", int64(res.N))
 	if res.N < a.cfg.MinTailSample {
 		res.Status = TailNA
 		return res, nil
@@ -352,7 +377,11 @@ func (a *Analyzer) AnalyzeTailCtx(ctx context.Context, name, level string, value
 	// Estimator outcomes feed the assembly below rather than aborting
 	// the fan-out: which errors are fatal depends on which estimator
 	// produced them, decided in sequential precedence order.
+	estimators := []string{"llcd", "hill", "curvature", "moments", "qq"}
 	perr := a.pool.ForEach(ctx, 5, func(ctx context.Context, i int) error {
+		_, esp := obs.StartSpan(ctx, "heavytail.estimate")
+		esp.SetAttr("estimator", estimators[i])
+		defer esp.End()
 		switch i {
 		case 0:
 			llcd, llcdErr = heavytail.EstimateLLCDAuto(positive)
@@ -443,6 +472,10 @@ func (a *Analyzer) AnalyzePoisson(level weblog.WorkloadLevel, window weblog.Wind
 // results are assembled into the Runs map after all tasks finish, so the
 // outcome is identical at any pool size.
 func (a *Analyzer) AnalyzePoissonCtx(ctx context.Context, level weblog.WorkloadLevel, window weblog.Window, eventSeconds []int64) (*PoissonAnalysis, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.poisson")
+	sp.SetAttr("level", level.String())
+	sp.SetInt("events", int64(len(eventSeconds)))
+	defer sp.End()
 	res := &PoissonAnalysis{
 		Level:  level,
 		Window: window,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"fullweb/internal/obs"
 	"fullweb/internal/session"
 	"fullweb/internal/weblog"
 )
@@ -70,9 +71,13 @@ func (a *Analyzer) Analyze(server string, store *weblog.Store) (*FullWebModel, e
 // fixed per task, so the model is identical at any pool size; a failing
 // experiment cancels its unstarted siblings through ctx.
 func (a *Analyzer) AnalyzeCtx(ctx context.Context, server string, store *weblog.Store) (*FullWebModel, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.analyze")
+	sp.SetAttr("server", server)
+	defer sp.End()
 	if store == nil || store.Len() == 0 {
 		return nil, ErrNoData
 	}
+	sp.SetInt("records", int64(store.Len()))
 	first, last, err := store.Span()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -101,7 +106,7 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, server string, store *weblog.
 			// Sessionization, then the session-level arrival analysis
 			// (Section 5.1.1).
 			var err error
-			if sessions, err = session.Sessionize(store.All(), a.cfg.SessionThreshold); err != nil {
+			if sessions, err = session.SessionizeCtx(ctx, store.All(), a.cfg.SessionThreshold); err != nil {
 				return fmt.Errorf("core: sessionizing: %w", err)
 			}
 			sessionCounts, err := session.InitiatedPerSecond(sessions)

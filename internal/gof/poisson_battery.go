@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"fullweb/internal/obs"
 	"fullweb/internal/parallel"
 	"fullweb/internal/stats"
 )
@@ -189,6 +190,11 @@ func RunPoissonBattery(seconds []int64, start, duration int64, cfg BatteryConfig
 // from cfg.Seed, and the verdicts are collected in subinterval order, so
 // the result is identical to the sequential run at any pool size.
 func RunPoissonBatteryCtx(ctx context.Context, seconds []int64, start, duration int64, cfg BatteryConfig, pool *parallel.Pool) (*BatteryResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "gof.battery")
+	sp.SetAttr("mode", cfg.Mode.String())
+	sp.SetInt("subintervals", int64(cfg.Subintervals))
+	sp.SetInt("events", int64(len(seconds)))
+	defer sp.End()
 	if cfg.Subintervals < 2 {
 		return nil, fmt.Errorf("%w: %d subintervals", ErrBadParam, cfg.Subintervals)
 	}

@@ -1,0 +1,17 @@
+// Package obs mirrors the real internal/obs package in the fixture
+// tree: it is the one internal/ package allowed to read the wall
+// clock, because it hosts the sanctioned SystemClock that cmd/
+// binaries inject. No diagnostics are expected in this file.
+package obs
+
+import "time"
+
+// SystemClock is the sanctioned wall-clock reader.
+func SystemClock() time.Time {
+	return time.Now()
+}
+
+// Elapsed times a span the way the real exporter does.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestWallTime(t *testing.T) {
-	linttest.Run(t, linttest.TestData(t), walltime.Analyzer, "internal/walltimedata", "cmdpkg")
+	linttest.Run(t, linttest.TestData(t), walltime.Analyzer, "internal/walltimedata", "cmdpkg", "internal/obs")
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"fullweb/internal/obs"
 	"fullweb/internal/parallel"
 	"fullweb/internal/timeseries"
 )
@@ -80,6 +81,9 @@ func RunBattery(x []float64) (*BatteryResult, error) {
 // context aborts estimators not yet started when a sibling analysis
 // fails.
 func RunBatteryCtx(ctx context.Context, x []float64, pool *parallel.Pool) (*BatteryResult, error) {
+	ctx, bsp := obs.StartSpan(ctx, "lrd.battery")
+	bsp.SetInt("n", int64(len(x)))
+	defer bsp.End()
 	for i, v := range x {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("%w: non-finite value %v at index %d", ErrBadParam, v, i)
@@ -101,7 +105,10 @@ func RunBatteryCtx(ctx context.Context, x []float64, pool *parallel.Pool) (*Batt
 		if err != nil {
 			return outcome{}, err
 		}
+		_, esp := obs.StartSpan(ctx, "lrd.estimate")
+		esp.SetAttr("method", methods[i].String())
 		e, err := est(x)
+		esp.End()
 		return outcome{est: e, err: err}, nil
 	})
 	if err != nil {
@@ -140,6 +147,19 @@ type SweepPoint struct {
 // dependence being asymptotic, a roughly constant H(m) across levels is
 // the evidence the paper looks for.
 func AggregationSweep(x []float64, method Method, ms []int) ([]SweepPoint, error) {
+	return AggregationSweepCtx(context.Background(), x, method, ms)
+}
+
+// AggregationSweepCtx is AggregationSweep under a context carrying
+// observability state: the sweep runs inside an lrd.sweep span with one
+// lrd.sweep.level child per aggregation level. The estimates are
+// identical to AggregationSweep — instrumentation never changes what is
+// computed.
+func AggregationSweepCtx(ctx context.Context, x []float64, method Method, ms []int) ([]SweepPoint, error) {
+	ctx, ssp := obs.StartSpan(ctx, "lrd.sweep")
+	ssp.SetAttr("method", method.String())
+	ssp.SetInt("levels", int64(len(ms)))
+	defer ssp.End()
 	est, err := EstimatorFor(method)
 	if err != nil {
 		return nil, err
@@ -153,7 +173,10 @@ func AggregationSweep(x []float64, method Method, ms []int) ([]SweepPoint, error
 		if err != nil {
 			continue
 		}
+		_, lsp := obs.StartSpan(ctx, "lrd.sweep.level")
+		lsp.SetInt("m", int64(m))
 		e, err := est(agg)
+		lsp.End()
 		if err != nil {
 			continue
 		}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on the default mux
+	"os"
+)
+
+// CLIConfig is the shared flag surface of the observability layer —
+// fullweb analyze/fit/sessions, paperrepro and examples/quickstart all
+// register the same four flags and call Start.
+type CLIConfig struct {
+	// Progress streams a live per-stage tree to stderr.
+	Progress bool
+	// TracePath exports finished spans as JSONL (one object per line,
+	// stable field order).
+	TracePath string
+	// MetricsPath writes the final metrics registry snapshot as JSON.
+	MetricsPath string
+	// PprofAddr serves net/http/pprof on this address for the run's
+	// lifetime (e.g. "localhost:6060").
+	PprofAddr string
+}
+
+// RegisterFlags adds the observability flags to a flag set.
+func (c *CLIConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Progress, "progress", false, "stream a live per-stage span tree to stderr")
+	fs.StringVar(&c.TracePath, "trace", "", "write spans as JSONL to this file")
+	fs.StringVar(&c.MetricsPath, "metrics", "", "write the final metrics snapshot as JSON to this file")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// Enabled reports whether any observability output was requested.
+func (c *CLIConfig) Enabled() bool {
+	return c.Progress || c.TracePath != "" || c.MetricsPath != "" || c.PprofAddr != ""
+}
+
+// Session is a running observability setup: the tracer and registry to
+// thread into the engine (either may be nil — the no-op defaults),
+// plus the output files to finalize. Close is idempotent.
+type Session struct {
+	Tracer  *Tracer
+	Metrics *Registry
+
+	progress  *Progress
+	stderr    io.Writer
+	traceFile *os.File
+	traceBuf  *bufio.Writer
+	metrics   string
+	pprofLn   net.Listener
+	closed    bool
+}
+
+// Start builds a session from the parsed flags. clock stamps spans —
+// cmd/ injects SystemClock(); tests inject a ManualClock. stderr
+// receives the -progress stream. With no flags set the session is
+// inert: Context is the identity and Close a no-op.
+func (c *CLIConfig) Start(clock Clock, stderr io.Writer) (*Session, error) {
+	s := &Session{stderr: stderr, metrics: c.MetricsPath}
+	if c.MetricsPath != "" {
+		s.Metrics = NewRegistry()
+	}
+	var sinks MultiSink
+	if c.Progress {
+		s.progress = NewProgress(stderr)
+		sinks = append(sinks, s.progress)
+	}
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: creating trace file: %w", err)
+		}
+		s.traceFile = f
+		s.traceBuf = bufio.NewWriter(f)
+		sinks = append(sinks, NewJSONLWriter(s.traceBuf))
+	}
+	// Tracing doubles as the per-stage duration feed: when a metrics
+	// registry exists, every finished span lands in a stage histogram,
+	// so -metrics carries the time breakdown even without -trace.
+	if s.Metrics != nil {
+		sinks = append(sinks, stageDurations{s.Metrics})
+	}
+	if len(sinks) > 0 {
+		s.Tracer = NewTracer(clock, sinks)
+	}
+	if c.PprofAddr != "" {
+		ln, err := net.Listen("tcp", c.PprofAddr)
+		if err != nil {
+			return nil, fmt.Errorf("obs: pprof listener: %w", err)
+		}
+		s.pprofLn = ln
+		fmt.Fprintf(stderr, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+		//lint:allow rawgo pprof server lifecycle, not an analysis fan-out; bounded to one goroutine that dies with the listener
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+	return s, nil
+}
+
+// Context returns ctx with the session's tracer and registry attached
+// (identity when the session is inert).
+func (s *Session) Context(ctx context.Context) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return WithTracer(WithMetrics(ctx, s.Metrics), s.Tracer)
+}
+
+// Close flushes and closes the trace file, writes the metrics
+// snapshot, prints the progress summary, and stops the pprof server.
+// Idempotent; safe on an inert session.
+func (s *Session) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.traceBuf != nil {
+		if err := s.traceBuf.Flush(); err != nil && first == nil {
+			first = fmt.Errorf("obs: flushing trace: %w", err)
+		}
+		if err := s.traceFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("obs: closing trace: %w", err)
+		}
+	}
+	if s.metrics != "" && s.Metrics != nil {
+		f, err := os.Create(s.metrics)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("obs: creating metrics file: %w", err)
+			}
+		} else {
+			if err := s.Metrics.Snapshot().WriteJSON(f); err != nil && first == nil {
+				first = fmt.Errorf("obs: writing metrics: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("obs: closing metrics: %w", err)
+			}
+		}
+	}
+	if s.progress != nil {
+		s.progress.Summary()
+	}
+	if s.pprofLn != nil {
+		_ = s.pprofLn.Close()
+	}
+	return first
+}
+
+// stageDurations feeds every finished span into a per-stage duration
+// histogram, so -metrics carries the time breakdown even without -trace.
+type stageDurations struct{ reg *Registry }
+
+func (s stageDurations) SpanStart(d *SpanData) {}
+
+func (s stageDurations) SpanEnd(d *SpanData) {
+	s.reg.Histogram("stage." + d.Name).ObserveDuration(d.End.Sub(d.Start))
+}

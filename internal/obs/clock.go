@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the engine's only source of wall-clock time. The analysis
+// itself is a pure function of trace and config (the walltime lint
+// rule keeps time.Now out of internal packages); span timestamps are
+// observability, not results, and they flow exclusively through a
+// Clock injected from cmd/. Tests inject a ManualClock so trace output
+// is deterministic.
+type Clock interface {
+	Now() time.Time
+}
+
+// systemClock reads the real wall clock. This is the one sanctioned
+// time.Now in the internal tree: the walltime analyzer exempts package
+// obs precisely so every other internal package has to route clock
+// reads through an injected Clock.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// SystemClock returns the real wall clock, for cmd/ to inject.
+func SystemClock() Clock { return systemClock{} }
+
+// ManualClock is a deterministic Clock for tests: every Now() call
+// advances a fixed step from a fixed epoch, so span timestamps and
+// durations are reproducible run to run. Safe for concurrent use.
+type ManualClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewManualClock returns a clock starting at epoch that advances by
+// step on every Now() call.
+func NewManualClock(epoch time.Time, step time.Duration) *ManualClock {
+	return &ManualClock{now: epoch, step: step}
+}
+
+// Now returns the current manual time and advances it by one step.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}

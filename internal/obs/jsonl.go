@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonSpan is the -trace export schema: one JSON object per line with
+// this exact field order (encoding/json emits struct fields in
+// declaration order, and attrs maps serialize with sorted keys), so
+// the format is byte-stable given equal span data.
+type jsonSpan struct {
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent"`
+	Name   string            `json:"name"`
+	Start  string            `json:"start"`
+	End    string            `json:"end"`
+	DurNS  int64             `json:"dur_ns"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// timeLayout is RFC3339 with nanoseconds — sortable and lossless.
+const timeLayout = "2006-01-02T15:04:05.999999999Z07:00"
+
+// JSONLWriter is a SpanSink that writes each finished span as one JSON
+// line. Events arrive serialized under the tracer's lock (SpanSink
+// contract), so no extra synchronization is needed here; wrap the
+// writer in bufio and flush at Close time for file output.
+type JSONLWriter struct {
+	enc *json.Encoder
+}
+
+// NewJSONLWriter returns a sink writing JSONL spans to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// SpanStart implements SpanSink; only finished spans are exported.
+func (j *JSONLWriter) SpanStart(d *SpanData) {}
+
+// SpanEnd implements SpanSink.
+func (j *JSONLWriter) SpanEnd(d *SpanData) {
+	out := jsonSpan{
+		ID:     d.ID,
+		Parent: d.Parent,
+		Name:   d.Name,
+		Start:  d.Start.Format(timeLayout),
+		End:    d.End.Format(timeLayout),
+		DurNS:  d.End.Sub(d.Start).Nanoseconds(),
+	}
+	if len(d.Attrs) > 0 {
+		out.Attrs = make(map[string]string, len(d.Attrs))
+		for _, a := range d.Attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	// Encode cannot fail on this shape; a write error (full disk) is
+	// swallowed rather than aborting the analysis — tracing must never
+	// change what the engine computes or whether it completes.
+	_ = j.enc.Encode(out)
+}

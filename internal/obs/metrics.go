@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a set of named counters, gauges and histograms. A nil
+// *Registry is a valid disabled registry: it hands out nil instruments
+// whose every operation is a no-op, so instrumented code never
+// branches on "is metrics enabled". Constructed registries are safe
+// for concurrent use; instruments are cheap to look up repeatedly but
+// callers on hot paths should hold on to the handle.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram with the default duration
+// buckets, creating it on first use. Returns nil (a no-op histogram)
+// on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(defaultBuckets())
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric. Nil receivers
+// no-op; operations are atomic.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer level that also tracks its
+// high-water mark — e.g. pool occupancy and its peak. Nil receivers
+// no-op; operations are atomic and consistent under the race detector.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Add moves the gauge by delta (negative to release) and updates the
+// high-water mark.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	cur := g.v.Add(delta)
+	for {
+		old := g.max.Load()
+		if cur <= old || g.max.CompareAndSwap(old, cur) {
+			return
+		}
+	}
+}
+
+// Set forces the gauge to v and updates the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		old := g.max.Load()
+		if v <= old || g.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark (0 on nil).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram accumulates float64 observations into fixed buckets
+// (cumulative "le" semantics like Prometheus). Nil receivers no-op.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// defaultBuckets covers the engine's stage durations: 100µs to ~2min,
+// roughly ×4 per step.
+func defaultBuckets() []float64 {
+	return []float64{0.0001, 0.0005, 0.002, 0.01, 0.05, 0.25, 1, 4, 15, 60, 120}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// CounterSnapshot, GaugeSnapshot, HistogramSnapshot and Snapshot are
+// the frozen, name-sorted view of a registry — the -metrics output.
+// Field order is fixed by the struct definitions, so serialized
+// snapshots are byte-stable given equal contents.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	Max   int64  `json:"max"`
+}
+
+type BucketSnapshot struct {
+	LE    string `json:"le"` // upper bound, "+Inf" for the overflow bucket
+	Count int64  `json:"count"`
+}
+
+type HistogramSnapshot struct {
+	Name    string           `json:"name"`
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry into sorted slices. Safe to call while
+// instruments are still being updated; each instrument is read
+// atomically (the snapshot as a whole is not a consistent cut, which
+// is fine for a final dump taken after the work completes).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.Value(), Max: g.Max()})
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{Name: name, Count: h.Count(), Sum: math.Float64frombits(h.sum.Load())}
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = fmt.Sprintf("%g", h.bounds[i])
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: le, Count: cum})
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON serializes the snapshot with indentation and a trailing
+// newline — the -metrics file format.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,83 @@
+// Package obs is the engine's observability layer: structured spans
+// around every pipeline stage (parsing, sessionization, estimators,
+// batteries, pool tasks) and a metrics registry of counters, gauges
+// and histograms, both threaded through the analysis via
+// context.Context.
+//
+// The layer is built around two invariants the rest of the repo
+// machine-checks (see DESIGN.md §9):
+//
+//   - Instrumentation never influences computed results. Spans and
+//     metrics only wrap work; the seq/par equivalence tests assert the
+//     analysis output is byte-identical with tracing on and off.
+//   - The disabled path is free. With no tracer or registry in the
+//     context every operation — StartSpan, attribute setters, counter
+//     increments — is a nil-receiver no-op measured at 0 allocs/op
+//     (TestNoopPathAllocatesNothing), so instrumentation can stay in
+//     hot paths unconditionally.
+//
+// Wall-clock time enters only through an injected Clock, wired from
+// cmd/ — internal packages never call time.Now directly (the walltime
+// analyzer enforces this; package obs itself hosts the one sanctioned
+// implementation, SystemClock).
+package obs
+
+import "context"
+
+type tracerKey struct{}
+
+type spanKey struct{}
+
+type metricsKey struct{}
+
+// WithTracer returns a context carrying the tracer. A nil tracer is
+// legal and leaves the context unchanged, so callers can thread an
+// optional tracer without branching.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// TracerFrom returns the context's tracer, or nil — and nil is a fully
+// functional no-op tracer, so the result can be used unconditionally.
+func TracerFrom(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return tr
+}
+
+// WithMetrics returns a context carrying the metrics registry. A nil
+// registry leaves the context unchanged.
+func WithMetrics(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, metricsKey{}, r)
+}
+
+// MetricsFrom returns the context's registry, or nil — and every
+// operation on a nil registry (and on the nil instruments it hands
+// out) is a no-op, so the result can be used unconditionally.
+func MetricsFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(metricsKey{}).(*Registry)
+	return r
+}
+
+// StartSpan begins a span named name as a child of the context's
+// current span and returns a derived context carrying the new span.
+// When the context has no tracer it returns the context unchanged and
+// an inert Span — zero allocations, so call sites need no guard:
+//
+//	ctx, sp := obs.StartSpan(ctx, "lrd.battery")
+//	sp.SetInt("n", len(x))
+//	defer sp.End()
+func StartSpan(ctx context.Context, name string) (context.Context, Span) {
+	tr := TracerFrom(ctx)
+	if tr == nil {
+		return ctx, Span{}
+	}
+	parent, _ := ctx.Value(spanKey{}).(uint64)
+	sp := tr.start(name, parent)
+	return context.WithValue(ctx, spanKey{}, sp.data.ID), sp
+}

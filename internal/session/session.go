@@ -8,11 +8,13 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"fullweb/internal/obs"
 	"fullweb/internal/weblog"
 )
 
@@ -57,6 +59,25 @@ func (s Session) Duration() time.Duration { return s.End.Sub(s.Start) }
 // tied start times are common at the log format's one-second
 // granularity). The input is not modified.
 func Sessionize(records []weblog.Record, threshold time.Duration) ([]Session, error) {
+	return SessionizeCtx(context.Background(), records, threshold)
+}
+
+// SessionizeCtx is Sessionize under a context carrying observability
+// state: it wraps the grouping in a session.sessionize span and feeds
+// the session.sessions_built counter. The reconstruction itself is
+// identical to Sessionize — instrumentation never changes what is
+// computed.
+func SessionizeCtx(ctx context.Context, records []weblog.Record, threshold time.Duration) ([]Session, error) {
+	_, sp := obs.StartSpan(ctx, "session.sessionize")
+	defer sp.End()
+	sessions, err := sessionize(records, threshold)
+	sp.SetInt("records", int64(len(records)))
+	sp.SetInt("sessions", int64(len(sessions)))
+	obs.MetricsFrom(ctx).Counter("session.sessions_built").Add(int64(len(sessions)))
+	return sessions, err
+}
+
+func sessionize(records []weblog.Record, threshold time.Duration) ([]Session, error) {
 	if len(records) == 0 {
 		return nil, ErrNoRecords
 	}

@@ -6,6 +6,7 @@ package weblog
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"fullweb/internal/obs"
 )
 
 var (
@@ -192,6 +195,27 @@ func (e ParseError) Unwrap() error { return e.Err }
 // ParseErrors rather than aborting the scan (real logs always carry some
 // noise). The returned records preserve input order.
 func ReadAll(r io.Reader) ([]Record, []ParseError, error) {
+	return ReadAllCtx(context.Background(), r)
+}
+
+// ReadAllCtx is ReadAll under a context carrying observability state: it
+// wraps the scan in a weblog.parse span and feeds the
+// weblog.records_parsed and weblog.parse_errors counters. Parsing itself
+// is identical to ReadAll — instrumentation never changes what is
+// computed.
+func ReadAllCtx(ctx context.Context, r io.Reader) ([]Record, []ParseError, error) {
+	_, sp := obs.StartSpan(ctx, "weblog.parse")
+	defer sp.End()
+	records, badRecs, err := readAll(r)
+	sp.SetInt("records", int64(len(records)))
+	sp.SetInt("errors", int64(len(badRecs)))
+	reg := obs.MetricsFrom(ctx)
+	reg.Counter("weblog.records_parsed").Add(int64(len(records)))
+	reg.Counter("weblog.parse_errors").Add(int64(len(badRecs)))
+	return records, badRecs, err
+}
+
+func readAll(r io.Reader) ([]Record, []ParseError, error) {
 	var (
 		records []Record
 		badRecs []ParseError

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-obs fuzz fuzz-smoke
+.PHONY: all build test race vet lint check bench bench-obs bench-stream fuzz fuzz-smoke
 
 all: build
 
@@ -39,11 +39,21 @@ bench:
 bench-obs:
 	$(GO) test -run '^$$' -bench 'ReproSweep|ObsOverhead' -benchmem -count=3 . | tee BENCH_pr3.json
 
-# Short fuzz smoke (~10s total) over the checked-in corpora; part of
-# the tier-1 gate so parser regressions surface immediately.
+# bench-stream captures the PR 4 benchmark evidence: the streaming
+# engine versus the batch pipeline on identical CLF bytes — records/sec
+# plus the allocation gap from never materializing the trace. The
+# committed BENCH_pr4.json is one run of this target.
+bench-stream:
+	$(GO) test -run '^$$' -bench 'StreamVsBatch' -benchmem -count=3 . | tee BENCH_pr4.json
+
+# Short fuzz smoke (~15s total) over the checked-in corpora; part of
+# the tier-1 gate so parser and sessionizer regressions surface
+# immediately. The streamer/batch target is the root of the PR 4
+# streaming-equals-batch invariant.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseCLF -fuzztime=5s ./internal/weblog/
 	$(GO) test -fuzz=FuzzParseCombined -fuzztime=5s ./internal/weblog/
+	$(GO) test -fuzz=FuzzStreamerBatchEquivalence -fuzztime=3s ./internal/session/
 
 # Longer fuzz pass over the log-parser targets; starts warm from the
 # minimized seed corpora in internal/weblog/testdata/fuzz/.

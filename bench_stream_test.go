@@ -1,0 +1,107 @@
+// Streaming-vs-batch benchmark pair (PR 4 evidence, BENCH_pr4.json):
+// the same CLF bytes through the batch pipeline (full-trace slice +
+// sessionize + estimators) and the streaming engine (chunked parse +
+// online estimators). Both report records/sec; -benchmem captures the
+// allocation gap, which is the point — the stream path never holds the
+// trace.
+//
+//	make bench-stream
+package fullweb_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"fullweb/internal/heavytail"
+	"fullweb/internal/lrd"
+	"fullweb/internal/session"
+	"fullweb/internal/stream"
+	"fullweb/internal/weblog"
+	"fullweb/internal/workload"
+)
+
+// benchStreamTrace renders one deterministic three-day trace to CLF
+// bytes, shared by both benchmark halves.
+func benchStreamTrace(b *testing.B) []byte {
+	b.Helper()
+	trace, err := workload.Generate(workload.NASAPub2(), workload.Config{Scale: 0.5, Seed: benchSeed, Days: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := weblog.WriteAll(&buf, trace.Records); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func reportRecordsPerSec(b *testing.B, records int64) {
+	b.Helper()
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkStreamVsBatchBatch is the batch half: parse everything into
+// memory, sessionize, then run the same estimator families the stream
+// engine maintains online (aggregated-variance Hurst on the per-second
+// series, Hill on the three session characteristics).
+func BenchmarkStreamVsBatchBatch(b *testing.B) {
+	text := benchStreamTrace(b)
+	var records int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, _, err := weblog.ReadAll(bytes.NewReader(text))
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = int64(len(recs))
+		store := weblog.NewStore(recs)
+		sessions, err := session.Sessionize(recs, session.DefaultThreshold)
+		if err != nil {
+			b.Fatal(err)
+		}
+		counts, err := store.CountsPerSecond()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lrd.EstimateAggregatedVariance(counts); err != nil {
+			b.Fatal(err)
+		}
+		for _, values := range [][]float64{
+			session.Durations(sessions),
+			session.RequestCounts(sessions),
+			session.ByteCounts(sessions),
+		} {
+			if _, err := heavytail.EstimateHill(session.PositiveOnly(values),
+				heavytail.DefaultHillTailFraction, heavytail.DefaultHillRelTol); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	reportRecordsPerSec(b, records)
+}
+
+// BenchmarkStreamVsBatchStream is the streaming half: the engine's
+// bounded-memory pipeline over the identical bytes, final snapshot
+// only.
+func BenchmarkStreamVsBatchStream(b *testing.B) {
+	text := benchStreamTrace(b)
+	cfg := stream.DefaultConfig()
+	cfg.SnapshotEvery = 0
+	var records int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := stream.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final, err := eng.ProcessCtx(context.Background(), bytes.NewReader(text), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = final.Records
+	}
+	b.StopTimer()
+	reportRecordsPerSec(b, records)
+}

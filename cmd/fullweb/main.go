@@ -3,11 +3,14 @@
 //	fullweb generate -profile WVU -scale 0.05 -seed 1 -out wvu.log
 //	fullweb analyze  -log wvu.log -server WVU
 //	fullweb sessions -log wvu.log
+//	fullweb stream   -log wvu.log -snapshot 6h
 //
 // generate synthesizes a Common Log Format trace for one of the paper's
 // four server profiles; analyze runs the complete FULL-Web
 // characterization pipeline on any CLF log; sessions prints the
-// sessionization summary.
+// sessionization summary; stream runs the bounded-memory online
+// pipeline with periodic snapshots (accepts gzip-rotated segments and
+// stdin).
 package main
 
 import (
@@ -38,7 +41,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: fullweb <generate|analyze|sessions> [flags]")
+		return fmt.Errorf("usage: fullweb <generate|analyze|sessions|stream> [flags]")
 	}
 	switch args[0] {
 	case "generate":
@@ -53,8 +56,10 @@ func run(args []string, out io.Writer) error {
 		return cmdThresholds(args[1:], out)
 	case "fit":
 		return cmdFit(args[1:], out)
+	case "stream":
+		return cmdStream(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want generate, analyze, sessions, reliability, thresholds or fit)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want generate, analyze, sessions, reliability, thresholds, fit or stream)", args[0])
 	}
 }
 

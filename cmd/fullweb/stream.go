@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"fullweb/internal/obs"
+	"fullweb/internal/session"
+	"fullweb/internal/stream"
+	"fullweb/internal/weblog"
+)
+
+// cmdStream is the bounded-memory online pipeline: it tails one or more
+// CLF logs (plain or gzip-rotated segments, or stdin) through
+// internal/stream and prints periodic trace-time snapshots plus a final
+// one whose totals match `fullweb analyze` on the same input exactly.
+//
+//	fullweb stream -log access.log
+//	fullweb stream -log access.log.1.gz -log access.log.0.gz -log access.log
+//	tail -F access.log | fullweb stream -log - -snapshot 1h
+func cmdStream(args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
+	var logs []string
+	fs.Func("log", "CLF log file, .gz accepted, or '-' for stdin; repeat the flag for rotated segments in oldest-first order (required)", func(v string) error {
+		if v == "" {
+			return fmt.Errorf("empty -log value")
+		}
+		logs = append(logs, v)
+		return nil
+	})
+	threshold := fs.Duration("threshold", session.DefaultThreshold, "session inactivity threshold")
+	snapshotEvery := fs.Duration("snapshot", 6*time.Hour, "trace-time between snapshots (0 = final only)")
+	workers := fs.Int("parallel", 0, "parse worker pool size (0 = all CPUs, 1 = sequential); snapshots are identical at any setting")
+	reservoir := fs.Int("reservoir", 8192, "per-characteristic Hill reservoir capacity")
+	seed := fs.Int64("seed", 1, "reservoir sampling seed")
+	chunkLines := fs.Int("chunk-lines", 0, "lines per parse chunk (0 = default)")
+	chunkWindow := fs.Int("chunk-window", 0, "parse chunks in flight (0 = default); bounds memory with -parallel")
+	var obsCfg obs.CLIConfig
+	obsCfg.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(logs) == 0 {
+		return fmt.Errorf("stream: at least one -log is required")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("stream: -parallel must be >= 0, got %d", *workers)
+	}
+	osess, err := obsCfg.Start(obs.SystemClock(), os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := osess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	ctx := osess.Context(context.Background())
+
+	// Each segment is sniffed for gzip individually, so rotated inputs
+	// may freely mix compressed and plain segments.
+	readers := make([]io.Reader, 0, len(logs))
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			if cerr := c.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}()
+	for _, path := range logs {
+		var raw io.Reader
+		if path == "-" {
+			raw = os.Stdin
+		} else {
+			f, ferr := os.Open(path)
+			if ferr != nil {
+				return fmt.Errorf("stream: opening log: %w", ferr)
+			}
+			closers = append(closers, f)
+			raw = f
+		}
+		dr, derr := weblog.MaybeDecompress(raw)
+		if derr != nil {
+			return fmt.Errorf("stream: %s: %w", path, derr)
+		}
+		readers = append(readers, dr)
+	}
+
+	cfg := stream.DefaultConfig()
+	cfg.Threshold = *threshold
+	cfg.SnapshotEvery = *snapshotEvery
+	cfg.Workers = *workers
+	cfg.ReservoirCap = *reservoir
+	cfg.Seed = *seed
+	cfg.Chunk = weblog.ChunkConfig{Lines: *chunkLines, Window: *chunkWindow}
+	cfg.Metrics = osess.Metrics
+	engine, err := stream.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "streaming %s (threshold %v, %s)\n\n",
+		strings.Join(logs, ", "), *threshold, snapshotLabel(*snapshotEvery))
+	final, err := engine.ProcessCtx(ctx, io.MultiReader(readers...), func(s *stream.Snapshot) error {
+		return s.Render(out)
+	})
+	if err != nil {
+		return err
+	}
+	return final.Render(out)
+}
+
+// snapshotLabel renders the snapshot cadence, naming the disabled case.
+func snapshotLabel(d time.Duration) string {
+	if d <= 0 {
+		return "snapshots: final only"
+	}
+	return fmt.Sprintf("snapshot every %v", d)
+}

@@ -18,6 +18,38 @@ const (
 	CharBytesPerSession    = "bytes-per-session"
 )
 
+// AllCharacteristics lists the three intra-session characteristics in
+// the paper's table order — the shared iteration order of the batch
+// tail tables and the streaming engine's snapshots.
+func AllCharacteristics() []string {
+	return []string{CharSessionLength, CharRequestsPerSession, CharBytesPerSession}
+}
+
+// CharacteristicValue extracts one characteristic from one finalized
+// session: the single definition both the batch tail tables and the
+// streaming engine feed their estimators from, so the two pipelines
+// cannot drift. Unknown names panic — the name set is a closed enum.
+func CharacteristicValue(char string, s session.Session) float64 {
+	switch char {
+	case CharSessionLength:
+		return s.Duration().Seconds()
+	case CharRequestsPerSession:
+		return float64(s.Requests)
+	case CharBytesPerSession:
+		return float64(s.Bytes)
+	}
+	panic(fmt.Sprintf("core: unknown characteristic %q", char))
+}
+
+// CharacteristicValues extracts one characteristic from every session.
+func CharacteristicValues(char string, sessions []session.Session) []float64 {
+	out := make([]float64, len(sessions))
+	for i, s := range sessions {
+		out[i] = CharacteristicValue(char, s)
+	}
+	return out
+}
+
 // IntervalName labels the rows of Tables 2-4.
 const (
 	IntervalWeek = "Week"
@@ -131,7 +163,7 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, server string, store *weblog.
 	model.RequestPoisson = make(map[weblog.WorkloadLevel]*PoissonAnalysis)
 	model.SessionPoisson = make(map[weblog.WorkloadLevel]*PoissonAnalysis)
 	model.Tails = make(map[string]*TailTable)
-	for _, char := range []string{CharSessionLength, CharRequestsPerSession, CharBytesPerSession} {
+	for _, char := range AllCharacteristics() {
 		model.Tails[char] = &TailTable{
 			Characteristic: char,
 			Rows:           make(map[string]TailAnalysis),
@@ -161,10 +193,9 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, server string, store *weblog.
 	}
 	var ttasks []tailTask
 	addRows := func(level string, subset []session.Session) {
-		ttasks = append(ttasks,
-			tailTask{CharSessionLength, level, session.Durations(subset)},
-			tailTask{CharRequestsPerSession, level, session.RequestCounts(subset)},
-			tailTask{CharBytesPerSession, level, session.ByteCounts(subset)})
+		for _, char := range AllCharacteristics() {
+			ttasks = append(ttasks, tailTask{char, level, CharacteristicValues(char, subset)})
+		}
 	}
 	addRows(IntervalWeek, sessions)
 	for _, level := range levels {

@@ -91,29 +91,41 @@ func sessionize(records []weblog.Record, threshold time.Duration) ([]Session, er
 		byHost[r.Host] = append(byHost[r.Host], r)
 	}
 	var sessions []Session
-	for host, recs := range byHost {
+	for _, recs := range byHost {
 		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
-		cur := Session{Host: host, Start: recs[0].Time, End: recs[0].Time, Requests: 1, Bytes: recs[0].Bytes}
-		if recs[0].IsError() {
-			cur.Errors++
-		}
+		cur := open(recs[0])
 		for _, r := range recs[1:] {
 			if r.Time.Sub(cur.End) > threshold {
 				sessions = append(sessions, cur)
-				cur = Session{Host: host, Start: r.Time, End: r.Time, Bytes: 0}
-				cur.Requests = 0
+				cur = open(r)
+				continue
 			}
-			cur.End = r.Time
-			cur.Requests++
-			cur.Bytes += r.Bytes
-			if r.IsError() {
-				cur.Errors++
-			}
+			cur.absorb(r)
 		}
 		sessions = append(sessions, cur)
 	}
 	sortSessions(sessions)
 	return sessions, nil
+}
+
+// open starts a session at a record — the single definition of "what a
+// new session looks like", shared by the batch sessionizer and the
+// incremental Streamer so the two can never drift field by field.
+func open(r weblog.Record) Session {
+	s := Session{Host: r.Host, Start: r.Time, End: r.Time}
+	s.absorb(r)
+	return s
+}
+
+// absorb folds one record into an open session: the shared accumulation
+// step of the batch and streaming sessionizers.
+func (s *Session) absorb(r weblog.Record) {
+	s.End = r.Time
+	s.Requests++
+	s.Bytes += r.Bytes
+	if r.IsError() {
+		s.Errors++
+	}
 }
 
 // sortSessions puts sessions into the canonical (start time, host) order

@@ -20,6 +20,12 @@ type Streamer struct {
 	expiry    expiryHeap
 	lastTime  time.Time
 	sawAny    bool
+	opened    int64
+	// peakActive is the high-water mark of concurrently open sessions —
+	// the quantity that bounds the streamer's live memory, tracked so
+	// bounded-memory regression tests can assert it stays flat as trace
+	// length grows.
+	peakActive int
 }
 
 // expiryEntry schedules a host for an expiry check; lazily invalidated
@@ -58,6 +64,17 @@ func NewStreamer(threshold time.Duration) (*Streamer, error) {
 // ActiveSessions returns the number of currently open sessions.
 func (s *Streamer) ActiveSessions() int { return len(s.active) }
 
+// PeakActiveSessions returns the high-water mark of concurrently open
+// sessions since the streamer was created or last reset by Flush.
+func (s *Streamer) PeakActiveSessions() int { return s.peakActive }
+
+// OpenedTotal returns the number of sessions opened so far (closed and
+// still active alike). A caller that compares the value before and
+// after Observe learns whether the record initiated a session — the
+// streaming source of the sessions-initiated-per-second arrival series,
+// known at open time rather than at close time.
+func (s *Streamer) OpenedTotal() int64 { return s.opened }
+
 // Observe feeds one record. Records must arrive in non-decreasing time
 // order (access logs are written that way). It returns any sessions
 // whose inactivity window closed at or before this record's timestamp.
@@ -76,14 +93,14 @@ func (s *Streamer) Observe(r weblog.Record) ([]Session, error) {
 		ok = false
 	}
 	if !ok {
-		cur = &Session{Host: r.Host, Start: r.Time, End: r.Time}
-		s.active[r.Host] = cur
-	}
-	cur.End = r.Time
-	cur.Requests++
-	cur.Bytes += r.Bytes
-	if r.IsError() {
-		cur.Errors++
+		fresh := open(r)
+		s.active[r.Host] = &fresh
+		s.opened++
+		if len(s.active) > s.peakActive {
+			s.peakActive = len(s.active)
+		}
+	} else {
+		cur.absorb(r)
 	}
 	heap.Push(&s.expiry, expiryEntry{at: r.Time.Add(s.threshold), host: r.Host})
 	return closed, nil

@@ -1,0 +1,309 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"fullweb/internal/core"
+	"fullweb/internal/heavytail"
+	"fullweb/internal/lrd"
+	"fullweb/internal/obs"
+	"fullweb/internal/parallel"
+	"fullweb/internal/session"
+	"fullweb/internal/weblog"
+)
+
+var (
+	// ErrNoRecords is returned when the stream holds no parseable
+	// records.
+	ErrNoRecords = errors.New("stream: no records")
+	// ErrBadConfig is returned for invalid engine parameters.
+	ErrBadConfig = errors.New("stream: invalid config")
+)
+
+// Config tunes the streaming engine. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// Threshold delimits sessions (the paper's 30 minutes by default).
+	Threshold time.Duration
+	// SnapshotEvery is the trace-time interval between periodic
+	// snapshots; 0 disables periodic snapshots (only the final one is
+	// produced). Cadence is driven by record timestamps, never the wall
+	// clock, so output is a pure function of the input.
+	SnapshotEvery time.Duration
+	// Chunk tunes the chunked parser (lines per chunk, chunks in
+	// flight); the window is the engine's backpressure bound.
+	Chunk weblog.ChunkConfig
+	// Workers bounds the parse worker pool. 0 means runtime.NumCPU().
+	// Chunks are parsed concurrently but folded into the engine state
+	// strictly in input order, so results are identical at any setting.
+	Workers int
+	// ReservoirCap bounds each characteristic's Hill reservoir. While a
+	// stream has fewer sessions than this, the streaming Hill estimate
+	// is exactly the batch estimate.
+	ReservoirCap int
+	// Seed derives the reservoir sampling streams (one sub-seed per
+	// characteristic), making snapshots reproducible run to run.
+	Seed int64
+	// HillTailFraction and HillRelTol configure the Hill read-off,
+	// exactly as in the batch pipeline.
+	HillTailFraction float64
+	HillRelTol       float64
+	// AggVarLevels is the number of dyadic aggregation levels of the
+	// streaming Hurst estimators; 0 means lrd.DefaultAggVarLevels.
+	AggVarLevels int
+	// Metrics optionally instruments the engine (records, sessions,
+	// snapshots, live-session gauge) and its parse pool. Nil costs and
+	// changes nothing.
+	Metrics *obs.Registry
+}
+
+// DefaultConfig returns the paper-aligned defaults.
+func DefaultConfig() Config {
+	return Config{
+		Threshold:        session.DefaultThreshold,
+		SnapshotEvery:    6 * time.Hour,
+		ReservoirCap:     8192,
+		Seed:             1,
+		HillTailFraction: heavytail.DefaultHillTailFraction,
+		HillRelTol:       heavytail.DefaultHillRelTol,
+	}
+}
+
+// charState holds the online estimators of one characteristic.
+type charState struct {
+	name    string
+	moments Welford
+	p50     *P2Quantile
+	p90     *P2Quantile
+	p99     *P2Quantile
+	hill    *heavytail.OnlineHill
+}
+
+func (c *charState) observe(v float64) {
+	c.moments.Observe(v)
+	c.p50.Observe(v)
+	c.p90.Observe(v)
+	c.p99.Observe(v)
+	c.hill.Observe(v)
+}
+
+// secondTracker folds a stream of event timestamps (non-decreasing Unix
+// seconds) into the per-second counting series the LRD analysis runs
+// on, filling empty seconds with zero counts exactly as the batch
+// CountsPerSecond does, and feeds the dyadic aggregated-variance
+// estimator. The current (still open) second is excluded from
+// intermediate estimates and flushed at end of stream.
+type secondTracker struct {
+	est     *lrd.OnlineAggVar
+	cur     int64
+	count   float64
+	started bool
+	flushed bool
+}
+
+func (t *secondTracker) observe(sec int64) {
+	if !t.started {
+		t.started = true
+		t.cur = sec
+		t.count = 1
+		return
+	}
+	if sec == t.cur {
+		t.count++
+		return
+	}
+	t.est.Add(t.count)
+	for s := t.cur + 1; s < sec; s++ {
+		t.est.Add(0)
+	}
+	t.cur = sec
+	t.count = 1
+}
+
+// flush pushes the final open second; call exactly once, at EOF.
+func (t *secondTracker) flush() {
+	if t.started && !t.flushed {
+		t.est.Add(t.count)
+		t.flushed = true
+	}
+}
+
+// Engine is the streaming analysis pipeline: one instance processes one
+// log stream. Not safe for concurrent use (the chunk parser fans out
+// internally; state folding is single-goroutine by design).
+type Engine struct {
+	cfg  Config
+	pool *parallel.Pool
+
+	streamer *session.Streamer
+	reqArr   secondTracker
+	sessArr  secondTracker
+	chars    []*charState
+
+	records      int64
+	parseErrors  int64
+	bytes        int64
+	closed       int64
+	started      bool
+	firstTime    time.Time
+	lastTime     time.Time
+	nextSnapshot time.Time
+	snapshots    int64
+}
+
+// NewEngine validates the configuration and builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Threshold <= 0 {
+		return nil, fmt.Errorf("%w: threshold %v", ErrBadConfig, cfg.Threshold)
+	}
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("%w: snapshot interval %v", ErrBadConfig, cfg.SnapshotEvery)
+	}
+	if cfg.ReservoirCap < 16 {
+		return nil, fmt.Errorf("%w: reservoir capacity %d (need >= 16)", ErrBadConfig, cfg.ReservoirCap)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: negative worker count %d", ErrBadConfig, cfg.Workers)
+	}
+	streamer, err := session.NewStreamer(cfg.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, streamer: streamer, pool: parallel.NewPool(cfg.Workers)}
+	e.pool.Instrument(cfg.Metrics)
+	if e.reqArr.est, err = lrd.NewOnlineAggVar(cfg.AggVarLevels); err != nil {
+		return nil, err
+	}
+	if e.sessArr.est, err = lrd.NewOnlineAggVar(cfg.AggVarLevels); err != nil {
+		return nil, err
+	}
+	for i, name := range core.AllCharacteristics() {
+		// One derived sub-seed per characteristic so the reservoirs draw
+		// independent, reproducible sampling streams.
+		hill, err := heavytail.NewOnlineHill(cfg.ReservoirCap, cfg.Seed+int64(i)*7919, cfg.HillTailFraction, cfg.HillRelTol)
+		if err != nil {
+			return nil, err
+		}
+		e.chars = append(e.chars, &charState{
+			name: name,
+			p50:  NewP2Quantile(0.5),
+			p90:  NewP2Quantile(0.9),
+			p99:  NewP2Quantile(0.99),
+			hill: hill,
+		})
+	}
+	return e, nil
+}
+
+// PeakActiveSessions returns the sessionizer's live-state high-water
+// mark — the quantity that bounds the engine's memory.
+func (e *Engine) PeakActiveSessions() int { return e.streamer.PeakActiveSessions() }
+
+// ProcessCtx streams CLF text (plain or gzip; use io.MultiReader for
+// rotated segments) through the engine. Chunks are parsed concurrently
+// on the engine's pool with a bounded in-flight window (backpressure),
+// then folded into the analysis state strictly in input order, so the
+// outcome — including every snapshot — is byte-identical at any worker
+// count. Records must be in non-decreasing time order, as access logs
+// are written.
+//
+// emit (may be nil) receives each periodic snapshot as its trace-time
+// boundary passes. The returned final snapshot includes the flushed
+// still-open sessions, so its session count equals the batch
+// sessionizer's exactly.
+func (e *Engine) ProcessCtx(ctx context.Context, r io.Reader, emit func(*Snapshot) error) (*Snapshot, error) {
+	ctx, sp := obs.StartSpan(ctx, "stream.process")
+	defer sp.End()
+	reg := obs.MetricsFrom(ctx)
+	err := weblog.ReadChunksCtx(ctx, r, e.pool, e.cfg.Chunk, func(ch weblog.Chunk) error {
+		_, csp := obs.StartSpan(ctx, "stream.fold_chunk")
+		csp.SetInt("records", int64(len(ch.Records)))
+		defer csp.End()
+		e.parseErrors += int64(len(ch.Errs))
+		for _, rec := range ch.Records {
+			if err := e.observe(rec, emit); err != nil {
+				return err
+			}
+		}
+		reg.Gauge("stream.active_sessions").Set(int64(e.streamer.ActiveSessions()))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if e.records == 0 {
+		return nil, ErrNoRecords
+	}
+	// End of stream: close every still-open session and the open
+	// seconds, then build the final snapshot.
+	for _, s := range e.streamer.Flush() {
+		e.noteClosed(s)
+	}
+	e.reqArr.flush()
+	e.sessArr.flush()
+	final := e.snapshot(e.lastTime, true)
+	e.snapshots++
+	sp.SetInt("records", e.records)
+	sp.SetInt("sessions", e.closed)
+	sp.SetInt("snapshots", e.snapshots)
+	reg.Counter("stream.records").Add(e.records)
+	reg.Counter("stream.parse_errors").Add(e.parseErrors)
+	reg.Counter("stream.sessions_closed").Add(e.closed)
+	reg.Counter("stream.snapshots").Add(e.snapshots)
+	return final, nil
+}
+
+// observe folds one record into the engine state, emitting any
+// snapshot whose trace-time boundary the record crosses.
+func (e *Engine) observe(rec weblog.Record, emit func(*Snapshot) error) error {
+	if !e.started {
+		e.started = true
+		e.firstTime = rec.Time
+		if e.cfg.SnapshotEvery > 0 {
+			e.nextSnapshot = rec.Time.Add(e.cfg.SnapshotEvery)
+		}
+	}
+	// Snapshot boundaries strictly precede the records at or after
+	// them, so a snapshot always describes the data before its boundary.
+	if e.cfg.SnapshotEvery > 0 && !rec.Time.Before(e.nextSnapshot) {
+		snap := e.snapshot(e.nextSnapshot, false)
+		e.snapshots++
+		for !rec.Time.Before(e.nextSnapshot) {
+			e.nextSnapshot = e.nextSnapshot.Add(e.cfg.SnapshotEvery)
+		}
+		if emit != nil {
+			if err := emit(snap); err != nil {
+				return err
+			}
+		}
+	}
+	openedBefore := e.streamer.OpenedTotal()
+	closed, err := e.streamer.Observe(rec)
+	if err != nil {
+		return err
+	}
+	for _, s := range closed {
+		e.noteClosed(s)
+	}
+	if e.streamer.OpenedTotal() > openedBefore {
+		e.sessArr.observe(rec.Time.Unix())
+	}
+	e.reqArr.observe(rec.Time.Unix())
+	e.records++
+	e.bytes += rec.Bytes
+	e.lastTime = rec.Time
+	return nil
+}
+
+// noteClosed folds one finalized session into the per-characteristic
+// estimators.
+func (e *Engine) noteClosed(s session.Session) {
+	e.closed++
+	for _, c := range e.chars {
+		c.observe(core.CharacteristicValue(c.name, s))
+	}
+}

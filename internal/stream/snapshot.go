@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fullweb/internal/report"
+)
+
+// ArrivalEstimate is the streaming LRD state of one arrival process at
+// snapshot time.
+type ArrivalEstimate struct {
+	// OK reports whether enough aggregation levels have filled for a
+	// variance-time regression; the other fields are meaningful only
+	// when set.
+	OK bool
+	// H is the streaming aggregated-variance Hurst estimate; R2 its
+	// regression fit.
+	H, R2 float64
+	// Levels is the number of dyadic levels contributing.
+	Levels int
+	// Seconds is the number of complete one-second bins folded in.
+	Seconds int64
+}
+
+// CharSnapshot is the online summary of one intra-session
+// characteristic over the sessions finalized so far.
+type CharSnapshot struct {
+	Name string
+	// N is the number of finalized sessions observed.
+	N int64
+	// Welford moments and extremes.
+	Mean, StdDev, Min, Max float64
+	// P² quantile estimates.
+	P50, P90, P99 float64
+	// Hill tail state: HillOK reports the estimator ran (enough positive
+	// observations); Stable mirrors the batch read-off ("NS" otherwise);
+	// Alpha is the tail index over the stable window; Sample and Seen
+	// are the reservoir size and the positive observations fed.
+	HillOK     bool
+	HillStable bool
+	HillAlpha  float64
+	HillSample int
+	HillSeen   int64
+}
+
+// Snapshot is one deterministic report of the engine state: everything
+// is derived from the records before the snapshot's trace-time
+// boundary, never from the wall clock, so the same input produces
+// byte-identical snapshots run to run.
+type Snapshot struct {
+	// At is the trace-time boundary (for periodic snapshots) or the last
+	// record's timestamp (final).
+	At time.Time
+	// Final marks the end-of-stream snapshot, which includes the flushed
+	// still-open sessions.
+	Final bool
+	// Totals over the stream so far.
+	Records     int64
+	ParseErrors int64
+	Bytes       int64
+	Span        time.Duration
+	// Session accounting: Closed counts finalized sessions (on the final
+	// snapshot this equals the batch sessionizer's count exactly),
+	// Active the still-open ones, Opened their sum.
+	SessionsClosed int64
+	SessionsActive int64
+	SessionsOpened int64
+	// Arrival-process LRD state.
+	RequestArrivals ArrivalEstimate
+	SessionArrivals ArrivalEstimate
+	// Chars holds the per-characteristic summaries in the fixed
+	// Characteristics() order (a slice, not a map, so rendering never
+	// depends on map iteration order).
+	Chars []CharSnapshot
+}
+
+// snapshot assembles the current engine state.
+func (e *Engine) snapshot(at time.Time, final bool) *Snapshot {
+	s := &Snapshot{
+		At:             at,
+		Final:          final,
+		Records:        e.records,
+		ParseErrors:    e.parseErrors,
+		Bytes:          e.bytes,
+		Span:           at.Sub(e.firstTime),
+		SessionsClosed: e.closed,
+		SessionsActive: int64(e.streamer.ActiveSessions()),
+		SessionsOpened: e.streamer.OpenedTotal(),
+	}
+	fill := func(dst *ArrivalEstimate, t *secondTracker) {
+		dst.Seconds = t.est.N()
+		dst.Levels = t.est.Levels()
+		est, err := t.est.Estimate()
+		if err != nil {
+			return
+		}
+		dst.OK = true
+		dst.H = est.H
+		dst.R2 = est.R2
+	}
+	fill(&s.RequestArrivals, &e.reqArr)
+	fill(&s.SessionArrivals, &e.sessArr)
+	for _, c := range e.chars {
+		cs := CharSnapshot{
+			Name:       c.name,
+			N:          c.moments.N(),
+			Mean:       c.moments.Mean(),
+			StdDev:     c.moments.StdDev(),
+			Min:        c.moments.Min(),
+			Max:        c.moments.Max(),
+			P50:        c.p50.Quantile(),
+			P90:        c.p90.Quantile(),
+			P99:        c.p99.Quantile(),
+			HillSample: c.hill.SampleLen(),
+			HillSeen:   c.hill.Seen(),
+		}
+		if hill, err := c.hill.Estimate(); err == nil {
+			cs.HillOK = true
+			cs.HillStable = hill.Stable
+			cs.HillAlpha = hill.Alpha
+		}
+		s.Chars = append(s.Chars, cs)
+	}
+	return s
+}
+
+// Render writes the snapshot as the fullweb stream report block. The
+// totals line of the final snapshot uses the exact format of fullweb
+// analyze's header, so the two front ends can be diffed directly. All
+// times are rendered in UTC; nothing here reads a clock.
+func (s *Snapshot) Render(w io.Writer) error {
+	label := "snapshot"
+	if s.Final {
+		label = "final"
+	}
+	if _, err := fmt.Fprintf(w, "-- %s @ %s --\n", label, s.At.UTC().Format(time.RFC3339)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  requests=%s sessions=%s bytes=%s span=%v\n",
+		report.Count(s.Records), report.Count(s.SessionsClosed+s.SessionsActive),
+		report.Count(s.Bytes), s.Span)
+	fmt.Fprintf(w, "  sessions: closed=%s active=%s opened=%s  parse errors=%s\n",
+		report.Count(s.SessionsClosed), report.Count(s.SessionsActive),
+		report.Count(s.SessionsOpened), report.Count(s.ParseErrors))
+	renderArrival := func(name string, a ArrivalEstimate) {
+		if a.OK {
+			fmt.Fprintf(w, "  %s arrivals: H=%s (R^2 %s, %d levels, %s s)\n",
+				name, report.F(a.H), report.F2(a.R2), a.Levels, report.Count(a.Seconds))
+		} else {
+			fmt.Fprintf(w, "  %s arrivals: H=- (warming up: %d levels, %s s)\n",
+				name, a.Levels, report.Count(a.Seconds))
+		}
+	}
+	renderArrival("request", s.RequestArrivals)
+	renderArrival("session", s.SessionArrivals)
+	if len(s.Chars) > 0 && s.Chars[0].N > 0 {
+		tb := report.NewTable("characteristic", "n", "mean", "sd", "p50", "p90", "p99", "alpha_Hill", "sample")
+		for _, c := range s.Chars {
+			tb.AddRow(c.Name, report.Count(c.N), report.F2(c.Mean), report.F2(c.StdDev),
+				report.F2(c.P50), report.F2(c.P90), report.F2(c.P99),
+				hillCell(c), report.Count(int64(c.HillSample)))
+		}
+		if _, err := io.WriteString(w, tb.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// hillCell mirrors the batch CLI's Hill annotations: a value when the
+// plot stabilized, "NS" when it did not, "-" when the estimator could
+// not run yet.
+func hillCell(c CharSnapshot) string {
+	switch {
+	case !c.HillOK:
+		return "-"
+	case !c.HillStable:
+		return "NS"
+	default:
+		return report.F2(c.HillAlpha)
+	}
+}

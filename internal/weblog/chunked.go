@@ -1,0 +1,175 @@
+package weblog
+
+import (
+	"bufio"
+	"compress/gzip"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"fullweb/internal/obs"
+	"fullweb/internal/parallel"
+)
+
+// gzipMagic is the two-byte header every gzip member starts with
+// (RFC 1952). Production access logs are rotated and compressed, so the
+// reader sniffs it and decompresses transparently.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// MaybeDecompress wraps r with a gzip reader when the stream starts
+// with the gzip magic bytes and returns it unchanged (modulo buffering)
+// otherwise. Callers get plain CLF text either way, so `.gz` rotated
+// logs and uncompressed logs flow through the same parsing paths.
+func MaybeDecompress(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(gzipMagic))
+	if err != nil {
+		// Too short to carry the magic (empty or one-byte input): not
+		// gzip; hand the buffered reader back untouched.
+		return br, nil
+	}
+	if head[0] != gzipMagic[0] || head[1] != gzipMagic[1] {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("weblog: gzip header: %w", err)
+	}
+	return zr, nil
+}
+
+// Chunk is one contiguous run of parsed lines from a chunked scan:
+// the records in input order plus the malformed lines of the chunk.
+// FirstLine is the 1-based line number of the chunk's first input line,
+// so ParseError positions stay global across chunks.
+type Chunk struct {
+	FirstLine int
+	Records   []Record
+	Errs      []ParseError
+}
+
+// ChunkConfig tunes ReadChunksCtx. The zero value selects the
+// defaults.
+type ChunkConfig struct {
+	// Lines is the number of input lines per chunk (default 4096).
+	Lines int
+	// Window is the number of chunks parsed concurrently per round —
+	// the backpressure bound: at most Window*Lines lines (plus their
+	// records) are in flight, independent of trace length. Default 8.
+	Window int
+}
+
+func (c ChunkConfig) withDefaults() ChunkConfig {
+	if c.Lines <= 0 {
+		c.Lines = 4096
+	}
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	return c
+}
+
+// ReadChunksCtx scans CLF lines from r in bounded-memory chunks and
+// hands them to emit in input order. Within each round, up to
+// cfg.Window chunks of raw lines are read sequentially and parsed
+// concurrently on pool (parsing dominates scanning); emit then receives
+// the parsed chunks strictly in input order, so downstream state
+// machines see exactly the sequence a sequential parse would produce —
+// parallelism changes when lines are parsed, never what emit observes.
+// Unlike ReadAllCtx, no full-trace slice ever exists: peak memory is
+// bounded by the chunk window, not the log length.
+//
+// emit returning an error aborts the scan with that error.
+func ReadChunksCtx(ctx context.Context, r io.Reader, pool *parallel.Pool, cfg ChunkConfig, emit func(Chunk) error) error {
+	cfg = cfg.withDefaults()
+	ctx, sp := obs.StartSpan(ctx, "weblog.read_chunks")
+	defer sp.End()
+	dr, err := MaybeDecompress(r)
+	if err != nil {
+		return err
+	}
+	scanner := bufio.NewScanner(dr)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var (
+		records int64
+		parseErrs int64
+		chunks  int64
+	)
+	lineNo := 0
+	eof := false
+	// raw rounds: read Window chunks of lines, fan the parse out, emit
+	// in order, repeat.
+	type rawChunk struct {
+		firstLine int
+		lines     []string
+	}
+	for !eof {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		raws := make([]rawChunk, 0, cfg.Window)
+		for len(raws) < cfg.Window {
+			raw := rawChunk{firstLine: lineNo + 1, lines: make([]string, 0, cfg.Lines)}
+			for len(raw.lines) < cfg.Lines {
+				if !scanner.Scan() {
+					eof = true
+					break
+				}
+				lineNo++
+				raw.lines = append(raw.lines, scanner.Text())
+			}
+			if len(raw.lines) > 0 {
+				raws = append(raws, raw)
+			}
+			if eof {
+				break
+			}
+		}
+		if len(raws) == 0 {
+			break
+		}
+		parsed, err := parallel.Map(ctx, pool, len(raws), func(ctx context.Context, i int) (Chunk, error) {
+			return parseChunk(raws[i].firstLine, raws[i].lines), nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, ch := range parsed {
+			records += int64(len(ch.Records))
+			parseErrs += int64(len(ch.Errs))
+			chunks++
+			if err := emit(ch); err != nil {
+				return err
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("weblog: reading: %w", err)
+	}
+	sp.SetInt("chunks", chunks)
+	sp.SetInt("records", records)
+	sp.SetInt("errors", parseErrs)
+	reg := obs.MetricsFrom(ctx)
+	reg.Counter("weblog.records_parsed").Add(records)
+	reg.Counter("weblog.parse_errors").Add(parseErrs)
+	return nil
+}
+
+// parseChunk parses one chunk's lines, mirroring readAll's tolerance:
+// malformed lines are collected, blank lines skipped.
+func parseChunk(firstLine int, lines []string) Chunk {
+	ch := Chunk{FirstLine: firstLine}
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		rec, err := ParseCLF(line)
+		if err != nil {
+			ch.Errs = append(ch.Errs, ParseError{LineNumber: firstLine + i, Line: line, Err: err})
+			continue
+		}
+		ch.Records = append(ch.Records, rec)
+	}
+	return ch
+}

@@ -220,7 +220,13 @@ func readAll(r io.Reader) ([]Record, []ParseError, error) {
 		records []Record
 		badRecs []ParseError
 	)
-	scanner := bufio.NewScanner(r)
+	// Rotated production logs arrive gzip-compressed; sniff the magic so
+	// every parsing entry point accepts .gz and plain text alike.
+	dr, err := MaybeDecompress(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	scanner := bufio.NewScanner(dr)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
 	for scanner.Scan() {

@@ -20,7 +20,8 @@ vet:
 
 # lint runs the repo's custom determinism/concurrency analyzers
 # (internal/lint, driven by cmd/fullweb-lint): maporder, globalrand,
-# walltime, rawgo, ctxflow. See DESIGN.md "Machine-checked invariants".
+# walltime, rawgo, ctxflow, faultguard. See DESIGN.md "Machine-checked
+# invariants".
 lint:
 	$(GO) run ./cmd/fullweb-lint ./...
 
@@ -53,6 +54,7 @@ bench-stream:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseCLF -fuzztime=5s ./internal/weblog/
 	$(GO) test -fuzz=FuzzParseCombined -fuzztime=5s ./internal/weblog/
+	$(GO) test -fuzz=FuzzChunkedIngest -fuzztime=5s ./internal/weblog/
 	$(GO) test -fuzz=FuzzStreamerBatchEquivalence -fuzztime=3s ./internal/session/
 
 # Longer fuzz pass over the log-parser targets; starts warm from the

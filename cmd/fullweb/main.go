@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"fullweb/internal/core"
 	"fullweb/internal/gof"
@@ -28,6 +29,7 @@ import (
 	"fullweb/internal/report"
 	"fullweb/internal/session"
 	"fullweb/internal/stats"
+	"fullweb/internal/stream"
 	"fullweb/internal/weblog"
 	"fullweb/internal/workload"
 )
@@ -125,22 +127,73 @@ func cmdGenerate(args []string, out io.Writer) error {
 }
 
 func loadLog(ctx context.Context, path string) (*weblog.Store, error) {
-	f, err := os.Open(path)
+	store, _, err := loadLogHardened(ctx, path, stream.ModeLenient, stream.Budget{}, "")
 	if err != nil {
-		return nil, fmt.Errorf("opening log: %w", err)
+		return nil, err
+	}
+	return store, nil
+}
+
+// loadLogHardened reads a CLF log under an ingestion mode: strict
+// fails on the first malformed line with its position, the other
+// modes collect reject accounting (optionally quarantining raw lines)
+// and let the budget decide the DegradedInput verdict. Opens go
+// through the bounded retry policy for transient failures.
+func loadLogHardened(ctx context.Context, path string, mode stream.Mode, budget stream.Budget, quarantinePath string) (*weblog.Store, stream.IngestStats, error) {
+	var st stream.IngestStats
+	f, err := weblog.OpenRetry(ctx, path, weblog.DefaultRetryPolicy(time.Sleep))
+	if err != nil {
+		return nil, st, fmt.Errorf("opening log: %w", err)
 	}
 	defer f.Close()
 	records, bad, err := weblog.ReadAllCtx(ctx, f)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	if len(bad) > 0 {
-		fmt.Fprintf(os.Stderr, "warning: %d malformed lines skipped (first: %v)\n", len(bad), bad[0])
+	if mode == stream.ModeStrict && len(bad) > 0 {
+		return nil, st, fmt.Errorf("strict mode: %w", bad[0])
 	}
+	var quarantine *os.File
+	if quarantinePath != "" && len(bad) > 0 {
+		if quarantine, err = os.Create(quarantinePath); err != nil {
+			return nil, st, fmt.Errorf("creating quarantine: %w", err)
+		}
+		defer quarantine.Close()
+	}
+	for _, pe := range bad {
+		st.Rejected++
+		st.Malformed++
+		if len(st.Samples) < 5 {
+			st.Samples = append(st.Samples, fmt.Sprintf("line %d: %v", pe.LineNumber, pe.Err))
+		}
+		if quarantine != nil {
+			if _, err := fmt.Fprintln(quarantine, pe.Line); err != nil {
+				return nil, st, fmt.Errorf("writing quarantine: %w", err)
+			}
+		}
+	}
+	st.Evaluate(mode, budget, int64(len(records)))
 	if len(records) == 0 {
-		return nil, fmt.Errorf("no parseable records in %s", path)
+		return nil, st, fmt.Errorf("no parseable records in %s", path)
 	}
-	return weblog.NewStore(records), nil
+	return weblog.NewStore(records), st, nil
+}
+
+// printInputHealth renders the analyze-side input accounting in the
+// same shape as the stream snapshots' input line.
+func printInputHealth(out io.Writer, st stream.IngestStats) {
+	health := "ok"
+	if st.Degraded {
+		health = "DEGRADED"
+	}
+	fmt.Fprintf(out, "input: %s rejected=%s (malformed=%s oversized=%s)\n",
+		health, report.Count(st.Rejected), report.Count(st.Malformed), report.Count(st.Oversized))
+	for _, reason := range st.Reasons {
+		fmt.Fprintf(out, "input: budget breach: %s\n", reason)
+	}
+	for _, sample := range st.Samples {
+		fmt.Fprintf(out, "reject sample: %s\n", sample)
+	}
 }
 
 func cmdAnalyze(args []string, out io.Writer) (err error) {
@@ -148,6 +201,10 @@ func cmdAnalyze(args []string, out io.Writer) (err error) {
 	logPath := fs.String("log", "", "CLF log file to analyze (required)")
 	server := fs.String("server", "log", "label for the report")
 	workers := fs.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical at any setting")
+	mode := fs.String("mode", "budgeted", "ingestion mode: budgeted (count and degrade), strict (fail on first malformed line) or lenient (count only)")
+	quarantinePath := fs.String("quarantine", "", "write rejected raw lines to this file")
+	maxRejects := fs.Int64("max-rejects", 0, "budgeted mode: degrade after this many rejected lines (0 = no absolute cap)")
+	maxRejectRate := fs.Float64("max-reject-rate", 0, "budgeted mode: degrade when rejects/parse-attempts exceeds this rate (0 = no rate cap)")
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -159,6 +216,10 @@ func cmdAnalyze(args []string, out io.Writer) (err error) {
 	if *workers < 0 {
 		return fmt.Errorf("analyze: -parallel must be >= 0, got %d", *workers)
 	}
+	ingestMode, err := stream.ParseMode(*mode)
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
 	sess, err := obsCfg.Start(obs.SystemClock(), os.Stderr)
 	if err != nil {
 		return err
@@ -169,7 +230,8 @@ func cmdAnalyze(args []string, out io.Writer) (err error) {
 		}
 	}()
 	ctx := sess.Context(context.Background())
-	store, err := loadLog(ctx, *logPath)
+	budget := stream.Budget{MaxRejects: *maxRejects, MaxRejectRate: *maxRejectRate}
+	store, ingest, err := loadLogHardened(ctx, *logPath, ingestMode, budget, *quarantinePath)
 	if err != nil {
 		return err
 	}
@@ -185,6 +247,7 @@ func cmdAnalyze(args []string, out io.Writer) (err error) {
 		return err
 	}
 	printModel(out, model)
+	printInputHealth(out, ingest)
 	return nil
 }
 

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dirtyTestLog writes a generated trace with malformed lines
+// interleaved, returning the path and the malformed lines in order.
+func dirtyTestLog(t *testing.T) (string, []string) {
+	t.Helper()
+	clean := streamTestLog(t)
+	text, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	var junk []string
+	for i, line := range strings.Split(strings.TrimSuffix(string(text), "\n"), "\n") {
+		if i > 0 && i%97 == 0 {
+			bad := fmt.Sprintf("### corrupted line %d ###", i)
+			junk = append(junk, bad)
+			out.WriteString(bad + "\n")
+		}
+		out.WriteString(line + "\n")
+	}
+	path := filepath.Join(t.TempDir(), "dirty.log")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, junk
+}
+
+// finalBlock cuts the output from the final snapshot onward.
+func finalBlock(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "-- final @")
+	if i < 0 {
+		t.Fatalf("no final snapshot in output:\n%s", out)
+	}
+	return out[i:]
+}
+
+// TestStreamCrashResumeCLI drives the crash-recovery path end to end
+// through the CLI: a run killed by an injected fault is resumed with
+// -resume — at a different worker count and chunk geometry — and must
+// reproduce the uninterrupted run's final snapshot and quarantine
+// byte for byte.
+func TestStreamCrashResumeCLI(t *testing.T) {
+	log, _ := dirtyTestLog(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "stream.ckpt")
+	blQuar := filepath.Join(dir, "baseline.quarantine")
+	quar := filepath.Join(dir, "crash.quarantine")
+
+	baseline := runStream(t, "-log", log, "-snapshot", "4h", "-quarantine", blQuar)
+
+	var crashOut bytes.Buffer
+	err := run([]string{"stream", "-log", log, "-snapshot", "4h",
+		"-chunk-lines", "64", "-checkpoint", ckpt, "-quarantine", quar,
+		"-faults", "stream.fold=hit:5"}, &crashOut)
+	if err == nil {
+		t.Fatal("injected fault did not fail the run")
+	}
+	if !strings.Contains(crashOut.String(), "fault site stream.fold: hits=5 fires=1") {
+		t.Fatalf("no fault summary after the faulted run:\n%s", crashOut.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written before the crash: %v", err)
+	}
+
+	resumed := runStream(t, "-log", log, "-snapshot", "4h",
+		"-parallel", "3", "-chunk-lines", "500",
+		"-checkpoint", ckpt, "-resume", "-quarantine", quar)
+	if !strings.Contains(resumed, "resumed from "+ckpt) {
+		t.Fatalf("resume did not announce itself:\n%s", resumed)
+	}
+	if got, want := finalBlock(t, resumed), finalBlock(t, baseline); got != want {
+		t.Fatalf("resumed final snapshot differs:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	gotQuar, err := os.ReadFile(quar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQuar, err := os.ReadFile(blQuar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotQuar, wantQuar) {
+		t.Fatalf("resumed quarantine differs: %d bytes vs %d", len(gotQuar), len(wantQuar))
+	}
+}
+
+// TestStreamFaultsEnvFallback: FULLWEB_FAULTS arms the same injection
+// as -faults.
+func TestStreamFaultsEnvFallback(t *testing.T) {
+	log := streamTestLog(t)
+	t.Setenv("FULLWEB_FAULTS", "weblog.read=hit:1")
+	var out bytes.Buffer
+	err := run([]string{"stream", "-log", log}, &out)
+	if err == nil || !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("FULLWEB_FAULTS not honored: %v", err)
+	}
+}
+
+// TestStreamModesCLI: the three ingestion modes through the CLI flags.
+func TestStreamModesCLI(t *testing.T) {
+	log, junk := dirtyTestLog(t)
+
+	var out bytes.Buffer
+	err := run([]string{"stream", "-log", log, "-mode", "strict"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "strict mode") {
+		t.Fatalf("strict mode tolerated malformed input: %v", err)
+	}
+
+	quar := filepath.Join(t.TempDir(), "q.log")
+	budgeted := runStream(t, "-log", log, "-snapshot", "0",
+		"-max-rejects", "1", "-quarantine", quar)
+	for _, want := range []string{"input: DEGRADED", "budget breach", "reject sample:"} {
+		if !strings.Contains(budgeted, want) {
+			t.Errorf("budgeted output missing %q:\n%s", want, budgeted)
+		}
+	}
+	qbytes, err := os.ReadFile(quar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(qbytes), strings.Join(junk, "\n")+"\n"; got != want {
+		t.Errorf("quarantine content:\n%q\nwant:\n%q", got, want)
+	}
+
+	lenient := runStream(t, "-log", log, "-snapshot", "0", "-mode", "lenient", "-max-rejects", "1")
+	if !strings.Contains(lenient, "input: ok") || strings.Contains(lenient, "DEGRADED") {
+		t.Errorf("lenient mode degraded:\n%s", lenient)
+	}
+}
+
+// TestAnalyzeInputHealth: the batch front end surfaces the same
+// reject accounting and DegradedInput verdict as the stream snapshots.
+func TestAnalyzeInputHealth(t *testing.T) {
+	log, junk := dirtyTestLog(t)
+
+	quar := filepath.Join(t.TempDir(), "q.log")
+	var out bytes.Buffer
+	if err := run([]string{"analyze", "-log", log,
+		"-max-rejects", "1", "-quarantine", quar}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"input: DEGRADED", "budget breach", "reject sample: line 98"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("analyze output missing %q", want)
+		}
+	}
+	qbytes, err := os.ReadFile(quar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(qbytes), strings.Join(junk, "\n")+"\n"; got != want {
+		t.Errorf("quarantine content:\n%q\nwant:\n%q", got, want)
+	}
+
+	var strictOut bytes.Buffer
+	err = run([]string{"analyze", "-log", log, "-mode", "strict"}, &strictOut)
+	if err == nil || !strings.Contains(err.Error(), "line 98") {
+		t.Fatalf("strict analyze error not positioned: %v", err)
+	}
+}
+
+// TestRobustUsageErrors: flag validation for the robustness surface.
+func TestRobustUsageErrors(t *testing.T) {
+	log := streamTestLog(t)
+	var out bytes.Buffer
+	if err := run([]string{"stream", "-log", log, "-mode", "nonsense"}, &out); err == nil {
+		t.Error("bad -mode accepted")
+	}
+	if err := run([]string{"stream", "-log", log, "-faults", "no-equals-sign"}, &out); err == nil {
+		t.Error("bad -faults spec accepted")
+	}
+	if err := run([]string{"stream", "-log", log, "-resume"}, &out); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	if err := run([]string{"stream", "-log", log, "-resume", "-checkpoint", "missing.ckpt"}, &out); err == nil {
+		t.Error("-resume with a missing checkpoint accepted")
+	}
+	if err := run([]string{"analyze", "-log", log, "-mode", "nonsense"}, &out); err == nil {
+		t.Error("analyze bad -mode accepted")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"fullweb/internal/faultpoint"
 	"fullweb/internal/obs"
 	"fullweb/internal/session"
 	"fullweb/internal/stream"
@@ -23,6 +24,12 @@ import (
 //	fullweb stream -log access.log
 //	fullweb stream -log access.log.1.gz -log access.log.0.gz -log access.log
 //	tail -F access.log | fullweb stream -log - -snapshot 1h
+//
+// Robustness controls (DESIGN.md §11): -mode picks the ingestion
+// policy (budgeted, strict, lenient), -quarantine captures rejected
+// raw lines, -checkpoint persists engine state at each snapshot and
+// -resume restarts from it, and -faults (or FULLWEB_FAULTS) arms
+// deterministic fault injection for drills.
 func cmdStream(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
 	var logs []string
@@ -40,6 +47,15 @@ func cmdStream(args []string, out io.Writer) (err error) {
 	seed := fs.Int64("seed", 1, "reservoir sampling seed")
 	chunkLines := fs.Int("chunk-lines", 0, "lines per parse chunk (0 = default)")
 	chunkWindow := fs.Int("chunk-window", 0, "parse chunks in flight (0 = default); bounds memory with -parallel")
+	mode := fs.String("mode", "budgeted", "ingestion mode: budgeted (count, quarantine, degrade), strict (fail on first reject) or lenient (count only)")
+	quarantinePath := fs.String("quarantine", "", "append rejected raw lines to this file (budgeted/lenient modes)")
+	checkpointPath := fs.String("checkpoint", "", "write a resumable engine checkpoint here at every snapshot boundary")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
+	maxRejects := fs.Int64("max-rejects", 0, "budgeted mode: degrade after this many rejected lines (0 = no absolute cap)")
+	maxRejectRate := fs.Float64("max-reject-rate", 0, "budgeted mode: degrade when rejects/parse-attempts exceeds this rate (0 = no rate cap)")
+	maxClamped := fs.Int64("max-clamped", 0, "budgeted mode: degrade after this many clamped non-monotonic timestamps (0 = no cap)")
+	maxFieldBytes := fs.Int("max-field-bytes", 0, "reject records whose host or path exceeds this many bytes (0 = no limit)")
+	faultSpec := fs.String("faults", "", "deterministic fault-injection spec, e.g. 'stream.fold=hit:3;weblog.read=rate:0.01,seed:7' (default $FULLWEB_FAULTS)")
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -50,6 +66,13 @@ func cmdStream(args []string, out io.Writer) (err error) {
 	}
 	if *workers < 0 {
 		return fmt.Errorf("stream: -parallel must be >= 0, got %d", *workers)
+	}
+	ingestMode, err := stream.ParseMode(*mode)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	if *resume && *checkpointPath == "" {
+		return fmt.Errorf("stream: -resume requires -checkpoint")
 	}
 	osess, err := obsCfg.Start(obs.SystemClock(), os.Stderr)
 	if err != nil {
@@ -62,8 +85,33 @@ func cmdStream(args []string, out io.Writer) (err error) {
 	}()
 	ctx := osess.Context(context.Background())
 
+	// Arm fault injection. The spec is deterministic, so a faulted run
+	// is reproducible bit for bit from the command line alone.
+	spec := *faultSpec
+	if spec == "" {
+		spec = os.Getenv("FULLWEB_FAULTS")
+	}
+	var faults *faultpoint.Set
+	if spec != "" {
+		if faults, err = faultpoint.Parse(spec); err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		ctx = faultpoint.With(ctx, faults)
+	}
+
+	// Load the checkpoint before touching any output state: a corrupt
+	// or mismatched checkpoint must abort with everything untouched.
+	var cp *stream.Checkpoint
+	if *resume {
+		if cp, err = stream.LoadCheckpoint(*checkpointPath); err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+	}
+
 	// Each segment is sniffed for gzip individually, so rotated inputs
-	// may freely mix compressed and plain segments.
+	// may freely mix compressed and plain segments. Opens go through
+	// the bounded retry policy: a transiently missing rotated segment
+	// (mid-rotation rename) gets three attempts before the run fails.
 	readers := make([]io.Reader, 0, len(logs))
 	var closers []io.Closer
 	defer func() {
@@ -78,7 +126,7 @@ func cmdStream(args []string, out io.Writer) (err error) {
 		if path == "-" {
 			raw = os.Stdin
 		} else {
-			f, ferr := os.Open(path)
+			f, ferr := weblog.OpenRetry(ctx, path, weblog.DefaultRetryPolicy(time.Sleep))
 			if ferr != nil {
 				return fmt.Errorf("stream: opening log: %w", ferr)
 			}
@@ -92,27 +140,75 @@ func cmdStream(args []string, out io.Writer) (err error) {
 		readers = append(readers, dr)
 	}
 
+	// The quarantine sink. On resume it is truncated to the offset the
+	// checkpoint recorded, discarding lines quarantined after the last
+	// durable state, then reopened for append — so the resumed run's
+	// quarantine is byte-identical to an uninterrupted one.
+	var quarantine io.Writer
+	if *quarantinePath != "" {
+		var offset int64
+		if cp != nil {
+			offset = cp.QuarantineOffset()
+		}
+		qf, qerr := openQuarantine(*quarantinePath, offset)
+		if qerr != nil {
+			return fmt.Errorf("stream: %w", qerr)
+		}
+		closers = append(closers, qf)
+		quarantine = qf
+	}
+
 	cfg := stream.DefaultConfig()
 	cfg.Threshold = *threshold
 	cfg.SnapshotEvery = *snapshotEvery
 	cfg.Workers = *workers
 	cfg.ReservoirCap = *reservoir
 	cfg.Seed = *seed
-	cfg.Chunk = weblog.ChunkConfig{Lines: *chunkLines, Window: *chunkWindow}
+	cfg.Chunk = weblog.ChunkConfig{Lines: *chunkLines, Window: *chunkWindow, MaxFieldBytes: *maxFieldBytes}
+	cfg.Mode = ingestMode
+	cfg.Budget = stream.Budget{MaxRejects: *maxRejects, MaxRejectRate: *maxRejectRate, MaxClamped: *maxClamped}
+	cfg.Quarantine = quarantine
+	cfg.CheckpointPath = *checkpointPath
 	cfg.Metrics = osess.Metrics
-	engine, err := stream.NewEngine(cfg)
+	var engine *stream.Engine
+	if cp != nil {
+		engine, err = stream.ResumeEngine(cfg, cp)
+	} else {
+		engine, err = stream.NewEngine(cfg)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "streaming %s (threshold %v, %s)\n\n",
-		strings.Join(logs, ", "), *threshold, snapshotLabel(*snapshotEvery))
-	final, err := engine.ProcessCtx(ctx, io.MultiReader(readers...), func(s *stream.Snapshot) error {
+	fmt.Fprintf(out, "streaming %s (threshold %v, %s, %s mode)\n",
+		strings.Join(logs, ", "), *threshold, snapshotLabel(*snapshotEvery), ingestMode)
+	if cp != nil {
+		fmt.Fprintf(out, "resumed from %s (skipping %d already-processed lines)\n", *checkpointPath, cp.SkipLines())
+	}
+	fmt.Fprintln(out)
+	final, perr := engine.ProcessCtx(ctx, io.MultiReader(readers...), func(s *stream.Snapshot) error {
 		return s.Render(out)
 	})
-	if err != nil {
-		return err
+	if perr == nil {
+		perr = final.Render(out)
 	}
-	return final.Render(out)
+	// The fault summary prints even when the run died on an injected
+	// fault — that is exactly when the drill operator needs it.
+	for _, st := range faults.Stats() {
+		fmt.Fprintf(out, "fault site %s: hits=%d fires=%d\n", st.Site, st.Hits, st.Fires)
+	}
+	return perr
+}
+
+// openQuarantine prepares the quarantine file: fresh runs truncate,
+// resumed runs cut back to the checkpointed offset and append.
+func openQuarantine(path string, offset int64) (*os.File, error) {
+	if offset > 0 {
+		if err := os.Truncate(path, offset); err != nil {
+			return nil, fmt.Errorf("truncating quarantine to checkpoint offset: %w", err)
+		}
+		return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	}
+	return os.Create(path)
 }
 
 // snapshotLabel renders the snapshot cadence, naming the disabled case.

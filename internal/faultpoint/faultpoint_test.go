@@ -1,0 +1,201 @@
+package faultpoint
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Test sites, registered once at package level like production sites.
+var (
+	fpA = NewSite("faultpoint.testA")
+	fpB = NewSite("faultpoint.testB")
+)
+
+func TestSiteRegistry(t *testing.T) {
+	if fpA.Name() != "faultpoint.testA" {
+		t.Fatalf("name %q", fpA.Name())
+	}
+	found := false
+	for _, name := range Sites() {
+		if name == "faultpoint.testA" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered site missing from Sites()")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	NewSite("faultpoint.testA")
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nosuchsite=hit:1",                              // unknown site
+		"faultpoint.testA",                              // no trigger
+		"faultpoint.testA=",                             // empty trigger
+		"faultpoint.testA=hit:0",                        // non-positive
+		"faultpoint.testA=hit:x",                        // non-integer
+		"faultpoint.testA=rate:1.5",                     // probability out of range
+		"faultpoint.testA=times:3",                      // option with no trigger
+		"faultpoint.testA=bogus:1",                      // unknown key
+		"faultpoint.testA=hit:1;faultpoint.testA=hit:2", // armed twice
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if set, err := Parse("  "); err != nil || set != nil {
+		t.Errorf("blank spec: set=%v err=%v", set, err)
+	}
+}
+
+func TestHitTrigger(t *testing.T) {
+	set, err := Parse("faultpoint.testA=hit:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := With(context.Background(), set)
+	for i := 1; i <= 5; i++ {
+		err := fpA.Check(ctx)
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v", i, err)
+		}
+		if i == 3 {
+			var f *Fault
+			if !errors.As(err, &f) || f.Site != "faultpoint.testA" || f.Hit != 3 {
+				t.Fatalf("fault %v", err)
+			}
+			if !IsFault(err) {
+				t.Fatal("IsFault false on a Fault")
+			}
+			if !strings.Contains(err.Error(), "faultpoint.testA") {
+				t.Fatalf("error %q does not name the site", err)
+			}
+		}
+	}
+	// Unarmed sibling site never fires; unarmed context never fires.
+	if err := fpB.Check(ctx); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if err := fpA.Check(context.Background()); err != nil {
+		t.Fatalf("bare context fired: %v", err)
+	}
+	stats := set.Stats()
+	if len(stats) != 1 || stats[0].Site != "faultpoint.testA" || stats[0].Hits != 5 || stats[0].Fires != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestEveryAndTimes(t *testing.T) {
+	set, err := Parse("faultpoint.testA=every:2,times:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := With(context.Background(), set)
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if fpA.Check(ctx) != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("fired at %v, want [2 4]", fired)
+	}
+}
+
+// TestRateDeterministic: the seeded rate trigger fires at the same
+// hits every run — the decision is a pure function of (seed, hit).
+func TestRateDeterministic(t *testing.T) {
+	run := func() []int64 {
+		set, err := Parse("faultpoint.testA=rate:0.25,seed:7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := With(context.Background(), set)
+		var fired []int64
+		for i := int64(1); i <= 200; i++ {
+			if err := fpA.Check(ctx); err != nil {
+				var f *Fault
+				errors.As(err, &f)
+				fired = append(fired, f.Hit)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("rate 0.25 fired %d/200 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs disagree: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire %d at hit %d vs %d", i, a[i], b[i])
+		}
+	}
+	// A different seed draws a different stream.
+	set2, err := Parse("faultpoint.testA=rate:0.25,seed:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := With(context.Background(), set2)
+	var fired2 []int64
+	for i := int64(1); i <= 200; i++ {
+		if err := fpA.Check(ctx2); err != nil {
+			var f *Fault
+			errors.As(err, &f)
+			fired2 = append(fired2, f.Hit)
+		}
+	}
+	same := len(fired2) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != fired2[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed 7 and seed 8 drew identical fire sequences")
+	}
+}
+
+// TestConcurrentChecks: a Set must be safe under concurrent hits (the
+// parallel.task site is checked from pool workers).
+func TestConcurrentChecks(t *testing.T) {
+	set, err := Parse("faultpoint.testB=every:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := With(context.Background(), set)
+	var wg sync.WaitGroup
+	fires := make([]int64, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if fpB.Check(ctx) != nil {
+					fires[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range fires {
+		total += n
+	}
+	if total != 800 {
+		t.Fatalf("every:10 fired %d times over 8000 hits, want 800", total)
+	}
+}

@@ -16,6 +16,7 @@ import (
 type Reservoir struct {
 	items []float64
 	cap   int
+	seed  int64
 	seen  int64
 	rng   *rand.Rand
 }
@@ -29,6 +30,7 @@ func NewReservoir(capacity int, seed int64) (*Reservoir, error) {
 	return &Reservoir{
 		items: make([]float64, 0, capacity),
 		cap:   capacity,
+		seed:  seed,
 		rng:   rand.New(rand.NewSource(seed)),
 	}, nil
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"fullweb/internal/lint/analysis"
 	"fullweb/internal/lint/ctxflow"
+	"fullweb/internal/lint/faultguard"
 	"fullweb/internal/lint/globalrand"
 	"fullweb/internal/lint/maporder"
 	"fullweb/internal/lint/rawgo"
@@ -14,6 +15,7 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.Analyzer,
+		faultguard.Analyzer,
 		globalrand.Analyzer,
 		maporder.Analyzer,
 		rawgo.Analyzer,

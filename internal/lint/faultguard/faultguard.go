@@ -1,0 +1,167 @@
+// Package faultguard pins the fault-injection site conventions that
+// keep `-faults` specs trustworthy (DESIGN.md §11):
+//
+//   - faultpoint.NewSite must be called only as a package-level var
+//     initializer, so the registry is fixed at init time and Sites()
+//     enumerates every site a spec could name;
+//   - the site name must be a string literal prefixed "<package>.",
+//     so a spec's site names can be traced to code by grep alone;
+//   - names must be unique within the package (NewSite panics on a
+//     global duplicate at init, but only on the code path that links
+//     both packages — the lint catches it at review time);
+//   - every site must be exercised by name in a _test.go file in the
+//     same directory: an untested fault site is dead robustness code,
+//     exactly the path that will be wrong when a real fault arrives.
+//
+// The //lint:allow faultguard escape hatch applies as usual for the
+// rare site that must break convention.
+package faultguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"fullweb/internal/lint/analysis"
+)
+
+// Analyzer is the faultguard rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultguard",
+	Doc:  "faultpoint.NewSite calls must be package-level var initializers with unique, package-prefixed literal names exercised by a same-package test",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass 1: collect the NewSite calls that appear as package-level
+	// var initializers — the only placement the rule permits.
+	topLevel := make(map[*ast.CallExpr]bool)
+	var ordered []*ast.CallExpr
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					if call, ok := v.(*ast.CallExpr); ok && isNewSite(pass, call) {
+						topLevel[call] = true
+						ordered = append(ordered, call)
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: any other NewSite call is misplaced. A site built inside
+	// a function escapes the init-time registry contract (and double
+	// registration panics at runtime, but only if the path runs).
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isNewSite(pass, call) || topLevel[call] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"faultpoint.NewSite must initialize a package-level var, not run inside a function")
+			return true
+		})
+	}
+
+	// Pass 3: name discipline on the well-placed sites.
+	tests := testSources(pass)
+	wantPrefix := pass.Pkg.Name() + "."
+	seen := make(map[string]bool)
+	for _, call := range ordered {
+		name, ok := literalName(call)
+		if !ok {
+			pass.Reportf(call.Pos(),
+				"faultpoint.NewSite name must be a string literal so fault specs can be traced to code")
+			continue
+		}
+		if !strings.HasPrefix(name, wantPrefix) {
+			pass.Reportf(call.Pos(),
+				"fault site %q must be prefixed %q (site names are namespaced by package)", name, wantPrefix)
+		}
+		if seen[name] {
+			pass.Reportf(call.Pos(), "duplicate fault site name %q in this package", name)
+		}
+		seen[name] = true
+		if !strings.Contains(tests, name) {
+			pass.Reportf(call.Pos(),
+				"fault site %q is never exercised by a _test.go file in this directory", name)
+		}
+	}
+	return nil, nil
+}
+
+// isNewSite reports whether call invokes NewSite from a faultpoint
+// package. The path is matched by its final element so the rule works
+// both on the real fullweb/internal/faultpoint and on the fixture
+// stub under testdata.
+func isNewSite(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewSite" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "faultpoint" || strings.HasSuffix(path, "/faultpoint")
+}
+
+// literalName extracts the site name when the call's sole argument is
+// a string literal.
+func literalName(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return name, true
+}
+
+// testSources concatenates the package directory's _test.go files.
+// The lint loader deliberately parses only non-test files, so the
+// "every site is exercised" check reads the tests straight from disk;
+// a missing or unreadable directory simply yields no test text, which
+// reports every site as unexercised rather than crashing the lint.
+func testSources(pass *analysis.Pass) string {
+	if len(pass.Files) == 0 {
+		return ""
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		b.Write(data)
+	}
+	return b.String()
+}

@@ -1,0 +1,12 @@
+package faultguard_test
+
+import (
+	"testing"
+
+	"fullweb/internal/lint/faultguard"
+	"fullweb/internal/lint/linttest"
+)
+
+func TestFaultguard(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), faultguard.Analyzer, "faultguarddata")
+}

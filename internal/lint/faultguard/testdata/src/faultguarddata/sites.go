@@ -1,0 +1,26 @@
+// Package faultguarddata exercises every faultguard diagnostic plus
+// the //lint:allow escape hatch.
+package faultguarddata
+
+import "faultpoint"
+
+// good follows every convention: package-level, literal, prefixed,
+// unique, and named in sites_test.go.
+var good = faultpoint.NewSite("faultguarddata.good")
+
+var badPrefix = faultpoint.NewSite("elsewhere.site") // want `must be prefixed "faultguarddata\."`
+
+var dup = faultpoint.NewSite("faultguarddata.good") // want `duplicate fault site name`
+
+var lonely = faultpoint.NewSite("faultguarddata.lonely") // want `never exercised by a _test\.go file`
+
+var siteName = "faultguarddata.dynamic"
+
+var dynamic = faultpoint.NewSite(siteName) // want `must be a string literal`
+
+//lint:allow faultguard demonstrating the escape hatch for an out-of-convention site
+var allowed = faultpoint.NewSite("escape.hatch")
+
+func inline() *faultpoint.Site {
+	return faultpoint.NewSite("faultguarddata.inline") // want `must initialize a package-level var`
+}

@@ -1,0 +1,18 @@
+package faultguarddata
+
+import "testing"
+
+// TestGoodSite exists so the "faultguarddata.good" site counts as
+// exercised; faultguard only greps this file for the name. The
+// "faultguarddata.inline" and "faultguarddata.dynamic" mentions here
+// show that exercise alone does not excuse misplaced or non-literal
+// sites.
+func TestGoodSite(t *testing.T) {
+	_ = good
+	_ = inline()  // names faultguarddata.inline, still misplaced
+	_ = dynamic   // names faultguarddata.dynamic, still non-literal
+	_ = badPrefix // names elsewhere.site, still badly prefixed
+	_ = dup
+	_ = badPrefix
+	_ = allowed
+}

@@ -1,0 +1,10 @@
+// Package faultpoint is a type-checking stub of the real
+// fullweb/internal/faultpoint, just enough surface for the faultguard
+// fixtures to compile.
+package faultpoint
+
+// Site mirrors the real registry entry.
+type Site struct{ name string }
+
+// NewSite mirrors the real constructor.
+func NewSite(name string) *Site { return &Site{name: name} }

@@ -9,11 +9,19 @@ package parallel
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
+	"fullweb/internal/faultpoint"
 	"fullweb/internal/obs"
 )
+
+// fpTask is the pool's fault-injection site: an armed parallel.task
+// fault fails the task it lands on exactly as a task error would, so
+// tests can exercise the cancellation and error-collection paths on
+// demand (DESIGN.md §11).
+var fpTask = faultpoint.NewSite("parallel.task")
 
 // Pool is a bounded set of worker slots. The zero value is not usable;
 // construct with NewPool. A Pool is safe for concurrent use, and nested
@@ -115,7 +123,12 @@ func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, 
 		tctx, sp := obs.StartSpan(cctx, "parallel.task")
 		sp.SetInt("index", int64(i))
 		sp.SetAttr("mode", mode)
-		err := fn(tctx, i)
+		err := fpTask.Check(tctx)
+		if err != nil {
+			err = fmt.Errorf("parallel: task %d: %w", i, err)
+		} else {
+			err = fn(tctx, i)
+		}
 		sp.End()
 		if err != nil {
 			errs[i] = err

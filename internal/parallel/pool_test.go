@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"fullweb/internal/faultpoint"
 	"fullweb/internal/obs"
 )
 
@@ -279,5 +280,24 @@ func TestMapError(t *testing.T) {
 	})
 	if !errors.Is(err, boom) || out != nil {
 		t.Fatalf("got (%v, %v), want (nil, boom)", out, err)
+	}
+}
+
+// TestForEachInjectedTaskFault: an armed parallel.task fault fails the
+// task it lands on like any task error — the fan-out aborts and the
+// fault surfaces from ForEach.
+func TestForEachInjectedTaskFault(t *testing.T) {
+	set, err := faultpoint.Parse("parallel.task=hit:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := faultpoint.With(context.Background(), set)
+	p := NewPool(2)
+	err = p.ForEach(ctx, 8, func(ctx context.Context, i int) error { return nil })
+	if err == nil || !faultpoint.IsFault(err) {
+		t.Fatalf("injected task fault not surfaced: %v", err)
+	}
+	if err := p.ForEach(context.Background(), 8, func(ctx context.Context, i int) error { return nil }); err != nil {
+		t.Fatalf("unarmed context failed: %v", err)
 	}
 }

@@ -26,6 +26,9 @@ type Streamer struct {
 	// bounded-memory regression tests can assert it stays flat as trace
 	// length grows.
 	peakActive int
+	// clamped counts records whose timestamps ran backwards and were
+	// clamped to the stream clock by ObserveClamped.
+	clamped int64
 }
 
 // expiryEntry schedules a host for an expiry check; lazily invalidated
@@ -74,6 +77,30 @@ func (s *Streamer) PeakActiveSessions() int { return s.peakActive }
 // streaming source of the sessions-initiated-per-second arrival series,
 // known at open time rather than at close time.
 func (s *Streamer) OpenedTotal() int64 { return s.opened }
+
+// Clamped returns how many records ObserveClamped pulled forward to
+// the stream clock because their timestamps ran backwards.
+func (s *Streamer) Clamped() int64 { return s.clamped }
+
+// LastTime returns the stream clock — the largest timestamp observed
+// so far (zero before any record).
+func (s *Streamer) LastTime() time.Time { return s.lastTime }
+
+// ObserveClamped feeds one record, tolerating non-monotonic input:
+// a record timestamped before the current stream clock is clamped
+// forward to the clock and counted (Clamped), never rejected. This is
+// the deterministic policy for the clock skew real multi-server traces
+// carry — the record keeps its host/bytes/status contribution, its
+// arrival lands in the current second, and sessions can only extend,
+// never rewind. Callers budget-track the clamp count to decide whether
+// the input degraded beyond tolerance.
+func (s *Streamer) ObserveClamped(r weblog.Record) ([]Session, error) {
+	if s.sawAny && r.Time.Before(s.lastTime) {
+		r.Time = s.lastTime
+		s.clamped++
+	}
+	return s.Observe(r)
+}
 
 // Observe feeds one record. Records must arrive in non-decreasing time
 // order (access logs are written that way). It returns any sessions

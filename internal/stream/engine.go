@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fullweb/internal/core"
+	"fullweb/internal/faultpoint"
 	"fullweb/internal/heavytail"
 	"fullweb/internal/lrd"
 	"fullweb/internal/obs"
@@ -22,6 +23,17 @@ var (
 	ErrNoRecords = errors.New("stream: no records")
 	// ErrBadConfig is returned for invalid engine parameters.
 	ErrBadConfig = errors.New("stream: invalid config")
+)
+
+// The engine's registered fault-injection sites (DESIGN.md §11):
+//
+//	stream.fold        — crash at a chunk-fold boundary
+//	stream.snapshot    — crash while emitting a periodic snapshot
+//	stream.checkpoint  — crash while persisting a checkpoint
+var (
+	fpFold       = faultpoint.NewSite("stream.fold")
+	fpSnapshot   = faultpoint.NewSite("stream.snapshot")
+	fpCheckpoint = faultpoint.NewSite("stream.checkpoint")
 )
 
 // Config tunes the streaming engine. The zero value is not valid; use
@@ -59,6 +71,20 @@ type Config struct {
 	// snapshots, live-session gauge) and its parse pool. Nil costs and
 	// changes nothing.
 	Metrics *obs.Registry
+	// Mode selects strict, budgeted or lenient ingestion; the zero
+	// value is ModeBudgeted.
+	Mode Mode
+	// Budget bounds tolerated degradation in ModeBudgeted; the zero
+	// value never degrades.
+	Budget Budget
+	// Quarantine, when non-nil, receives every rejected raw line (one
+	// per line, in input order) — the deterministic quarantine sink.
+	Quarantine io.Writer
+	// CheckpointPath, when non-empty, makes the engine persist a
+	// versioned, checksummed checkpoint of its full state at every
+	// snapshot cadence (written atomically after the chunk that crossed
+	// the boundary, so the file always sits on an exact line boundary).
+	CheckpointPath string
 }
 
 // DefaultConfig returns the paper-aligned defaults.
@@ -145,7 +171,6 @@ type Engine struct {
 	chars    []*charState
 
 	records      int64
-	parseErrors  int64
 	bytes        int64
 	closed       int64
 	started      bool
@@ -153,6 +178,16 @@ type Engine struct {
 	lastTime     time.Time
 	nextSnapshot time.Time
 	snapshots    int64
+
+	// ingest is the input-health accounting (rejects, clamps,
+	// truncation, samples) surfaced in every snapshot.
+	ingest IngestStats
+	// lines counts raw input lines consumed, at chunk granularity —
+	// the checkpoint's resume position.
+	lines int64
+	// quar wraps cfg.Quarantine to track the byte offset that goes
+	// into checkpoints (nil when no sink is configured).
+	quar *weblog.CountingWriter
 }
 
 // NewEngine validates the configuration and builds an engine.
@@ -169,11 +204,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("%w: negative worker count %d", ErrBadConfig, cfg.Workers)
 	}
+	if err := cfg.Budget.validate(); err != nil {
+		return nil, err
+	}
 	streamer, err := session.NewStreamer(cfg.Threshold)
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{cfg: cfg, streamer: streamer, pool: parallel.NewPool(cfg.Workers)}
+	if cfg.Quarantine != nil {
+		e.quar = &weblog.CountingWriter{W: cfg.Quarantine}
+	}
 	e.pool.Instrument(cfg.Metrics)
 	if e.reqArr.est, err = lrd.NewOnlineAggVar(cfg.AggVarLevels); err != nil {
 		return nil, err
@@ -223,17 +264,52 @@ func (e *Engine) ProcessCtx(ctx context.Context, r io.Reader, emit func(*Snapsho
 		_, csp := obs.StartSpan(ctx, "stream.fold_chunk")
 		csp.SetInt("records", int64(len(ch.Records)))
 		defer csp.End()
-		e.parseErrors += int64(len(ch.Errs))
-		for _, rec := range ch.Records {
-			if err := e.observe(rec, emit); err != nil {
+		if err := fpFold.Check(ctx); err != nil {
+			return fmt.Errorf("stream: folding chunk at line %d: %w", ch.FirstLine, err)
+		}
+		snapsBefore := e.snapshots
+		// Records and rejects are replayed in true input order
+		// (ErrRecIndex interleaving), so reject accounting at snapshot
+		// boundaries is independent of chunk geometry.
+		next := 0
+		for k := range ch.Errs {
+			for next < ch.ErrRecIndex[k] {
+				if err := e.observe(ctx, ch.Records[next], emit); err != nil {
+					return err
+				}
+				next++
+			}
+			if err := e.reject(ch.Errs[k]); err != nil {
 				return err
 			}
 		}
+		for ; next < len(ch.Records); next++ {
+			if err := e.observe(ctx, ch.Records[next], emit); err != nil {
+				return err
+			}
+		}
+		e.lines += int64(ch.Lines)
 		reg.Gauge("stream.active_sessions").Set(int64(e.streamer.ActiveSessions()))
+		if e.cfg.CheckpointPath != "" && e.snapshots > snapsBefore {
+			if err := e.saveCheckpointCtx(ctx); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		var re *weblog.ReadError
+		if e.cfg.Mode == ModeBudgeted && errors.As(err, &re) && !faultpoint.IsFault(err) {
+			// A genuine mid-stream read failure (truncated gzip
+			// rotation, disk fault) under budgeted ingestion: treat the
+			// stream as ended early and carry the degradation into the
+			// verdict. Injected faults stay fatal — they simulate
+			// crashes for the resume path.
+			e.ingest.Truncated = true
+			reg.Counter("stream.input_truncated").Inc()
+		} else {
+			return nil, err
+		}
 	}
 	if e.records == 0 {
 		return nil, ErrNoRecords
@@ -251,15 +327,28 @@ func (e *Engine) ProcessCtx(ctx context.Context, r io.Reader, emit func(*Snapsho
 	sp.SetInt("sessions", e.closed)
 	sp.SetInt("snapshots", e.snapshots)
 	reg.Counter("stream.records").Add(e.records)
-	reg.Counter("stream.parse_errors").Add(e.parseErrors)
+	reg.Counter("stream.parse_errors").Add(e.ingest.Rejected)
+	reg.Counter("stream.oversized_rejects").Add(e.ingest.Oversized)
+	reg.Counter("stream.clamped_timestamps").Add(e.ingest.Clamped)
 	reg.Counter("stream.sessions_closed").Add(e.closed)
 	reg.Counter("stream.snapshots").Add(e.snapshots)
 	return final, nil
 }
 
 // observe folds one record into the engine state, emitting any
-// snapshot whose trace-time boundary the record crosses.
-func (e *Engine) observe(rec weblog.Record, emit func(*Snapshot) error) error {
+// snapshot whose trace-time boundary the record crosses. Backwards
+// timestamps are clamped to the stream clock before anything else sees
+// the record (the per-second trackers would corrupt on reversed time),
+// or rejected outright in strict mode.
+func (e *Engine) observe(ctx context.Context, rec weblog.Record, emit func(*Snapshot) error) error {
+	if e.started && rec.Time.Before(e.lastTime) {
+		if e.cfg.Mode == ModeStrict {
+			return fmt.Errorf("stream: strict mode: non-monotonic timestamp %v after %v (host %s)",
+				rec.Time, e.lastTime, rec.Host)
+		}
+		rec.Time = e.lastTime
+		e.ingest.Clamped++
+	}
 	if !e.started {
 		e.started = true
 		e.firstTime = rec.Time
@@ -270,6 +359,9 @@ func (e *Engine) observe(rec weblog.Record, emit func(*Snapshot) error) error {
 	// Snapshot boundaries strictly precede the records at or after
 	// them, so a snapshot always describes the data before its boundary.
 	if e.cfg.SnapshotEvery > 0 && !rec.Time.Before(e.nextSnapshot) {
+		if err := fpSnapshot.Check(ctx); err != nil {
+			return fmt.Errorf("stream: snapshot at %v: %w", e.nextSnapshot, err)
+		}
 		snap := e.snapshot(e.nextSnapshot, false)
 		e.snapshots++
 		for !rec.Time.Before(e.nextSnapshot) {
@@ -282,7 +374,7 @@ func (e *Engine) observe(rec weblog.Record, emit func(*Snapshot) error) error {
 		}
 	}
 	openedBefore := e.streamer.OpenedTotal()
-	closed, err := e.streamer.Observe(rec)
+	closed, err := e.streamer.ObserveClamped(rec)
 	if err != nil {
 		return err
 	}
@@ -306,4 +398,27 @@ func (e *Engine) noteClosed(s session.Session) {
 	for _, c := range e.chars {
 		c.observe(core.CharacteristicValue(c.name, s))
 	}
+}
+
+// reject accounts one rejected line: fatal in strict mode, otherwise
+// counted, sampled and quarantined.
+func (e *Engine) reject(pe weblog.ParseError) error {
+	if e.cfg.Mode == ModeStrict {
+		return fmt.Errorf("stream: strict mode: line %d: %w", pe.LineNumber, pe.Err)
+	}
+	e.ingest.Rejected++
+	if errors.Is(pe.Err, weblog.ErrOversized) {
+		e.ingest.Oversized++
+	} else {
+		e.ingest.Malformed++
+	}
+	if len(e.ingest.Samples) < ingestSampleN {
+		e.ingest.Samples = append(e.ingest.Samples, fmt.Sprintf("line %d: %v", pe.LineNumber, pe.Err))
+	}
+	if e.quar != nil {
+		if _, err := io.WriteString(e.quar, pe.Line+"\n"); err != nil {
+			return fmt.Errorf("stream: quarantine write: %w", err)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,298 @@
+package stream_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fullweb/internal/faultpoint"
+	"fullweb/internal/stream"
+	"fullweb/internal/weblog"
+	"fullweb/internal/workload"
+)
+
+func syntheticTrace(t testing.TB) []byte {
+	t.Helper()
+	trace, err := workload.Generate(workload.NASAPub2(), workload.Config{Scale: 0.2, Seed: 99, Days: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := weblog.WriteAll(&buf, trace.Records); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCrashRecoverySyntheticTrace runs the crash-recovery gate on a
+// generated multi-day trace (not just the committed fixture): kill at
+// an injected fold fault, resume with different workers and chunk
+// geometry, require a byte-identical final snapshot.
+func TestCrashRecoverySyntheticTrace(t *testing.T) {
+	text := syntheticTrace(t)
+	cfg := stream.DefaultConfig()
+	cfg.SnapshotEvery = 8 * time.Hour
+	cfg.Workers = 2
+	cfg.Chunk.Lines = 256
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantFinal := renderAll(t, eng, context.Background(), text)
+
+	ckpt := filepath.Join(t.TempDir(), "synthetic.ckpt")
+	ccfg := cfg
+	ccfg.Workers = 1
+	ccfg.Chunk.Lines = 128
+	ccfg.CheckpointPath = ckpt
+	crashed, err := stream.NewEngine(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = crashed.ProcessCtx(faultCtx(t, "stream.fold=hit:12"), bytes.NewReader(text), nil)
+	if err == nil || !faultpoint.IsFault(err) {
+		t.Fatalf("crashed run did not die on the injected fault: %v", err)
+	}
+	cp, err := stream.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Workers = 4
+	rcfg.Chunk.Lines = 512
+	resumed, err := stream.ResumeEngine(rcfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotFinal := renderAll(t, resumed, context.Background(), text)
+	if gotFinal != wantFinal {
+		t.Fatalf("resumed final snapshot differs:\n--- want ---\n%s--- got ---\n%s", wantFinal, gotFinal)
+	}
+}
+
+// dirtyInput is a small trace with two malformed lines and one
+// oversized path among valid records.
+func dirtyInput() []byte {
+	long := strings.Repeat("x", 200)
+	return []byte(`h1 - - [12/Jan/2004:10:30:45 -0500] "GET /a HTTP/1.0" 200 100
+h2 - - [12/Jan/2004:10:30:46 -0500] "GET /b HTTP/1.0" 200 200
+totally not CLF
+h1 - - [12/Jan/2004:10:31:00 -0500] "GET /` + long + ` HTTP/1.0" 200 5
+h3 - - [12/Jan/2004:10:31:05 -0500] "GET /c HTTP/1.0" 404 -
+another bad line
+h2 - - [12/Jan/2004:12:31:06 -0500] "GET /d HTTP/1.0" 200 50
+`)
+}
+
+func TestStrictModeFailsFast(t *testing.T) {
+	cfg := stream.DefaultConfig()
+	cfg.Mode = stream.ModeStrict
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.ProcessCtx(context.Background(), bytes.NewReader(dirtyInput()), nil)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("strict mode error not positioned at line 3: %v", err)
+	}
+}
+
+func TestBudgetedModeQuarantinesAndDegrades(t *testing.T) {
+	cfg := stream.DefaultConfig()
+	cfg.Chunk.MaxFieldBytes = 64
+	cfg.Budget = stream.Budget{MaxRejects: 2}
+	var quar bytes.Buffer
+	cfg.Quarantine = &quar
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.ProcessCtx(context.Background(), bytes.NewReader(dirtyInput()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := final.Ingest
+	if st.Rejected != 3 || st.Malformed != 2 || st.Oversized != 1 {
+		t.Fatalf("reject accounting %+v, want rejected=3 malformed=2 oversized=1", st)
+	}
+	if !st.Degraded || len(st.Reasons) == 0 {
+		t.Fatalf("budget of 2 rejects not breached: %+v", st)
+	}
+	if len(st.Samples) != 3 || !strings.Contains(st.Samples[0], "line 3") {
+		t.Fatalf("samples %v", st.Samples)
+	}
+	long := strings.Repeat("x", 200)
+	wantQuar := "totally not CLF\n" +
+		`h1 - - [12/Jan/2004:10:31:00 -0500] "GET /` + long + ` HTTP/1.0" 200 5` + "\n" +
+		"another bad line\n"
+	if quar.String() != wantQuar {
+		t.Fatalf("quarantine content:\n%q\nwant:\n%q", quar.String(), wantQuar)
+	}
+	var out bytes.Buffer
+	if err := final.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"input: DEGRADED", "budget breach", "reject sample: line 3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("rendered final lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestLenientModeNeverDegrades(t *testing.T) {
+	cfg := stream.DefaultConfig()
+	cfg.Mode = stream.ModeLenient
+	cfg.Budget = stream.Budget{MaxRejects: 1}
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.ProcessCtx(context.Background(), bytes.NewReader(dirtyInput()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Ingest.Degraded {
+		t.Fatalf("lenient mode degraded: %+v", final.Ingest)
+	}
+	if final.Ingest.Rejected != 2 {
+		t.Fatalf("lenient mode counted %d rejects, want 2 (no oversized check armed)", final.Ingest.Rejected)
+	}
+}
+
+// nonMonotonicInput has two records timestamped before the stream
+// clock (one 15s back, one 2s back).
+func nonMonotonicInput() []byte {
+	return []byte(`h1 - - [12/Jan/2004:10:30:45 -0500] "GET /a HTTP/1.0" 200 100
+h2 - - [12/Jan/2004:10:31:00 -0500] "GET /b HTTP/1.0" 200 200
+h3 - - [12/Jan/2004:10:30:45 -0500] "GET /c HTTP/1.0" 200 10
+h1 - - [12/Jan/2004:10:31:10 -0500] "GET /d HTTP/1.0" 200 20
+h4 - - [12/Jan/2004:10:31:08 -0500] "GET /e HTTP/1.0" 200 30
+h2 - - [12/Jan/2004:10:31:30 -0500] "GET /f HTTP/1.0" 200 40
+`)
+}
+
+func TestNonMonotonicTimestampPolicy(t *testing.T) {
+	cfg := stream.DefaultConfig()
+	cfg.Budget = stream.Budget{MaxClamped: 1}
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.ProcessCtx(context.Background(), bytes.NewReader(nonMonotonicInput()), nil)
+	if err != nil {
+		t.Fatalf("budgeted mode rejected clock skew: %v", err)
+	}
+	if final.Ingest.Clamped != 2 {
+		t.Fatalf("clamped %d records, want 2", final.Ingest.Clamped)
+	}
+	if final.Records != 6 {
+		t.Fatalf("clamped records were dropped: %d records, want 6", final.Records)
+	}
+	if !final.Ingest.Degraded {
+		t.Fatalf("clamp budget of 1 not breached: %+v", final.Ingest)
+	}
+
+	strict := stream.DefaultConfig()
+	strict.Mode = stream.ModeStrict
+	seng, err := stream.NewEngine(strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = seng.ProcessCtx(context.Background(), bytes.NewReader(nonMonotonicInput()), nil)
+	if err == nil || !strings.Contains(err.Error(), "non-monotonic") {
+		t.Fatalf("strict mode tolerated clock skew: %v", err)
+	}
+}
+
+// TestTruncatedGzip: a gzip member cut mid-stream degrades gracefully
+// under the budgeted mode (truncation verdict, partial totals) and
+// fails with a positioned error under strict — never a panic.
+func TestTruncatedGzip(t *testing.T) {
+	text := fixtureBytes(t)
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cut := gz.Bytes()[:gz.Len()*3/4]
+
+	cfg := stream.DefaultConfig()
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.ProcessCtx(context.Background(), bytes.NewReader(cut), nil)
+	if err != nil {
+		t.Fatalf("budgeted mode aborted on truncated gzip: %v", err)
+	}
+	if !final.Ingest.Truncated || !final.Ingest.Degraded {
+		t.Fatalf("truncation not carried into the verdict: %+v", final.Ingest)
+	}
+	if final.Records == 0 {
+		t.Fatal("no records survived the truncated member")
+	}
+	var out bytes.Buffer
+	if err := final.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "truncated") {
+		t.Fatalf("rendered final does not mention truncation:\n%s", out.String())
+	}
+
+	strictCfg := stream.DefaultConfig()
+	strictCfg.Mode = stream.ModeStrict
+	seng, err := stream.NewEngine(strictCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = seng.ProcessCtx(context.Background(), bytes.NewReader(cut), nil)
+	var re *weblog.ReadError
+	if err == nil || !errors.As(err, &re) {
+		t.Fatalf("strict mode error is not a positioned *ReadError: %v", err)
+	}
+	if re.Line == 0 {
+		t.Fatalf("read error not positioned: %v", re)
+	}
+}
+
+// TestCheckpointQuarantineOffset: the checkpoint records the
+// quarantine sink's byte offset so resume can truncate precisely.
+func TestCheckpointQuarantineOffset(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "q.ckpt")
+	text := dirtyFixture(t)
+	var quar bytes.Buffer
+	cfg := stream.DefaultConfig()
+	cfg.SnapshotEvery = 4 * time.Hour
+	cfg.CheckpointPath = ckpt
+	cfg.Quarantine = &quar
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ProcessCtx(context.Background(), bytes.NewReader(text), nil); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := stream.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.QuarantineOffset() <= 0 || cp.QuarantineOffset() > int64(quar.Len()) {
+		t.Fatalf("checkpoint quarantine offset %d outside (0, %d]", cp.QuarantineOffset(), quar.Len())
+	}
+	if cp.SkipLines() <= 0 {
+		t.Fatalf("checkpoint resume position %d", cp.SkipLines())
+	}
+	if _, err := os.Stat(ckpt + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp checkpoint file left behind")
+	}
+}

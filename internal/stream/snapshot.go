@@ -67,6 +67,10 @@ type Snapshot struct {
 	SessionsClosed int64
 	SessionsActive int64
 	SessionsOpened int64
+	// Ingest is the input-health accounting at this boundary,
+	// including the DegradedInput verdict when the stream breached its
+	// error budget.
+	Ingest IngestStats
 	// Arrival-process LRD state.
 	RequestArrivals ArrivalEstimate
 	SessionArrivals ArrivalEstimate
@@ -82,13 +86,17 @@ func (e *Engine) snapshot(at time.Time, final bool) *Snapshot {
 		At:             at,
 		Final:          final,
 		Records:        e.records,
-		ParseErrors:    e.parseErrors,
+		ParseErrors:    e.ingest.Rejected,
 		Bytes:          e.bytes,
 		Span:           at.Sub(e.firstTime),
 		SessionsClosed: e.closed,
 		SessionsActive: int64(e.streamer.ActiveSessions()),
 		SessionsOpened: e.streamer.OpenedTotal(),
+		Ingest:         e.ingest,
 	}
+	// Detach the sample slice from the engine's (still appending) one.
+	s.Ingest.Samples = append([]string(nil), e.ingest.Samples...)
+	s.Ingest.Evaluate(e.cfg.Mode, e.cfg.Budget, e.records)
 	fill := func(dst *ArrivalEstimate, t *secondTracker) {
 		dst.Seconds = t.est.N()
 		dst.Levels = t.est.Levels()
@@ -144,6 +152,24 @@ func (s *Snapshot) Render(w io.Writer) error {
 	fmt.Fprintf(w, "  sessions: closed=%s active=%s opened=%s  parse errors=%s\n",
 		report.Count(s.SessionsClosed), report.Count(s.SessionsActive),
 		report.Count(s.SessionsOpened), report.Count(s.ParseErrors))
+	st := s.Ingest
+	health := "ok"
+	if st.Degraded {
+		health = "DEGRADED"
+	}
+	trunc := ""
+	if st.Truncated {
+		trunc = " truncated"
+	}
+	fmt.Fprintf(w, "  input: %s rejected=%s (malformed=%s oversized=%s) clamped=%s%s\n",
+		health, report.Count(st.Rejected), report.Count(st.Malformed),
+		report.Count(st.Oversized), report.Count(st.Clamped), trunc)
+	for _, reason := range st.Reasons {
+		fmt.Fprintf(w, "  input: budget breach: %s\n", reason)
+	}
+	for _, sample := range st.Samples {
+		fmt.Fprintf(w, "  reject sample: %s\n", sample)
+	}
 	renderArrival := func(name string, a ArrivalEstimate) {
 		if a.OK {
 			fmt.Fprintf(w, "  %s arrivals: H=%s (R^2 %s, %d levels, %s s)\n",

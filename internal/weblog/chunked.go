@@ -45,8 +45,18 @@ func MaybeDecompress(r io.Reader) (io.Reader, error) {
 // so ParseError positions stay global across chunks.
 type Chunk struct {
 	FirstLine int
-	Records   []Record
-	Errs      []ParseError
+	// Lines is the number of raw input lines the chunk consumed
+	// (including blank lines), so consumers can track exact stream
+	// positions for checkpointing.
+	Lines   int
+	Records []Record
+	Errs    []ParseError
+	// ErrRecIndex holds, for each entry of Errs, how many of the
+	// chunk's Records precede that malformed line. It lets consumers
+	// interleave records and rejects in true input order, so error
+	// accounting at snapshot boundaries is independent of chunk
+	// geometry.
+	ErrRecIndex []int
 }
 
 // ChunkConfig tunes ReadChunksCtx. The zero value selects the
@@ -58,6 +68,14 @@ type ChunkConfig struct {
 	// the backpressure bound: at most Window*Lines lines (plus their
 	// records) are in flight, independent of trace length. Default 8.
 	Window int
+	// SkipLines discards this many raw input lines before chunking
+	// begins, preserving global line numbering — how a resumed run
+	// seeks back to its checkpointed stream position.
+	SkipLines int64
+	// MaxFieldBytes, when positive, rejects records whose host or path
+	// exceeds the bound; rejects surface as ParseErrors wrapping
+	// ErrOversized. Zero disables the check.
+	MaxFieldBytes int
 }
 
 func (c ChunkConfig) withDefaults() ChunkConfig {
@@ -92,11 +110,20 @@ func ReadChunksCtx(ctx context.Context, r io.Reader, pool *parallel.Pool, cfg Ch
 	scanner := bufio.NewScanner(dr)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var (
-		records int64
+		records   int64
 		parseErrs int64
-		chunks  int64
+		chunks    int64
 	)
 	lineNo := 0
+	for int64(lineNo) < cfg.SkipLines {
+		if !scanner.Scan() {
+			if err := scanner.Err(); err != nil {
+				return &ReadError{Line: lineNo, Err: err}
+			}
+			return fmt.Errorf("weblog: input ends at line %d, before resume position %d", lineNo, cfg.SkipLines)
+		}
+		lineNo++
+	}
 	eof := false
 	// raw rounds: read Window chunks of lines, fan the parse out, emit
 	// in order, repeat.
@@ -110,6 +137,9 @@ func ReadChunksCtx(ctx context.Context, r io.Reader, pool *parallel.Pool, cfg Ch
 		}
 		raws := make([]rawChunk, 0, cfg.Window)
 		for len(raws) < cfg.Window {
+			if err := fpRead.Check(ctx); err != nil {
+				return &ReadError{Line: lineNo, Err: err}
+			}
 			raw := rawChunk{firstLine: lineNo + 1, lines: make([]string, 0, cfg.Lines)}
 			for len(raw.lines) < cfg.Lines {
 				if !scanner.Scan() {
@@ -130,7 +160,10 @@ func ReadChunksCtx(ctx context.Context, r io.Reader, pool *parallel.Pool, cfg Ch
 			break
 		}
 		parsed, err := parallel.Map(ctx, pool, len(raws), func(ctx context.Context, i int) (Chunk, error) {
-			return parseChunk(raws[i].firstLine, raws[i].lines), nil
+			if err := fpParse.Check(ctx); err != nil {
+				return Chunk{}, fmt.Errorf("weblog: parsing chunk at line %d: %w", raws[i].firstLine, err)
+			}
+			return parseChunk(raws[i].firstLine, raws[i].lines, cfg.MaxFieldBytes), nil
 		})
 		if err != nil {
 			return err
@@ -145,7 +178,11 @@ func ReadChunksCtx(ctx context.Context, r io.Reader, pool *parallel.Pool, cfg Ch
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		return fmt.Errorf("weblog: reading: %w", err)
+		// A mid-stream failure (truncated gzip member, disk fault) is
+		// positioned at the last line that scanned cleanly, so strict
+		// mode can report exactly where the input broke and budgeted
+		// mode can account for what was lost.
+		return &ReadError{Line: lineNo, Err: err}
 	}
 	sp.SetInt("chunks", chunks)
 	sp.SetInt("records", records)
@@ -157,16 +194,26 @@ func ReadChunksCtx(ctx context.Context, r io.Reader, pool *parallel.Pool, cfg Ch
 }
 
 // parseChunk parses one chunk's lines, mirroring readAll's tolerance:
-// malformed lines are collected, blank lines skipped.
-func parseChunk(firstLine int, lines []string) Chunk {
-	ch := Chunk{FirstLine: firstLine}
+// malformed lines are collected, blank lines skipped. When
+// maxFieldBytes is positive, records with oversized host/path fields
+// are rejected as ParseErrors wrapping ErrOversized.
+func parseChunk(firstLine int, lines []string, maxFieldBytes int) Chunk {
+	ch := Chunk{FirstLine: firstLine, Lines: len(lines)}
+	reject := func(i int, line string, err error) {
+		ch.Errs = append(ch.Errs, ParseError{LineNumber: firstLine + i, Line: line, Err: err})
+		ch.ErrRecIndex = append(ch.ErrRecIndex, len(ch.Records))
+	}
 	for i, line := range lines {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
 		rec, err := ParseCLF(line)
 		if err != nil {
-			ch.Errs = append(ch.Errs, ParseError{LineNumber: firstLine + i, Line: line, Err: err})
+			reject(i, line, err)
+			continue
+		}
+		if err := Oversized(rec, maxFieldBytes); err != nil {
+			reject(i, line, err)
 			continue
 		}
 		ch.Records = append(ch.Records, rec)

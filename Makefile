@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-obs bench-stream fuzz fuzz-smoke
+.PHONY: all build test race vet lint check bench bench-obs bench-stream bench-shard fuzz fuzz-smoke
 
 all: build
 
@@ -46,6 +46,14 @@ bench-obs:
 # committed BENCH_pr4.json is one run of this target.
 bench-stream:
 	$(GO) test -run '^$$' -bench 'StreamVsBatch' -benchmem -count=3 . | tee BENCH_pr4.json
+
+# bench-shard captures the PR 6 benchmark evidence: the streaming
+# engine at one shard versus four on identical CLF bytes. The gate is
+# no records/sec regression at -shards 1 (the single-shard path skips
+# the host hash and snapshot merge entirely). The committed
+# BENCH_pr6.json is one run of this target.
+bench-shard:
+	$(GO) test -run '^$$' -bench 'ShardedStream' -benchmem -count=3 . | tee BENCH_pr6.json
 
 # Short fuzz smoke (~15s total) over the checked-in corpora; part of
 # the tier-1 gate so parser and sessionizer regressions surface

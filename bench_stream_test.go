@@ -105,3 +105,36 @@ func BenchmarkStreamVsBatchStream(b *testing.B) {
 	b.StopTimer()
 	reportRecordsPerSec(b, records)
 }
+
+// BenchmarkShardedStream is the PR 6 evidence pair (BENCH_pr6.json):
+// the identical bytes through the engine at one shard and at four.
+// The gate is "no regression at -shards 1" — sharding adds a host hash
+// and a merge at snapshot time, and the single-shard path must keep
+// bypassing both. The sharded run buys partition-ready state (per-shard
+// mergeable sketches), not throughput: parsing, not folding, bounds
+// this pipeline.
+func benchShardedStream(b *testing.B, shards int) {
+	text := benchStreamTrace(b)
+	cfg := stream.DefaultConfig()
+	cfg.SnapshotEvery = 0
+	cfg.Shards = shards
+	var records int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := stream.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final, err := eng.ProcessCtx(context.Background(), bytes.NewReader(text), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = final.Records
+	}
+	b.StopTimer()
+	reportRecordsPerSec(b, records)
+}
+
+func BenchmarkShardedStream1(b *testing.B) { benchShardedStream(b, 1) }
+
+func BenchmarkShardedStream4(b *testing.B) { benchShardedStream(b, 4) }

@@ -1,0 +1,162 @@
+package lrd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestOnlineAggVarMergeAlignedExact: splitting one series at a multiple
+// of the widest block keeps every level's blocks aligned, so the merged
+// estimator reproduces the whole-series estimator — block counts and
+// observation counts exactly, the regression within floating-point
+// association.
+func TestOnlineAggVarMergeAlignedExact(t *testing.T) {
+	const levels = 6 // widths 1..32
+	rng := rand.New(rand.NewSource(59))
+	series := make([]float64, 8192)
+	for i := range series {
+		series[i] = rng.Float64() * 10
+	}
+	whole, err := NewOnlineAggVar(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range series {
+		whole.Add(v)
+	}
+	for _, cut := range []int{32, 2048, 4096, 8160} {
+		a, _ := NewOnlineAggVar(levels)
+		b, _ := NewOnlineAggVar(levels)
+		for _, v := range series[:cut] {
+			a.Add(v)
+		}
+		for _, v := range series[cut:] {
+			b.Add(v)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if a.N() != whole.N() {
+			t.Fatalf("cut=%d: merged n %d, whole %d", cut, a.N(), whole.N())
+		}
+		gotEst, err1 := a.Estimate()
+		wantEst, err2 := whole.Estimate()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("cut=%d: estimates failed: %v / %v", cut, err1, err2)
+		}
+		if math.Abs(gotEst.H-wantEst.H) > 1e-9 {
+			t.Fatalf("cut=%d: merged H %v, whole %v", cut, gotEst.H, wantEst.H)
+		}
+	}
+}
+
+// TestOnlineAggVarMergeUnaligned: an arbitrary split realigns blocks
+// and discards at most one partial tail block per level (the documented
+// rule); the observation count still adds exactly and the estimate
+// stays within a loose tolerance of the whole-series one.
+func TestOnlineAggVarMergeUnaligned(t *testing.T) {
+	const levels = 6
+	rng := rand.New(rand.NewSource(61))
+	series := make([]float64, 8192)
+	for i := range series {
+		series[i] = rng.Float64() * 10
+	}
+	whole, _ := NewOnlineAggVar(levels)
+	for _, v := range series {
+		whole.Add(v)
+	}
+	wantEst, err := whole.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		cut := 1 + rng.Intn(len(series)-1)
+		a, _ := NewOnlineAggVar(levels)
+		b, _ := NewOnlineAggVar(levels)
+		for _, v := range series[:cut] {
+			a.Add(v)
+		}
+		for _, v := range series[cut:] {
+			b.Add(v)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if a.N() != int64(len(series)) {
+			t.Fatalf("cut=%d: merged n %d", cut, a.N())
+		}
+		gotEst, err := a.Estimate()
+		if err != nil {
+			t.Fatalf("cut=%d: merged estimate failed: %v", cut, err)
+		}
+		// IID input, H ≈ 0.5 for both; block realignment shifts the
+		// variances slightly, never wildly.
+		if math.Abs(gotEst.H-wantEst.H) > 0.1 {
+			t.Fatalf("cut=%d: merged H %v drifted from whole-series %v", cut, gotEst.H, wantEst.H)
+		}
+	}
+}
+
+// TestOnlineAggVarMergeCommutative: the Welford block merges are
+// commutative up to floating-point association; with both operands'
+// partials empty (aligned feeds) the results agree to 1e-12.
+func TestOnlineAggVarMergeCommutative(t *testing.T) {
+	const levels = 5 // widths 1..16
+	rng := rand.New(rand.NewSource(67))
+	feed := func(n int) *OnlineAggVar {
+		o, _ := NewOnlineAggVar(levels)
+		for i := 0; i < n; i++ {
+			o.Add(rng.Float64())
+		}
+		return o
+	}
+	a, b := feed(1024), feed(2048)
+	ab, _ := RestoreOnlineAggVar(a.State())
+	if err := ab.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := RestoreOnlineAggVar(b.State())
+	if err := ba.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	e1, err1 := ab.Estimate()
+	e2, err2 := ba.Estimate()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("estimates failed: %v / %v", err1, err2)
+	}
+	if math.Abs(e1.H-e2.H) > 1e-12 {
+		t.Fatalf("merge order changed H: %v vs %v", e1.H, e2.H)
+	}
+}
+
+// TestOnlineAggVarMergeLevelMismatch: differing ladders are rejected.
+func TestOnlineAggVarMergeLevelMismatch(t *testing.T) {
+	a, _ := NewOnlineAggVar(5)
+	b, _ := NewOnlineAggVar(6)
+	if err := a.Merge(b); err == nil || !errors.Is(err, ErrBadParam) {
+		t.Fatalf("level mismatch accepted: %v", err)
+	}
+}
+
+// TestOnlineAggVarEstimateShortStream: levels with fewer than two
+// complete blocks must never reach the regression — a one-block level
+// has identically zero variance and its log would poison the fit. On a
+// stream short enough that only degenerate levels exist the estimator
+// reports ErrTooShort instead of emitting garbage.
+func TestOnlineAggVarEstimateShortStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{1, 2, 3, 33, 65} {
+		o, err := NewOnlineAggVar(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			o.Add(rng.Float64())
+		}
+		if _, err := o.Estimate(); !errors.Is(err, ErrTooShort) {
+			t.Fatalf("n=%d: want ErrTooShort, got %v", n, err)
+		}
+	}
+}

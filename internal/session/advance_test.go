@@ -1,0 +1,69 @@
+package session
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStreamerAdvance: Advance closes exactly the sessions whose
+// inactivity window provably ended, leaves the stream clock untouched
+// (records between the streamer's last observation and the advance
+// point stay acceptable), and is idempotent.
+func TestStreamerAdvance(t *testing.T) {
+	threshold := 10 * time.Minute
+	s, err := NewStreamer(threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(rec("a", 0, 200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(rec("b", 300, 200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	base := rec("a", 0, 200, 1).Time
+
+	// At a's expiry boundary nothing closes yet (strictly-before rule:
+	// a session closes only when the gap exceeds the threshold).
+	if closed := s.Advance(base.Add(threshold)); len(closed) != 0 {
+		t.Fatalf("advance at the boundary closed %+v", closed)
+	}
+	// Just past it, a closes; b (last seen at +300s) stays open.
+	closed := s.Advance(base.Add(threshold + 2*time.Second))
+	if len(closed) != 1 || closed[0].Host != "a" {
+		t.Fatalf("advance closed %+v, want exactly a", closed)
+	}
+	if s.ActiveSessions() != 1 {
+		t.Fatalf("active = %d after advance", s.ActiveSessions())
+	}
+	// Idempotent: a second advance to the same point closes nothing.
+	if closed := s.Advance(base.Add(threshold + 2*time.Second)); len(closed) != 0 {
+		t.Fatalf("repeated advance closed %+v", closed)
+	}
+	// The clock did not move: a record timestamped before the advance
+	// point but after the last observation is still in order.
+	if _, err := s.Observe(rec("b", 400, 200, 1)); err != nil {
+		t.Fatalf("record after advance rejected: %v", err)
+	}
+
+	// Advancing must close the same sessions observing would: a fresh
+	// streamer fed the same records plus a late record on another host
+	// agrees on the closed set.
+	s2, err := NewStreamer(threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Observe(rec("a", 0, 200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Observe(rec("b", 300, 200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	viaObserve, err := s2.Observe(rec("c", 602, 200, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaObserve) != 1 || viaObserve[0].Host != "a" || viaObserve[0] != closed[0] {
+		t.Fatalf("observe-driven eviction %+v differs from advance-driven %+v", viaObserve, closed)
+	}
+}

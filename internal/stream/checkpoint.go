@@ -1,10 +1,12 @@
 // Checkpoint/resume for the streaming engine: a versioned, checksummed
-// serialization of the full online state — sessionizer heap, Welford
-// moments, P² markers, dyadic aggregated-variance levels, reservoir
-// Hill state (with RNG replay), totals and ingest accounting — written
-// atomically at snapshot cadence. A resumed engine continues from the
-// exact raw-line boundary the checkpoint recorded and produces output
-// byte-identical to an uninterrupted run (DESIGN.md §11).
+// serialization of the full online state — per-shard sessionizer heaps,
+// Welford moments, quantile-sketch ladders, dyadic aggregated-variance
+// levels, reservoir Hill state (with RNG replay), totals and ingest
+// accounting — written atomically at snapshot cadence. A resumed engine
+// continues from the exact raw-line boundary the checkpoint recorded
+// and produces output byte-identical to an uninterrupted run
+// (DESIGN.md §11). Checkpoints of a sharded run carry every shard's
+// state verbatim; merged sketches are never persisted (DESIGN.md §12).
 
 package stream
 
@@ -28,9 +30,13 @@ import (
 // checkpointMagic and checkpointVersion frame the header line. The
 // version bumps on ANY change to the serialized layout; a loader never
 // guesses at unknown versions.
+//
+// v2: per-shard state layout (Shards []shardCheckpoint), mergeable
+// quantile sketch replacing the three P² marker sets, and the Shards /
+// QuantileCap fingerprint fields.
 const (
 	checkpointMagic   = "fullweb-checkpoint"
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
 
 // checkpointConfig is the engine-config fingerprint embedded in every
@@ -38,11 +44,14 @@ const (
 // that shape the online state itself. Workers and chunk geometry are
 // deliberately absent — the determinism contract makes results
 // identical across them, so a run may resume with a different pool
-// size or chunk shape.
+// size or chunk shape. Shards, by contrast, shapes the partitioned
+// state and must match.
 type checkpointConfig struct {
 	Threshold        time.Duration `json:"threshold"`
 	SnapshotEvery    time.Duration `json:"snapshot_every"`
+	Shards           int           `json:"shards"`
 	ReservoirCap     int           `json:"reservoir_cap"`
+	QuantileCap      int           `json:"quantile_cap"`
 	Seed             int64         `json:"seed"`
 	HillTailFraction float64       `json:"hill_tail_fraction"`
 	HillRelTol       float64       `json:"hill_rel_tol"`
@@ -62,7 +71,9 @@ func fingerprint(cfg Config) checkpointConfig {
 	return checkpointConfig{
 		Threshold:        cfg.Threshold,
 		SnapshotEvery:    cfg.SnapshotEvery,
+		Shards:           normalizeShards(cfg.Shards),
 		ReservoirCap:     cfg.ReservoirCap,
+		QuantileCap:      normalizeQuantileCap(cfg.QuantileCap),
 		Seed:             cfg.Seed,
 		HillTailFraction: cfg.HillTailFraction,
 		HillRelTol:       cfg.HillRelTol,
@@ -100,34 +111,44 @@ func (t *secondTracker) restore(st secondState) error {
 }
 
 // charCheckpoint is the checkpointable image of one characteristic's
-// estimators.
+// estimators within one shard.
 type charCheckpoint struct {
 	Name    string                    `json:"name"`
 	Moments WelfordState              `json:"moments"`
-	P50     P2State                   `json:"p50"`
-	P90     P2State                   `json:"p90"`
-	P99     P2State                   `json:"p99"`
+	Quant   QuantileSketchState       `json:"quant"`
 	Hill    heavytail.OnlineHillState `json:"hill"`
 }
 
-// engineState is the full serialized engine.
+// shardCheckpoint is the checkpointable image of one hash partition:
+// its sessionizer, totals, per-partition arrival trackers and
+// characteristic sketches.
+type shardCheckpoint struct {
+	Streamer session.StreamerState `json:"streamer"`
+	Closed   int64                 `json:"closed"`
+	Records  int64                 `json:"records"`
+	Bytes    int64                 `json:"bytes"`
+	ReqArr   secondState           `json:"req_arr"`
+	SessArr  secondState           `json:"sess_arr"`
+	Chars    []charCheckpoint      `json:"chars"`
+}
+
+// engineState is the full serialized engine: the global clocks, totals
+// and arrival estimators, plus every shard verbatim.
 type engineState struct {
-	Config           checkpointConfig      `json:"config"`
-	Lines            int64                 `json:"lines"`
-	QuarantineOffset int64                 `json:"quarantine_offset"`
-	Records          int64                 `json:"records"`
-	Bytes            int64                 `json:"bytes"`
-	Closed           int64                 `json:"closed"`
-	Started          bool                  `json:"started"`
-	FirstTime        time.Time             `json:"first_time"`
-	LastTime         time.Time             `json:"last_time"`
-	NextSnapshot     time.Time             `json:"next_snapshot"`
-	Snapshots        int64                 `json:"snapshots"`
-	Ingest           IngestStats           `json:"ingest"`
-	Streamer         session.StreamerState `json:"streamer"`
-	ReqArr           secondState           `json:"req_arr"`
-	SessArr          secondState           `json:"sess_arr"`
-	Chars            []charCheckpoint      `json:"chars"`
+	Config           checkpointConfig  `json:"config"`
+	Lines            int64             `json:"lines"`
+	QuarantineOffset int64             `json:"quarantine_offset"`
+	Records          int64             `json:"records"`
+	Bytes            int64             `json:"bytes"`
+	Started          bool              `json:"started"`
+	FirstTime        time.Time         `json:"first_time"`
+	LastTime         time.Time         `json:"last_time"`
+	NextSnapshot     time.Time         `json:"next_snapshot"`
+	Snapshots        int64             `json:"snapshots"`
+	Ingest           IngestStats       `json:"ingest"`
+	ReqArr           secondState       `json:"req_arr"`
+	SessArr          secondState       `json:"sess_arr"`
+	Shards           []shardCheckpoint `json:"shards"`
 }
 
 // Checkpoint is a loaded, checksum-verified engine checkpoint.
@@ -151,14 +172,12 @@ func (e *Engine) state() engineState {
 		Lines:        e.lines,
 		Records:      e.records,
 		Bytes:        e.bytes,
-		Closed:       e.closed,
 		Started:      e.started,
 		FirstTime:    e.firstTime,
 		LastTime:     e.lastTime,
 		NextSnapshot: e.nextSnapshot,
 		Snapshots:    e.snapshots,
 		Ingest:       e.ingest,
-		Streamer:     e.streamer.State(),
 		ReqArr:       e.reqArr.state(),
 		SessArr:      e.sessArr.state(),
 	}
@@ -166,15 +185,24 @@ func (e *Engine) state() engineState {
 	if e.quar != nil {
 		st.QuarantineOffset = e.quar.N
 	}
-	for _, c := range e.chars {
-		st.Chars = append(st.Chars, charCheckpoint{
-			Name:    c.name,
-			Moments: c.moments.State(),
-			P50:     c.p50.State(),
-			P90:     c.p90.State(),
-			P99:     c.p99.State(),
-			Hill:    c.hill.State(),
-		})
+	for _, sh := range e.shards {
+		sc := shardCheckpoint{
+			Streamer: sh.streamer.State(),
+			Closed:   sh.closed,
+			Records:  sh.records,
+			Bytes:    sh.bytes,
+			ReqArr:   sh.reqArr.state(),
+			SessArr:  sh.sessArr.state(),
+		}
+		for _, c := range sh.chars {
+			sc.Chars = append(sc.Chars, charCheckpoint{
+				Name:    c.name,
+				Moments: c.moments.State(),
+				Quant:   c.quant.State(),
+				Hill:    c.hill.State(),
+			})
+		}
+		st.Shards = append(st.Shards, sc)
 	}
 	return st
 }
@@ -295,43 +323,51 @@ func ResumeEngine(cfg Config, cp *Checkpoint) (*Engine, error) {
 		return nil, err
 	}
 	st := cp.state
-	streamer, err := session.RestoreStreamer(st.Streamer)
-	if err != nil {
-		return nil, err
+	if len(st.Shards) != len(e.shards) {
+		return nil, fmt.Errorf("stream: checkpoint holds %d shards, engine has %d", len(st.Shards), len(e.shards))
 	}
-	e.streamer = streamer
 	if err := e.reqArr.restore(st.ReqArr); err != nil {
 		return nil, fmt.Errorf("stream: restoring request arrivals: %w", err)
 	}
 	if err := e.sessArr.restore(st.SessArr); err != nil {
 		return nil, fmt.Errorf("stream: restoring session arrivals: %w", err)
 	}
-	if len(st.Chars) != len(e.chars) {
-		return nil, fmt.Errorf("stream: checkpoint holds %d characteristics, engine has %d", len(st.Chars), len(e.chars))
-	}
-	for i, cc := range st.Chars {
-		c := e.chars[i]
-		if cc.Name != c.name {
-			return nil, fmt.Errorf("stream: characteristic %d is %q in checkpoint, %q in engine", i, cc.Name, c.name)
+	for si, sc := range st.Shards {
+		sh := e.shards[si]
+		streamer, err := session.RestoreStreamer(sc.Streamer)
+		if err != nil {
+			return nil, fmt.Errorf("stream: restoring shard %d sessionizer: %w", si, err)
 		}
-		c.moments = RestoreWelford(cc.Moments)
-		if c.p50, err = RestoreP2Quantile(cc.P50); err != nil {
-			return nil, err
+		sh.streamer = streamer
+		sh.closed = sc.Closed
+		sh.records = sc.Records
+		sh.bytes = sc.Bytes
+		if err := sh.reqArr.restore(sc.ReqArr); err != nil {
+			return nil, fmt.Errorf("stream: restoring shard %d request arrivals: %w", si, err)
 		}
-		if c.p90, err = RestoreP2Quantile(cc.P90); err != nil {
-			return nil, err
+		if err := sh.sessArr.restore(sc.SessArr); err != nil {
+			return nil, fmt.Errorf("stream: restoring shard %d session arrivals: %w", si, err)
 		}
-		if c.p99, err = RestoreP2Quantile(cc.P99); err != nil {
-			return nil, err
+		if len(sc.Chars) != len(sh.chars) {
+			return nil, fmt.Errorf("stream: checkpoint shard %d holds %d characteristics, engine has %d", si, len(sc.Chars), len(sh.chars))
 		}
-		if c.hill, err = heavytail.RestoreOnlineHill(cc.Hill); err != nil {
-			return nil, err
+		for i, cc := range sc.Chars {
+			c := sh.chars[i]
+			if cc.Name != c.name {
+				return nil, fmt.Errorf("stream: characteristic %d is %q in checkpoint, %q in engine", i, cc.Name, c.name)
+			}
+			c.moments = RestoreWelford(cc.Moments)
+			if c.quant, err = RestoreQuantileSketch(cc.Quant); err != nil {
+				return nil, fmt.Errorf("stream: restoring shard %d %s quantiles: %w", si, c.name, err)
+			}
+			if c.hill, err = heavytail.RestoreOnlineHill(cc.Hill); err != nil {
+				return nil, err
+			}
 		}
 	}
 	e.lines = st.Lines
 	e.records = st.Records
 	e.bytes = st.Bytes
-	e.closed = st.Closed
 	e.started = st.Started
 	e.firstTime = st.FirstTime
 	e.lastTime = st.LastTime

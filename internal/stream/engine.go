@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"time"
 
@@ -36,6 +37,9 @@ var (
 	fpCheckpoint = faultpoint.NewSite("stream.checkpoint")
 )
 
+// MaxShards bounds the host-hash partition width.
+const MaxShards = 1024
+
 // Config tunes the streaming engine. The zero value is not valid; use
 // DefaultConfig.
 type Config struct {
@@ -53,12 +57,25 @@ type Config struct {
 	// Chunks are parsed concurrently but folded into the engine state
 	// strictly in input order, so results are identical at any setting.
 	Workers int
+	// Shards hash-partitions the engine state by host into this many
+	// independent mergeable shards (sessionization is per-host, so it
+	// stays exact per shard). 0 and 1 both mean a single shard.
+	// Snapshots are always the deterministic merge of the shard states;
+	// counts, session totals and arrival estimates are identical at any
+	// shard count, and the sketch estimates are identical while the
+	// sketches are inside their exact regimes (DESIGN.md §12).
+	Shards int
 	// ReservoirCap bounds each characteristic's Hill reservoir. While a
 	// stream has fewer sessions than this, the streaming Hill estimate
 	// is exactly the batch estimate.
 	ReservoirCap int
+	// QuantileCap bounds each characteristic's mergeable quantile
+	// sketch; below capacity the streaming quantiles are exactly the
+	// batch quantiles. 0 means DefaultQuantileCap.
+	QuantileCap int
 	// Seed derives the reservoir sampling streams (one sub-seed per
-	// characteristic), making snapshots reproducible run to run.
+	// shard and characteristic), making snapshots reproducible run to
+	// run.
 	Seed int64
 	// HillTailFraction and HillRelTol configure the Hill read-off,
 	// exactly as in the batch pipeline.
@@ -92,28 +109,29 @@ func DefaultConfig() Config {
 	return Config{
 		Threshold:        session.DefaultThreshold,
 		SnapshotEvery:    6 * time.Hour,
+		Shards:           1,
 		ReservoirCap:     8192,
+		QuantileCap:      DefaultQuantileCap,
 		Seed:             1,
 		HillTailFraction: heavytail.DefaultHillTailFraction,
 		HillRelTol:       heavytail.DefaultHillRelTol,
 	}
 }
 
-// charState holds the online estimators of one characteristic.
+// charState holds the online estimators of one characteristic within
+// one shard: Welford moments, the mergeable quantile sketch and the
+// reservoir Hill estimator. Each is a mergeable sketch, which is what
+// lets shard states combine into one deterministic snapshot.
 type charState struct {
 	name    string
 	moments Welford
-	p50     *P2Quantile
-	p90     *P2Quantile
-	p99     *P2Quantile
+	quant   *QuantileSketch
 	hill    *heavytail.OnlineHill
 }
 
 func (c *charState) observe(v float64) {
 	c.moments.Observe(v)
-	c.p50.Observe(v)
-	c.p90.Observe(v)
-	c.p99.Observe(v)
+	c.quant.Observe(v)
 	c.hill.Observe(v)
 }
 
@@ -158,21 +176,55 @@ func (t *secondTracker) flush() {
 	}
 }
 
+// engineShard is one hash partition of the engine state: the
+// incremental sessionizer for its hosts, the per-characteristic
+// sketches over its finalized sessions, and its own view of the two
+// arrival processes (the per-partition series the Rolls reduced-LRD
+// comparison reads). Everything in a shard is a pure function of the
+// subsequence of records whose hosts hash to it. The per-shard arrival
+// trackers are maintained only when the engine has more than one
+// shard — at one shard the global pair is the identical series.
+type engineShard struct {
+	streamer *session.Streamer
+	chars    []*charState
+	closed   int64
+	records  int64
+	bytes    int64
+	reqArr   secondTracker
+	sessArr  secondTracker
+}
+
+// noteClosed folds one finalized session into the shard's
+// per-characteristic sketches.
+func (sh *engineShard) noteClosed(s session.Session) {
+	sh.closed++
+	for _, c := range sh.chars {
+		c.observe(core.CharacteristicValue(c.name, s))
+	}
+}
+
 // Engine is the streaming analysis pipeline: one instance processes one
 // log stream. Not safe for concurrent use (the chunk parser fans out
 // internally; state folding is single-goroutine by design).
+//
+// With Shards > 1 the engine keeps N independent host-partitioned
+// shard states and dispatches each record to its host's shard; the
+// global totals, clamping clock, snapshot cadence and the two global
+// arrival-process estimators stay with the engine, so snapshots are
+// identical at any shard count wherever the merge is exact.
 type Engine struct {
 	cfg  Config
 	pool *parallel.Pool
 
-	streamer *session.Streamer
-	reqArr   secondTracker
-	sessArr  secondTracker
-	chars    []*charState
+	shards []*engineShard
+	// reqArr and sessArr track the global arrival processes — the true
+	// summed-series estimators, fed at dispatch time in input order, so
+	// they are bitwise independent of the shard partition.
+	reqArr  secondTracker
+	sessArr secondTracker
 
 	records      int64
 	bytes        int64
-	closed       int64
 	started      bool
 	firstTime    time.Time
 	lastTime     time.Time
@@ -190,6 +242,32 @@ type Engine struct {
 	quar *weblog.CountingWriter
 }
 
+// shardSeedStride and charSeedStride derive the per-shard,
+// per-characteristic reservoir sub-seeds from the configured base
+// seed: seed + shard*shardSeedStride + char*charSeedStride. Shard 0
+// of a single-shard engine therefore draws exactly the historical
+// sampling streams.
+const (
+	shardSeedStride = 15485863 // the 1e6-th prime
+	charSeedStride  = 7919     // the 1e3-th prime
+)
+
+// normalizeShards maps the two spellings of "unsharded" to 1.
+func normalizeShards(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n
+}
+
+// normalizeQuantileCap applies the default capacity.
+func normalizeQuantileCap(n int) int {
+	if n <= 0 {
+		return DefaultQuantileCap
+	}
+	return n
+}
+
 // NewEngine validates the configuration and builds an engine.
 func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Threshold <= 0 {
@@ -204,45 +282,130 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("%w: negative worker count %d", ErrBadConfig, cfg.Workers)
 	}
+	if cfg.Shards > MaxShards {
+		return nil, fmt.Errorf("%w: %d shards (max %d)", ErrBadConfig, cfg.Shards, MaxShards)
+	}
 	if err := cfg.Budget.validate(); err != nil {
 		return nil, err
 	}
-	streamer, err := session.NewStreamer(cfg.Threshold)
-	if err != nil {
-		return nil, err
-	}
-	e := &Engine{cfg: cfg, streamer: streamer, pool: parallel.NewPool(cfg.Workers)}
+	nshards := normalizeShards(cfg.Shards)
+	qcap := normalizeQuantileCap(cfg.QuantileCap)
+	e := &Engine{cfg: cfg, pool: parallel.NewPool(cfg.Workers)}
 	if cfg.Quarantine != nil {
 		e.quar = &weblog.CountingWriter{W: cfg.Quarantine}
 	}
 	e.pool.Instrument(cfg.Metrics)
+	var err error
 	if e.reqArr.est, err = lrd.NewOnlineAggVar(cfg.AggVarLevels); err != nil {
 		return nil, err
 	}
 	if e.sessArr.est, err = lrd.NewOnlineAggVar(cfg.AggVarLevels); err != nil {
 		return nil, err
 	}
-	for i, name := range core.AllCharacteristics() {
-		// One derived sub-seed per characteristic so the reservoirs draw
-		// independent, reproducible sampling streams.
-		hill, err := heavytail.NewOnlineHill(cfg.ReservoirCap, cfg.Seed+int64(i)*7919, cfg.HillTailFraction, cfg.HillRelTol)
+	for s := 0; s < nshards; s++ {
+		sh, err := e.newShard(s, qcap)
 		if err != nil {
 			return nil, err
 		}
-		e.chars = append(e.chars, &charState{
-			name: name,
-			p50:  NewP2Quantile(0.5),
-			p90:  NewP2Quantile(0.9),
-			p99:  NewP2Quantile(0.99),
-			hill: hill,
-		})
+		e.shards = append(e.shards, sh)
 	}
 	return e, nil
 }
 
-// PeakActiveSessions returns the sessionizer's live-state high-water
-// mark — the quantity that bounds the engine's memory.
-func (e *Engine) PeakActiveSessions() int { return e.streamer.PeakActiveSessions() }
+// newShard builds one hash partition's state with its derived seeds.
+func (e *Engine) newShard(index, qcap int) (*engineShard, error) {
+	streamer, err := session.NewStreamer(e.cfg.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	sh := &engineShard{streamer: streamer}
+	if sh.reqArr.est, err = lrd.NewOnlineAggVar(e.cfg.AggVarLevels); err != nil {
+		return nil, err
+	}
+	if sh.sessArr.est, err = lrd.NewOnlineAggVar(e.cfg.AggVarLevels); err != nil {
+		return nil, err
+	}
+	for i, name := range core.AllCharacteristics() {
+		seed := e.cfg.Seed + int64(index)*shardSeedStride + int64(i)*charSeedStride
+		hill, err := heavytail.NewOnlineHill(e.cfg.ReservoirCap, seed, e.cfg.HillTailFraction, e.cfg.HillRelTol)
+		if err != nil {
+			return nil, err
+		}
+		quant, err := NewQuantileSketch(qcap)
+		if err != nil {
+			return nil, err
+		}
+		sh.chars = append(sh.chars, &charState{name: name, quant: quant, hill: hill})
+	}
+	return sh, nil
+}
+
+// shardFor maps a host to its partition: FNV-1a over the host bytes,
+// reduced mod the shard count — stable across runs, platforms and
+// shard-state restorations.
+func (e *Engine) shardFor(host string) *engineShard {
+	if len(e.shards) == 1 {
+		return e.shards[0]
+	}
+	h := fnv.New64a()
+	io.WriteString(h, host)
+	return e.shards[h.Sum64()%uint64(len(e.shards))]
+}
+
+// Shards returns the number of hash partitions.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// PeakActiveSessions returns the summed sessionizer live-state
+// high-water marks — the quantity that bounds the engine's memory.
+func (e *Engine) PeakActiveSessions() int {
+	total := 0
+	for _, sh := range e.shards {
+		total += sh.streamer.PeakActiveSessions()
+	}
+	return total
+}
+
+// activeSessions is the current live-session count across shards.
+func (e *Engine) activeSessions() int {
+	total := 0
+	for _, sh := range e.shards {
+		total += sh.streamer.ActiveSessions()
+	}
+	return total
+}
+
+// closedSessions is the finalized-session count across shards.
+func (e *Engine) closedSessions() int64 {
+	var total int64
+	for _, sh := range e.shards {
+		total += sh.closed
+	}
+	return total
+}
+
+// openedSessions is the opened-session count across shards.
+func (e *Engine) openedSessions() int64 {
+	var total int64
+	for _, sh := range e.shards {
+		total += sh.streamer.OpenedTotal()
+	}
+	return total
+}
+
+// advanceShards drives every shard's eviction frontier to the global
+// stream clock, folding the sessions that provably closed. A shard
+// only advances its clock on its own hosts' records, so without this a
+// lagging partition would hold sessions open — and out of the merged
+// estimators — that a single global engine had already closed. Called
+// at every snapshot boundary; for a single shard it is a no-op (the
+// sole shard's eviction already ran at the global clock).
+func (e *Engine) advanceShards(now time.Time) {
+	for _, sh := range e.shards {
+		for _, s := range sh.streamer.Advance(now) {
+			sh.noteClosed(s)
+		}
+	}
+}
 
 // ProcessCtx streams CLF text (plain or gzip; use io.MultiReader for
 // rotated segments) through the engine. Chunks are parsed concurrently
@@ -289,7 +452,7 @@ func (e *Engine) ProcessCtx(ctx context.Context, r io.Reader, emit func(*Snapsho
 			}
 		}
 		e.lines += int64(ch.Lines)
-		reg.Gauge("stream.active_sessions").Set(int64(e.streamer.ActiveSessions()))
+		reg.Gauge("stream.active_sessions").Set(int64(e.activeSessions()))
 		if e.cfg.CheckpointPath != "" && e.snapshots > snapsBefore {
 			if err := e.saveCheckpointCtx(ctx); err != nil {
 				return err
@@ -315,31 +478,42 @@ func (e *Engine) ProcessCtx(ctx context.Context, r io.Reader, emit func(*Snapsho
 		return nil, ErrNoRecords
 	}
 	// End of stream: close every still-open session and the open
-	// seconds, then build the final snapshot.
-	for _, s := range e.streamer.Flush() {
-		e.noteClosed(s)
+	// seconds in shard order, then build the final snapshot.
+	for _, sh := range e.shards {
+		for _, s := range sh.streamer.Flush() {
+			sh.noteClosed(s)
+		}
+		if len(e.shards) > 1 {
+			sh.reqArr.flush()
+			sh.sessArr.flush()
+		}
 	}
 	e.reqArr.flush()
 	e.sessArr.flush()
-	final := e.snapshot(e.lastTime, true)
+	final, err := e.snapshot(e.lastTime, true)
+	if err != nil {
+		return nil, err
+	}
 	e.snapshots++
+	closed := e.closedSessions()
 	sp.SetInt("records", e.records)
-	sp.SetInt("sessions", e.closed)
+	sp.SetInt("sessions", closed)
 	sp.SetInt("snapshots", e.snapshots)
 	reg.Counter("stream.records").Add(e.records)
 	reg.Counter("stream.parse_errors").Add(e.ingest.Rejected)
 	reg.Counter("stream.oversized_rejects").Add(e.ingest.Oversized)
 	reg.Counter("stream.clamped_timestamps").Add(e.ingest.Clamped)
-	reg.Counter("stream.sessions_closed").Add(e.closed)
+	reg.Counter("stream.sessions_closed").Add(closed)
 	reg.Counter("stream.snapshots").Add(e.snapshots)
 	return final, nil
 }
 
 // observe folds one record into the engine state, emitting any
 // snapshot whose trace-time boundary the record crosses. Backwards
-// timestamps are clamped to the stream clock before anything else sees
-// the record (the per-second trackers would corrupt on reversed time),
-// or rejected outright in strict mode.
+// timestamps are clamped to the global stream clock before anything
+// else sees the record (the per-second trackers would corrupt on
+// reversed time, and per-shard clamping would depend on the
+// partition), or rejected outright in strict mode.
 func (e *Engine) observe(ctx context.Context, rec weblog.Record, emit func(*Snapshot) error) error {
 	if e.started && rec.Time.Before(e.lastTime) {
 		if e.cfg.Mode == ModeStrict {
@@ -362,7 +536,11 @@ func (e *Engine) observe(ctx context.Context, rec weblog.Record, emit func(*Snap
 		if err := fpSnapshot.Check(ctx); err != nil {
 			return fmt.Errorf("stream: snapshot at %v: %w", e.nextSnapshot, err)
 		}
-		snap := e.snapshot(e.nextSnapshot, false)
+		e.advanceShards(e.lastTime)
+		snap, err := e.snapshot(e.nextSnapshot, false)
+		if err != nil {
+			return err
+		}
 		e.snapshots++
 		for !rec.Time.Before(e.nextSnapshot) {
 			e.nextSnapshot = e.nextSnapshot.Add(e.cfg.SnapshotEvery)
@@ -373,31 +551,37 @@ func (e *Engine) observe(ctx context.Context, rec weblog.Record, emit func(*Snap
 			}
 		}
 	}
-	openedBefore := e.streamer.OpenedTotal()
-	closed, err := e.streamer.ObserveClamped(rec)
+	sh := e.shardFor(rec.Host)
+	openedBefore := sh.streamer.OpenedTotal()
+	closed, err := sh.streamer.ObserveClamped(rec)
 	if err != nil {
 		return err
 	}
 	for _, s := range closed {
-		e.noteClosed(s)
+		sh.noteClosed(s)
 	}
-	if e.streamer.OpenedTotal() > openedBefore {
-		e.sessArr.observe(rec.Time.Unix())
+	// Per-shard arrival trackers exist only in sharded runs: the single
+	// shard's partition is the whole stream, so the global pair already
+	// is its per-partition view, and zero-filling a duplicate per-second
+	// series would double the tracker cost of every unsharded run.
+	multi := len(e.shards) > 1
+	sec := rec.Time.Unix()
+	if sh.streamer.OpenedTotal() > openedBefore {
+		e.sessArr.observe(sec)
+		if multi {
+			sh.sessArr.observe(sec)
+		}
 	}
-	e.reqArr.observe(rec.Time.Unix())
+	e.reqArr.observe(sec)
+	if multi {
+		sh.reqArr.observe(sec)
+	}
 	e.records++
 	e.bytes += rec.Bytes
+	sh.records++
+	sh.bytes += rec.Bytes
 	e.lastTime = rec.Time
 	return nil
-}
-
-// noteClosed folds one finalized session into the per-characteristic
-// estimators.
-func (e *Engine) noteClosed(s session.Session) {
-	e.closed++
-	for _, c := range e.chars {
-		c.observe(core.CharacteristicValue(c.name, s))
-	}
 }
 
 // reject accounts one rejected line: fatal in strict mode, otherwise

@@ -1,0 +1,311 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fullweb/internal/stats"
+)
+
+// TestQuantileSketchExactUnderCapacity: before the first compaction
+// (fewer than 2×capacity observations) every quantile must match
+// stats.Quantile bit for bit — the regime the engine's equivalence
+// contract relies on.
+func TestQuantileSketchExactUnderCapacity(t *testing.T) {
+	const capacity = 32
+	rng := rand.New(rand.NewSource(3))
+	s, err := NewQuantileSketch(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x []float64
+	for i := 0; i < 2*capacity-1; i++ {
+		v := math.Exp(rng.NormFloat64())
+		s.Observe(v)
+		x = append(x, v)
+		for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			want, err := stats.Quantile(x, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Quantile(p); got != want {
+				t.Fatalf("n=%d p=%v: sketch %v, batch %v", len(x), p, got, want)
+			}
+		}
+	}
+	if s.N() != int64(len(x)) {
+		t.Fatalf("N = %d, want %d", s.N(), len(x))
+	}
+}
+
+// TestQuantileSketchToleranceOverCapacity: far past capacity the rank
+// error must stay small. On uniform [0,1) data the p-quantile is ~p, so
+// a value error bounds the rank error directly.
+func TestQuantileSketchToleranceOverCapacity(t *testing.T) {
+	const capacity = 256
+	rng := rand.New(rand.NewSource(7))
+	s, err := NewQuantileSketch(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		s.Observe(rng.Float64())
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got := s.Quantile(p); math.Abs(got-p) > 0.05 {
+			t.Errorf("p=%v: sketch %v (rank error %v)", p, got, math.Abs(got-p))
+		}
+	}
+}
+
+// TestQuantileSketchMergeExactUnderCapacity: while the union stays
+// under 2×capacity the merge is multiset-exact, so the merged quantiles
+// equal the single-sketch quantiles bit for bit regardless of how the
+// stream was partitioned — the shard-count-independence contract.
+func TestQuantileSketchMergeExactUnderCapacity(t *testing.T) {
+	const capacity = 32
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, 2*capacity-5)
+	for i := range x {
+		x[i] = rng.ExpFloat64()
+	}
+	single, err := NewQuantileSketch(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		single.Observe(v)
+	}
+	for trial := 0; trial < 20; trial++ {
+		parts := make([]*QuantileSketch, 3)
+		for i := range parts {
+			if parts[i], err = NewQuantileSketch(capacity); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, v := range x {
+			parts[rng.Intn(len(parts))].Observe(v)
+		}
+		merged, err := NewQuantileSketch(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range parts {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.N() != single.N() {
+			t.Fatalf("trial %d: merged N %d, single %d", trial, merged.N(), single.N())
+		}
+		for _, p := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			if got, want := merged.Quantile(p), single.Quantile(p); got != want {
+				t.Fatalf("trial %d p=%v: merged %v, single %v", trial, p, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantileSketchMergeAssociativeCommutative: in the exact regime
+// the merge result is a pure multiset, so grouping and order cannot
+// matter.
+func TestQuantileSketchMergeAssociativeCommutative(t *testing.T) {
+	const capacity = 16
+	rng := rand.New(rand.NewSource(13))
+	mk := func(n int) *QuantileSketch {
+		s, err := NewQuantileSketch(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			s.Observe(rng.NormFloat64())
+		}
+		return s
+	}
+	a, b, c := mk(9), mk(7), mk(11)
+	combine := func(order ...*QuantileSketch) *QuantileSketch {
+		out, err := NewQuantileSketch(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range order {
+			if err := out.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	left := combine(a, b, c)
+	right := combine(c, b, a)
+	ab := combine(a, b)
+	grouped := combine(ab, c)
+	for _, p := range []float64{0, 0.3, 0.5, 0.9, 1} {
+		if left.Quantile(p) != right.Quantile(p) || left.Quantile(p) != grouped.Quantile(p) {
+			t.Fatalf("p=%v: %v / %v / %v", p, left.Quantile(p), right.Quantile(p), grouped.Quantile(p))
+		}
+	}
+}
+
+// TestQuantileSketchMergeToleranceOverCapacity: merging compacted
+// sketches must still land within the documented rank tolerance.
+func TestQuantileSketchMergeToleranceOverCapacity(t *testing.T) {
+	const capacity = 256
+	rng := rand.New(rand.NewSource(17))
+	merged, err := NewQuantileSketch(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for part := 0; part < 4; part++ {
+		s, err := NewQuantileSketch(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 25000; i++ {
+			s.Observe(rng.Float64())
+		}
+		if err := merged.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got := merged.Quantile(p); math.Abs(got-p) > 0.05 {
+			t.Errorf("p=%v: merged sketch %v (rank error %v)", p, got, math.Abs(got-p))
+		}
+	}
+}
+
+// TestQuantileSketchDoesNotMutateOperand: Merge documents the operand
+// untouched.
+func TestQuantileSketchDoesNotMutateOperand(t *testing.T) {
+	a, err := NewQuantileSketch(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewQuantileSketch(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 100; i++ {
+		b.Observe(rng.Float64())
+	}
+	before := b.State()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, b.State()) {
+		t.Fatal("Merge mutated its operand")
+	}
+}
+
+// TestQuantileSketchStateRoundTrip: a restored sketch is
+// state-identical to the live one and stays identical as both keep
+// observing the same stream.
+func TestQuantileSketchStateRoundTrip(t *testing.T) {
+	s, err := NewQuantileSketch(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 10000; i++ {
+		s.Observe(rng.ExpFloat64())
+	}
+	r, err := RestoreQuantileSketch(s.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.State(), r.State()) {
+		t.Fatal("restored state differs")
+	}
+	for i := 0; i < 1000; i++ {
+		v := rng.ExpFloat64()
+		s.Observe(v)
+		r.Observe(v)
+	}
+	if !reflect.DeepEqual(s.State(), r.State()) {
+		t.Fatal("restored sketch diverged after further observations")
+	}
+}
+
+// TestQuantileSketchRestoreValidation: structurally corrupt states are
+// rejected, never trusted.
+func TestQuantileSketchRestoreValidation(t *testing.T) {
+	s, err := NewQuantileSketch(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 100; i++ {
+		s.Observe(rng.Float64())
+	}
+	good := s.State()
+	firstFull := -1
+	for h, lvl := range good.Levels {
+		if lvl != nil {
+			firstFull = h
+			break
+		}
+	}
+	if firstFull < 0 {
+		t.Fatal("no full level to corrupt; feed more observations")
+	}
+	mutate := func(name string, f func(*QuantileSketchState)) {
+		st := good
+		st.Buf = append([]float64(nil), good.Buf...)
+		st.Levels = nil
+		for _, lvl := range good.Levels {
+			st.Levels = append(st.Levels, append([]float64(nil), lvl...))
+		}
+		st.Flips = append([]bool(nil), good.Flips...)
+		f(&st)
+		if _, err := RestoreQuantileSketch(st); err == nil {
+			t.Errorf("%s: corrupt state accepted", name)
+		}
+	}
+	mutate("overfull buffer", func(st *QuantileSketchState) {
+		for len(st.Buf) < st.Cap {
+			st.Buf = append(st.Buf, 1)
+		}
+		st.N = 1000
+	})
+	mutate("flips mismatch", func(st *QuantileSketchState) { st.Flips = append(st.Flips, true) })
+	mutate("short level", func(st *QuantileSketchState) { st.Levels[firstFull] = st.Levels[firstFull][:4] })
+	mutate("unsorted level", func(st *QuantileSketchState) {
+		lvl := st.Levels[firstFull]
+		lvl[0], lvl[1] = lvl[len(lvl)-1], lvl[0]
+	})
+	mutate("weight mismatch", func(st *QuantileSketchState) { st.N += 3 })
+	mutate("bad capacity", func(st *QuantileSketchState) { st.Cap = 7 })
+	if _, err := RestoreQuantileSketch(good); err != nil {
+		t.Fatalf("pristine state rejected: %v", err)
+	}
+}
+
+// TestQuantileSketchConfigAndEdgeCases: constructor validation and the
+// empty/invalid-p read-offs.
+func TestQuantileSketchConfigAndEdgeCases(t *testing.T) {
+	if _, err := NewQuantileSketch(8); err == nil {
+		t.Error("capacity below minimum accepted")
+	}
+	if _, err := NewQuantileSketch(17); err == nil {
+		t.Error("odd capacity accepted")
+	}
+	s, err := NewQuantileSketch(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("empty sketch did not return NaN")
+	}
+	s.Observe(4)
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(s.Quantile(p)) {
+			t.Errorf("invalid p=%v accepted", p)
+		}
+	}
+	if got := s.Quantile(0.5); got != 4 {
+		t.Errorf("single observation quantile = %v", got)
+	}
+}

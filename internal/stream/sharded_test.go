@@ -1,0 +1,290 @@
+package stream_test
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fullweb/internal/core"
+	"fullweb/internal/faultpoint"
+	"fullweb/internal/session"
+	"fullweb/internal/stats"
+	"fullweb/internal/stream"
+	"fullweb/internal/weblog"
+)
+
+// TestShardedOutputIdenticalAcrossShardCounts is the tentpole's
+// equivalence gate: the full rendered snapshot stream — periodic
+// snapshots and final — must be byte-identical at 1, 2, 4 and 8 shards
+// on both the committed fixture and a synthetic trace. Totals and
+// session accounting merge exactly; the sketch estimates sit in their
+// exact regimes on traces this size; the residual floating-point
+// merge-association differences vanish under the report's fixed-point
+// rendering.
+func TestShardedOutputIdenticalAcrossShardCounts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		text []byte
+	}{
+		{"fixture", fixtureBytes(t)},
+		{"synthetic", syntheticTrace(t)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := stream.DefaultConfig()
+			base.SnapshotEvery = 6 * time.Hour
+			_, want := runEngine(t, base, tc.text)
+			if strings.Count(want, "-- snapshot @") < 2 {
+				t.Fatalf("trace too short for periodic snapshots:\n%s", want)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				cfg := base
+				cfg.Shards = shards
+				_, got := runEngine(t, cfg, tc.text)
+				if got != want {
+					t.Errorf("-shards %d output differs from single-shard:\n--- want ---\n%s--- got ---\n%s", shards, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedQuantilesExactUnderCapacity: on a trace whose session
+// count sits inside the sketch capacity, the streaming quantiles equal
+// the batch stats.Quantile values bit for bit — at every shard count,
+// since the under-capacity merge is multiset-exact.
+func TestShardedQuantilesExactUnderCapacity(t *testing.T) {
+	text := fixtureBytes(t)
+	recs, _, err := weblog.ReadAll(bytes.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions, err := session.Sessionize(recs, session.DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		cfg := stream.DefaultConfig()
+		cfg.Shards = shards
+		final, _ := runEngine(t, cfg, text)
+		for i, name := range core.AllCharacteristics() {
+			values := core.CharacteristicValues(name, sessions)
+			if int64(len(values)) >= int64(cfg.QuantileCap) {
+				t.Fatalf("fixture outgrew the sketch capacity; shrink the trace or raise the cap")
+			}
+			cs := final.Chars[i]
+			for _, q := range []struct {
+				p    float64
+				got  float64
+				what string
+			}{{0.50, cs.P50, "p50"}, {0.90, cs.P90, "p90"}, {0.99, cs.P99, "p99"}} {
+				want, err := stats.Quantile(values, q.p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if q.got != want {
+					t.Errorf("shards=%d %s %s: streaming %v, batch %v", shards, name, q.what, q.got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedCrashRecoveryEquivalence: kill a sharded run at an
+// injected fault, resume from its checkpoint (which carries every
+// shard's state), and require the final snapshot byte-identical to an
+// uninterrupted sharded run — and to the single-shard run.
+func TestShardedCrashRecoveryEquivalence(t *testing.T) {
+	text := fixtureBytes(t)
+	baseCfg := func() stream.Config {
+		cfg := stream.DefaultConfig()
+		cfg.SnapshotEvery = 4 * time.Hour
+		cfg.Shards = 4
+		return cfg
+	}
+	eng, err := stream.NewEngine(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantFinal := renderAll(t, eng, context.Background(), text)
+
+	single := stream.DefaultConfig()
+	single.SnapshotEvery = 4 * time.Hour
+	sEng, err := stream.NewEngine(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, singleFinal := renderAll(t, sEng, context.Background(), text)
+	if singleFinal != wantFinal {
+		t.Fatalf("sharded final differs from single-shard:\n--- single ---\n%s--- sharded ---\n%s", singleFinal, wantFinal)
+	}
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sharded.ckpt")
+	cfg := baseCfg()
+	cfg.CheckpointPath = ckpt
+	cfg.Chunk.Lines = 64 // many fold events, so the hit-count fault fires mid-trace
+	crashed, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = crashed.ProcessCtx(faultCtx(t, "stream.fold=hit:40"), bytes.NewReader(text), nil)
+	if err == nil || !faultpoint.IsFault(err) {
+		t.Fatalf("crashed run did not die on the injected fault: %v", err)
+	}
+	cp, err := stream.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := baseCfg()
+	rcfg.CheckpointPath = ckpt
+	rcfg.Workers = 3
+	rcfg.Chunk.Lines = 97
+	resumed, err := stream.ResumeEngine(rcfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotFinal := renderAll(t, resumed, context.Background(), text)
+	if gotFinal != wantFinal {
+		t.Errorf("resumed sharded final differs:\n--- want ---\n%s--- got ---\n%s", wantFinal, gotFinal)
+	}
+}
+
+// TestShardedCheckpointRoundTrip: a resumed sharded engine serializes
+// back to the exact bytes it was restored from.
+func TestShardedCheckpointRoundTrip(t *testing.T) {
+	cfg := stream.DefaultConfig()
+	cfg.Shards = 4
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ProcessCtx(context.Background(), bytes.NewReader(fixtureBytes(t)), nil); err != nil {
+		t.Fatal(err)
+	}
+	var orig bytes.Buffer
+	if err := eng.WriteCheckpoint(&orig); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := stream.ReadCheckpoint(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := stream.ResumeEngine(cfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bytes.Buffer
+	if err := resumed.WriteCheckpoint(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), back.Bytes()) {
+		t.Fatal("sharded checkpoint round trip is not byte-identical")
+	}
+}
+
+// TestShardedCheckpointShardCountPinned: a checkpoint written at one
+// shard count must not resume at another — the partitioned state is
+// shaped by it.
+func TestShardedCheckpointShardCountPinned(t *testing.T) {
+	cfg := stream.DefaultConfig()
+	cfg.Shards = 4
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ProcessCtx(context.Background(), bytes.NewReader(fixtureBytes(t)), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := stream.ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Shards = 8
+	if _, err := stream.ResumeEngine(other, cp); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("shard-count change accepted on resume: %v", err)
+	}
+}
+
+// TestShardDetail: the per-shard breakdown partitions the global totals
+// exactly and renders without touching the merged snapshot.
+func TestShardDetail(t *testing.T) {
+	cfg := stream.DefaultConfig()
+	cfg.Shards = 4
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.ProcessCtx(context.Background(), bytes.NewReader(fixtureBytes(t)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detail, err := eng.ShardDetail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detail.Shards) != 4 {
+		t.Fatalf("%d shard rows", len(detail.Shards))
+	}
+	var records, bytesTotal, closed int64
+	nonEmpty := 0
+	for _, sh := range detail.Shards {
+		records += sh.Records
+		bytesTotal += sh.Bytes
+		closed += sh.Closed
+		if sh.Records > 0 {
+			nonEmpty++
+		}
+	}
+	if records != final.Records || bytesTotal != final.Bytes || closed != final.SessionsClosed {
+		t.Errorf("shard sums (records=%d bytes=%d closed=%d) != totals (%d/%d/%d)",
+			records, bytesTotal, closed, final.Records, final.Bytes, final.SessionsClosed)
+	}
+	if nonEmpty < 2 {
+		t.Errorf("host hashing left %d of 4 shards populated on the fixture", nonEmpty)
+	}
+	var out bytes.Buffer
+	if err := detail.RenderShardDetail(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-- shards (4) --") || !strings.Contains(out.String(), "pooled request arrivals") {
+		t.Errorf("shard detail rendering incomplete:\n%s", out.String())
+	}
+}
+
+// TestShardedConfigValidation: the shard and sketch-capacity knobs are
+// validated up front.
+func TestShardedConfigValidation(t *testing.T) {
+	cfg := stream.DefaultConfig()
+	cfg.Shards = stream.MaxShards + 1
+	if _, err := stream.NewEngine(cfg); err == nil {
+		t.Error("shard count beyond MaxShards accepted")
+	}
+	cfg = stream.DefaultConfig()
+	cfg.QuantileCap = 17
+	if _, err := stream.NewEngine(cfg); err == nil {
+		t.Error("odd quantile capacity accepted")
+	}
+	cfg = stream.DefaultConfig()
+	cfg.QuantileCap = 4
+	if _, err := stream.NewEngine(cfg); err == nil {
+		t.Error("tiny quantile capacity accepted")
+	}
+	// 0 means "unsharded" and must behave exactly like 1.
+	cfg = stream.DefaultConfig()
+	cfg.Shards = 0
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Shards() != 1 {
+		t.Errorf("Shards=0 built %d shards", eng.Shards())
+	}
+}

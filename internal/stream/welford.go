@@ -1,12 +1,15 @@
 // Package stream is the bounded-memory online analysis engine: the
 // production counterpart of the batch FULL-Web pipeline. It ingests
 // access-log records chunk by chunk (no full-trace slice), sessionizes
-// incrementally, and maintains online estimators — Welford moments, P²
-// quantiles, a dyadic aggregated-counts Hurst estimator and a
-// reservoir-fed Hill tail estimator — so arbitrarily long logs are
-// characterized with memory bounded by live sessions and fixed-size
-// sketches, not trace length. Same input always yields byte-identical
-// snapshots (DESIGN.md §10).
+// incrementally, and maintains online estimators — Welford moments, a
+// mergeable deterministic quantile sketch (P² is kept for comparison),
+// a dyadic aggregated-counts Hurst estimator and a reservoir-fed Hill
+// tail estimator — so arbitrarily long logs are characterized with
+// memory bounded by live sessions and fixed-size sketches, not trace
+// length. Every estimator supports an associative Merge, so the engine
+// can hash-partition its state by host into independent shards and
+// report the deterministic merge (DESIGN.md §12). Same input always
+// yields byte-identical snapshots (DESIGN.md §10).
 package stream
 
 import (
@@ -41,6 +44,34 @@ func (w *Welford) Observe(v float64) {
 	d := v - w.mean
 	w.mean += d / float64(w.n)
 	w.m2 += d * (v - w.mean)
+}
+
+// Merge folds another accumulator into w using Chan's parallel
+// variance combination, including min/max. Merging the states of two
+// disjoint streams yields the exact counts and extremes of the
+// concatenated stream; mean and M2 agree with the sequential fold up
+// to floating-point association (documented tolerance: 1e-9 relative,
+// see DESIGN.md §12). The operation is associative and commutative up
+// to that same tolerance; an empty operand on either side is exact.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	if o.minV < w.minV {
+		w.minV = o.minV
+	}
+	if o.maxV > w.maxV {
+		w.maxV = o.maxV
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
 }
 
 // N returns the observation count.
@@ -151,16 +182,30 @@ func (e *P2Quantile) Observe(v float64) {
 }
 
 // parabolic is the P² piecewise-parabolic prediction of marker i moved
-// by d (±1).
+// by d (±1). Adjacent marker positions are distinct by the adjustment
+// guard while position arithmetic is exact, but beyond 2^53
+// observations the float64 position counters stop incrementing exactly
+// and neighbors can collide — most easily under heavy duplicate
+// observations, which pile every update into the same cell. A
+// collapsed denominator returns the current marker height unchanged
+// (all colliding markers bracket the same value) instead of dividing
+// by zero and poisoning the estimate with NaN.
 func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	if e.pos[i+1] == e.pos[i-1] || e.pos[i+1] == e.pos[i] || e.pos[i] == e.pos[i-1] {
+		return e.q[i]
+	}
 	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
 		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
 			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
 }
 
-// linear is the fallback linear prediction.
+// linear is the fallback linear prediction, with the same
+// collapsed-denominator guard as parabolic.
 func (e *P2Quantile) linear(i int, d float64) float64 {
 	j := i + int(d)
+	if e.pos[j] == e.pos[i] {
+		return e.q[i]
+	}
 	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
 }
 

@@ -18,10 +18,13 @@ race:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's custom determinism/concurrency analyzers
-# (internal/lint, driven by cmd/fullweb-lint): maporder, globalrand,
-# walltime, rawgo, ctxflow, faultguard. See DESIGN.md "Machine-checked
-# invariants".
+# lint runs the repo's custom determinism/concurrency/dataflow
+# analyzers (internal/lint, driven by cmd/fullweb-lint): maporder,
+# globalrand, walltime, rawgo, ctxflow, faultguard, plus the PR 7
+# dataflow trio — hotalloc (allocation sites in //hot:path functions),
+# statesync (checkpoint/merge field coverage), mergealias (Merge/
+# snapshot storage aliasing). See DESIGN.md "Machine-checked
+# invariants" and §13.
 lint:
 	$(GO) run ./cmd/fullweb-lint ./...
 
@@ -40,12 +43,15 @@ bench:
 bench-obs:
 	$(GO) test -run '^$$' -bench 'ReproSweep|ObsOverhead' -benchmem -count=3 . | tee BENCH_pr3.json
 
-# bench-stream captures the PR 4 benchmark evidence: the streaming
-# engine versus the batch pipeline on identical CLF bytes — records/sec
-# plus the allocation gap from never materializing the trace. The
-# committed BENCH_pr4.json is one run of this target.
+# bench-stream captures the streaming-vs-batch benchmark evidence:
+# records/sec plus the allocation gap from never materializing the
+# trace. The committed BENCH_pr4.json was the PR 4 baseline (~5.2
+# heap allocations per record); BENCH_pr7.json is the same target
+# after the hotalloc burn-down (hand-rolled CLF field splitting, the
+# concrete expiry heap) cut it to ~1.2. One run of this target
+# produces the committed file.
 bench-stream:
-	$(GO) test -run '^$$' -bench 'StreamVsBatch' -benchmem -count=3 . | tee BENCH_pr4.json
+	$(GO) test -run '^$$' -bench 'StreamVsBatch' -benchmem -count=3 . | tee BENCH_pr7.json
 
 # bench-shard captures the PR 6 benchmark evidence: the streaming
 # engine at one shard versus four on identical CLF bytes. The gate is

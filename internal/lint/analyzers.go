@@ -5,20 +5,27 @@ import (
 	"fullweb/internal/lint/ctxflow"
 	"fullweb/internal/lint/faultguard"
 	"fullweb/internal/lint/globalrand"
+	"fullweb/internal/lint/hotalloc"
 	"fullweb/internal/lint/maporder"
+	"fullweb/internal/lint/mergealias"
 	"fullweb/internal/lint/rawgo"
+	"fullweb/internal/lint/statesync"
 	"fullweb/internal/lint/walltime"
 )
 
-// Analyzers returns the full determinism/concurrency suite in name
-// order — the set cmd/fullweb-lint runs and the tier-1 gate enforces.
+// Analyzers returns the full determinism/concurrency/dataflow suite in
+// name order — the set cmd/fullweb-lint runs and the tier-1 gate
+// enforces.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.Analyzer,
 		faultguard.Analyzer,
 		globalrand.Analyzer,
+		hotalloc.Analyzer,
 		maporder.Analyzer,
+		mergealias.Analyzer,
 		rawgo.Analyzer,
+		statesync.Analyzer,
 		walltime.Analyzer,
 	}
 }

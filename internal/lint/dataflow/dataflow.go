@@ -1,0 +1,352 @@
+// Package dataflow provides the lightweight intraprocedural dataflow
+// vocabulary shared by the repo's dataflow-capable analyzers
+// (hotalloc, statesync, mergealias): same-package call-graph closure,
+// struct-field reference collection, and reaching-definition taint
+// tracking for reference-typed locals. Everything here is a
+// deliberately conservative approximation — sound enough to prove the
+// specific invariants those analyzers check (field coverage, operand
+// aliasing, allocation provenance), built on nothing but go/ast and
+// go/types so the module stays stdlib-only (DESIGN.md §3).
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Decls maps every function and method object declared in files to its
+// syntax, the starting point for same-package closure walks.
+func Decls(files []*ast.File, info *types.Info) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// Closure returns the transitive same-package call closure of roots:
+// every declared function reachable from a root through calls or
+// function references (a function passed as a value is assumed
+// callable). Cross-package callees are outside the package's syntax
+// and are not followed — the analyzers treat their results as opaque.
+func Closure(decls map[*types.Func]*ast.FuncDecl, info *types.Info, roots ...*types.Func) []*ast.FuncDecl {
+	seen := make(map[*types.Func]bool)
+	var out []*ast.FuncDecl
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if fn == nil || seen[fn] {
+			return
+		}
+		seen[fn] = true
+		fd, ok := decls[fn]
+		if !ok {
+			return
+		}
+		out = append(out, fd)
+		ast.Inspect(fd, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := info.Uses[id].(*types.Func); ok {
+				visit(callee)
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return out
+}
+
+// FieldMentions collects every struct field explicitly mentioned in
+// the given declarations: identifiers resolving to field objects
+// (selector fields and composite-literal keys alike), plus the full
+// field set of any struct built with an unkeyed composite literal
+// (which must list every field to compile). A field a codec has
+// forgotten appears in no mention set — that absence is the statesync
+// signal — so this collector must never over-approximate per field.
+func FieldMentions(info *types.Info, fns []*ast.FuncDecl) map[*types.Var]bool {
+	mentioned := make(map[*types.Var]bool)
+	for _, fd := range fns {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if v, ok := info.Uses[n].(*types.Var); ok && v.IsField() {
+					mentioned[v] = true
+				}
+				if v, ok := info.Defs[n].(*types.Var); ok && v.IsField() {
+					mentioned[v] = true
+				}
+			case *ast.CompositeLit:
+				st := structUnder(info.TypeOf(n))
+				if st == nil || len(n.Elts) == 0 {
+					return true
+				}
+				if _, keyed := n.Elts[0].(*ast.KeyValueExpr); keyed {
+					return true
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					mentioned[st.Field(i)] = true
+				}
+			}
+			return true
+		})
+	}
+	return mentioned
+}
+
+// WholeValueUses collects the named struct types used as whole values
+// in the given declarations: copied by assignment, passed or returned
+// by value, address-taken, or dereferenced as a unit. A whole-value
+// use touches every field at once (`st.Active = append(st.Active,
+// *cur)` serializes all of Session without naming one field), so
+// statesync counts it as covering the type. The one struct-typed
+// expression that does NOT count is the operand of a field selection —
+// `w.n` uses field n, not all of w — and a composite literal of the
+// type itself, whose explicitly-written fields are what FieldMentions
+// measures.
+func WholeValueUses(info *types.Info, fns []*ast.FuncDecl) map[*types.Named]bool {
+	used := make(map[*types.Named]bool)
+	for _, fd := range fns {
+		// First pass: note every expression that is the X of a field
+		// selection (those are field uses, not whole-value uses).
+		fieldSelX := make(map[ast.Expr]bool)
+		ast.Inspect(fd, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+				fieldSelX[unparen(sel.X)] = true
+			}
+			return true
+		})
+		ast.Inspect(fd, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok || fieldSelX[expr] {
+				return true
+			}
+			if _, isLit := n.(*ast.CompositeLit); isLit {
+				return true
+			}
+			// A type expression (the `session` in `*session` or in a
+			// literal) names the type without using a value of it.
+			if tv, ok := info.Types[expr]; ok && tv.IsType() {
+				return true
+			}
+			// A declaration ident (param, receiver, :=) names storage
+			// without copying a value, and a bare field ident (a
+			// selector's .Sel or a literal key) names the field — the
+			// enclosing selector or literal is what carries the value.
+			if id, ok := n.(*ast.Ident); ok {
+				if _, isDecl := info.Defs[id]; isDecl {
+					return true
+				}
+				if v, ok := info.Uses[id].(*types.Var); ok && v.IsField() {
+					return true
+				}
+			}
+			named := namedStructOf(info.TypeOf(expr))
+			if named != nil {
+				used[named] = true
+			}
+			return true
+		})
+	}
+	return used
+}
+
+// Taint tracks, per local variable, which parameter objects its value
+// may share backing storage with — the reaching-definitions core of
+// the mergealias check. It is built by walking a function body in
+// source order: an assignment from a rooted expression taints the
+// target, an assignment from a fresh expression (a call result, a
+// composite literal, make/append/new) clears it.
+type Taint struct {
+	info  *types.Info
+	roots map[types.Object]types.Object // local object -> root param object
+}
+
+// NewTaint returns an empty taint state over info.
+func NewTaint(info *types.Info) *Taint {
+	return &Taint{info: info, roots: make(map[types.Object]types.Object)}
+}
+
+// Observe folds one assignment (lhs = rhs) into the taint state.
+// Taint only propagates through values that can actually carry shared
+// storage — slices, maps, pointers, and structs holding them; copying
+// a scalar (`capacity := parts[0].cap`) transfers a value, not an
+// alias, and clears the target.
+func (t *Taint) Observe(lhs, rhs ast.Expr, params map[types.Object]bool) {
+	base := RootObject(t.info, lhs)
+	if base == nil {
+		return
+	}
+	if root := t.RootParam(rhs, params); root != nil && carriesReferences(t.info.TypeOf(rhs)) {
+		t.roots[base] = root
+	} else {
+		delete(t.roots, base)
+	}
+}
+
+// carriesReferences reports whether a value of type t can share
+// backing storage with its source after assignment.
+func carriesReferences(t types.Type) bool {
+	return IsReferenceType(t) || HasReferenceFields(t)
+}
+
+// RootParam resolves the parameter whose storage expr may alias, or
+// nil when expr is provably fresh (call results, composite literals,
+// conversions of fresh values) or rooted elsewhere. Slicing and
+// indexing preserve the root (a sub-slice shares the array); calls
+// and literals break it.
+func (t *Taint) RootParam(expr ast.Expr, params map[types.Object]bool) types.Object {
+	base := RootObject(t.info, expr)
+	if base == nil {
+		return nil
+	}
+	if params[base] {
+		return base
+	}
+	if root, ok := t.roots[base]; ok {
+		return root
+	}
+	return nil
+}
+
+// RootObject resolves the base object an expression's storage is
+// rooted at: x, x.f, x[i], x[i:j], *x, (&x) all root at x. Fresh
+// expressions — calls, composite literals, type assertions — root at
+// nothing and return nil.
+func RootObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			// A package-qualified name (pkg.Var) roots at the var; a
+			// field selection roots at its operand.
+			if _, ok := info.Uses[e.Sel].(*types.Var); ok {
+				if id, isID := e.X.(*ast.Ident); isID {
+					if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+						return info.Uses[e.Sel]
+					}
+				}
+				expr = e.X
+				continue
+			}
+			return nil
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op.String() == "&" {
+				expr = e.X
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// IsReferenceType reports whether t's underlying type shares backing
+// storage when assigned: slices, maps, and pointers. (Channels and
+// functions are references too but are not state-carrying in this
+// repo's sketch contracts.)
+func IsReferenceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// HasReferenceFields reports whether a struct type transitively holds
+// a slice, map, or pointer field — whether copying it by value still
+// shares storage with the source.
+func HasReferenceFields(t types.Type) bool {
+	return hasRefFields(t, make(map[types.Type]bool))
+}
+
+func hasRefFields(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasRefFields(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hasRefFields(u.Elem(), seen)
+	}
+	return false
+}
+
+// structUnder unwraps t to its underlying struct, or nil.
+func structUnder(t types.Type) *types.Struct {
+	if t == nil {
+		return nil
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// namedStructOf returns t as a named (or aliased) struct type, or nil.
+func namedStructOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return nil
+	}
+	return named
+}
+
+// NamedStructOf is the exported form of namedStructOf for analyzers.
+func NamedStructOf(t types.Type) *types.Named { return namedStructOf(t) }
+
+// StructUnder is the exported form of structUnder for analyzers.
+func StructUnder(t types.Type) *types.Struct { return structUnder(t) }
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"fullweb/internal/lint/hotalloc"
+	"fullweb/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), hotalloc.Analyzer, "hotallocdata")
+}

@@ -81,7 +81,13 @@ type want struct {
 	matched bool
 }
 
-var wantRE = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+// wantRE locates the want keyword; wantPatternRE then pulls every
+// payload after it, so one comment can expect several diagnostics on
+// its line (`// want `first` `second``), as analysistest allows.
+var (
+	wantRE        = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+	wantPatternRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
 
 // collectWants parses want comments out of the fixture's syntax.
 func collectWants(pkg *load.Package) ([]*want, error) {
@@ -89,29 +95,36 @@ func collectWants(pkg *load.Package) ([]*want, error) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
+				loc := wantRE.FindStringIndex(c.Text)
+				if loc == nil {
 					if strings.Contains(c.Text, "want") && strings.Contains(c.Text, "`") {
 						return nil, fmt.Errorf("malformed want comment at %s", pkg.Fset.Position(c.Pos()))
 					}
 					continue
 				}
-				pattern := m[1]
-				if pattern[0] == '`' {
-					pattern = pattern[1 : len(pattern)-1]
-				} else {
-					unq, err := strconv.Unquote(pattern)
-					if err != nil {
-						return nil, fmt.Errorf("bad want pattern at %s: %v", pkg.Fset.Position(c.Pos()), err)
+				// Everything after the want keyword may carry several
+				// payloads; each expects its own diagnostic on this line.
+				start := strings.Index(c.Text[loc[0]:loc[1]], "`")
+				if q := strings.Index(c.Text[loc[0]:loc[1]], `"`); start < 0 || (q >= 0 && q < start) {
+					start = q
+				}
+				for _, pattern := range wantPatternRE.FindAllString(c.Text[loc[0]+start:], -1) {
+					if pattern[0] == '`' {
+						pattern = pattern[1 : len(pattern)-1]
+					} else {
+						unq, err := strconv.Unquote(pattern)
+						if err != nil {
+							return nil, fmt.Errorf("bad want pattern at %s: %v", pkg.Fset.Position(c.Pos()), err)
+						}
+						pattern = unq
 					}
-					pattern = unq
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("bad want regexp at %s: %v", pkg.Fset.Position(c.Pos()), err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
 				}
-				re, err := regexp.Compile(pattern)
-				if err != nil {
-					return nil, fmt.Errorf("bad want regexp at %s: %v", pkg.Fset.Position(c.Pos()), err)
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
 			}
 		}
 	}

@@ -1,0 +1,224 @@
+// Package mergealias flags Merge and snapshot code that retains
+// references to operand or internal slices, maps and pointers — the
+// bug class behind the PR-6 Reservoir.Sample defensive-copy fix: a
+// merged sketch that aliases an operand's backing array is silently
+// corrupted when the operand keeps observing, and a State/Sample that
+// hands out internal storage lets callers corrupt the sketch.
+//
+// Two families are scanned:
+//
+//   - Merge family: methods named Merge and package functions named
+//     Merge*. The operands are the (non-receiver) parameters. A
+//     reference-typed expression rooted at an operand must not be
+//     assigned into receiver-rooted storage, placed in a composite
+//     literal (the result under construction), or returned. A
+//     whole-struct copy from an operand is flagged when the struct
+//     carries reference fields.
+//   - Snapshot family: methods named State/state, Snapshot/snapshot,
+//     Sample/Samples. The hazard runs the other way: receiver-rooted
+//     reference values must not be returned or placed into the image.
+//
+// Copies break the taint: append, make+copy, and any function call
+// produce fresh storage. Tracking is a source-order reaching-defs walk
+// over locals (internal/lint/dataflow), so `tmp := o.items` followed
+// by `tmp = append([]float64(nil), tmp...)` is clean. Findings are
+// latent correctness bugs by contract (ISSUE 7): fix with a copy, do
+// not suppress.
+package mergealias
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fullweb/internal/lint/analysis"
+	"fullweb/internal/lint/dataflow"
+)
+
+// Analyzer is the mergealias rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "mergealias",
+	Doc:  "flags Merge/State/Sample code retaining references to operand or internal slices and maps",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			isMethod := fd.Recv != nil && len(fd.Recv.List) > 0
+			switch {
+			case isMethod && name == "Merge":
+				checkMerge(pass, fd)
+			case !isMethod && strings.HasPrefix(name, "Merge"):
+				checkMerge(pass, fd)
+			case isMethod && isSnapshotName(name):
+				checkSnapshot(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func isSnapshotName(name string) bool {
+	switch name {
+	case "State", "state", "Snapshot", "snapshot", "Sample", "Samples":
+		return true
+	}
+	return false
+}
+
+// checkMerge verifies operand storage never reaches the receiver or
+// the result.
+func checkMerge(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	recv := receiverObject(info, fd)
+	operands := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			if obj := info.Defs[id]; obj != nil {
+				operands[obj] = true
+			}
+		}
+	}
+	if len(operands) == 0 {
+		return
+	}
+	taint := dataflow.NewTaint(info)
+	walkStmts(fd.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				rhs := n.Rhs[i]
+				root := taint.RootParam(rhs, operands)
+				if root != nil && aliasable(pass, rhs) && rootedAt(info, lhs, recv) {
+					pass.Reportf(n.Pos(),
+						"merge stores %s, which shares storage with operand %s, into the receiver; later operand mutations corrupt the merged state — copy it",
+						types.ExprString(rhs), root.Name())
+				}
+				taint.Observe(lhs, rhs, operands)
+			}
+		case *ast.RangeStmt:
+			observeRange(taint, n, operands)
+		case *ast.KeyValueExpr:
+			if root := taint.RootParam(n.Value, operands); root != nil && aliasable(pass, n.Value) {
+				pass.Reportf(n.Pos(),
+					"merge result embeds %s, which shares storage with operand %s; later operand mutations corrupt the merged state — copy it",
+					types.ExprString(n.Value), root.Name())
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if root := taint.RootParam(res, operands); root != nil && aliasable(pass, res) {
+					pass.Reportf(n.Pos(),
+						"merge returns %s, which shares storage with operand %s; later operand mutations corrupt the merged state — copy it",
+						types.ExprString(res), root.Name())
+				}
+			}
+		}
+	})
+}
+
+// checkSnapshot verifies receiver-internal storage never escapes into
+// the returned value or image.
+func checkSnapshot(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	recv := receiverObject(info, fd)
+	if recv == nil {
+		return
+	}
+	internal := map[types.Object]bool{recv: true}
+	taint := dataflow.NewTaint(info)
+	walkStmts(fd.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				taint.Observe(lhs, n.Rhs[i], internal)
+			}
+		case *ast.RangeStmt:
+			observeRange(taint, n, internal)
+		case *ast.KeyValueExpr:
+			if taint.RootParam(n.Value, internal) != nil && aliasable(pass, n.Value) {
+				pass.Reportf(n.Pos(),
+					"snapshot image embeds %s, which shares storage with the receiver's internal state; callers can corrupt the sketch (the Reservoir.Sample bug class) — copy it",
+					types.ExprString(n.Value))
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if taint.RootParam(res, internal) != nil && aliasable(pass, res) {
+					pass.Reportf(n.Pos(),
+						"%s returns %s, which shares storage with the receiver's internal state; callers can corrupt the sketch (the Reservoir.Sample bug class) — return a copy",
+						fd.Name.Name, types.ExprString(res))
+				}
+			}
+		}
+	})
+}
+
+// aliasable reports whether retaining expr retains shared storage: a
+// slice, map or pointer, or a same-package struct that transitively
+// carries one (copying it still shares the backing arrays). Structs
+// from other packages (time.Time and friends) own their invariants
+// and are not flagged.
+func aliasable(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if dataflow.IsReferenceType(t) {
+		return true
+	}
+	named := dataflow.NamedStructOf(t)
+	if named == nil || named.Obj().Pkg() != pass.Pkg {
+		return false
+	}
+	return dataflow.HasReferenceFields(named)
+}
+
+// rootedAt reports whether lvalue's storage is rooted at obj (the
+// receiver): s.buf, s.levels[h], *s all root at s.
+func rootedAt(info *types.Info, lvalue ast.Expr, obj types.Object) bool {
+	return obj != nil && dataflow.RootObject(info, lvalue) == obj
+}
+
+// receiverObject resolves the method receiver's object, or nil.
+func receiverObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// observeRange taints range variables with the range operand's root:
+// `for _, p := range parts` makes p share parts' storage when the
+// element type is reference-like.
+func observeRange(taint *dataflow.Taint, rs *ast.RangeStmt, params map[types.Object]bool) {
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if v == nil {
+			continue
+		}
+		taint.Observe(v, rs.X, params)
+	}
+}
+
+// walkStmts visits fd's statements in source order, calling visit on
+// each node. ast.Inspect already visits in position order within a
+// statement list, which is the source-order approximation the taint
+// walk needs.
+func walkStmts(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

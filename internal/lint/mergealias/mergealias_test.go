@@ -1,0 +1,12 @@
+package mergealias_test
+
+import (
+	"testing"
+
+	"fullweb/internal/lint/linttest"
+	"fullweb/internal/lint/mergealias"
+)
+
+func TestMergealias(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), mergealias.Analyzer, "mergealiasdata")
+}

@@ -1,0 +1,87 @@
+// Package mergealiasdata exercises the mergealias rule: Merge and
+// snapshot paths that retain operand or internal storage, plus the
+// defensively-copied shapes the rule must accept.
+package mergealiasdata
+
+// --- the PR-6 Reservoir.Sample regression shape ---
+
+type reservoir struct {
+	items []float64
+	k     int
+}
+
+// Sample hands out the backing array — the exact pre-fix Reservoir
+// bug: callers sorting the sample corrupt the sketch.
+func (r *reservoir) Sample() []float64 {
+	return r.items // want `Sample returns r\.items, which shares storage with the receiver's internal state; callers can corrupt the sketch \(the Reservoir\.Sample bug class\) — return a copy`
+}
+
+// Samples is the fixed counterpart: a call (make) breaks the taint.
+func (r *reservoir) Samples() []float64 {
+	out := make([]float64, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+type reservoirState struct {
+	Items []float64
+	K     int
+}
+
+// State embeds internal storage into the checkpoint image.
+func (r *reservoir) State() reservoirState {
+	return reservoirState{Items: r.items, K: r.k} // want `snapshot image embeds r\.items, which shares storage with the receiver's internal state; callers can corrupt the sketch \(the Reservoir\.Sample bug class\) — copy it`
+}
+
+// Snapshot is the clean counterpart: append to nil copies.
+func (r *reservoir) Snapshot() reservoirState {
+	items := append([]float64(nil), r.items...)
+	return reservoirState{Items: items, K: r.k}
+}
+
+// Merge aliases the operand's backing array into the receiver.
+func (r *reservoir) Merge(o *reservoir) {
+	r.items = o.items // want `merge stores o\.items, which shares storage with operand o, into the receiver; later operand mutations corrupt the merged state — copy it`
+	if o.k > r.k {
+		r.k = o.k
+	}
+}
+
+// --- taint through a local ---
+
+type sketch struct {
+	buckets map[string]int64
+	n       int64
+}
+
+// Merge launders the operand's map through a local before storing it.
+func (s *sketch) Merge(o *sketch) {
+	theirs := o.buckets
+	s.buckets = theirs // want `merge stores theirs, which shares storage with operand o, into the receiver; later operand mutations corrupt the merged state — copy it`
+	s.n += o.n
+}
+
+// MergeSketches builds its result around an operand's map.
+func MergeSketches(parts []*sketch) *sketch {
+	first := parts[0]
+	return &sketch{buckets: first.buckets, n: first.n} // want `merge result embeds first\.buckets, which shares storage with operand parts; later operand mutations corrupt the merged state — copy it`
+}
+
+// MergeInto returns an operand outright as the merged result.
+func MergeInto(dst, src *sketch) *sketch {
+	dst.n += src.n
+	return src // want `merge returns src, which shares storage with operand src; later operand mutations corrupt the merged state — copy it`
+}
+
+// MergeSketchesCopy is the clean counterpart: fresh map, keys folded
+// element-wise, scalar reads from operands untainted.
+func MergeSketchesCopy(parts []*sketch) *sketch {
+	out := &sketch{buckets: make(map[string]int64, 8)}
+	for _, p := range parts {
+		for k, v := range p.buckets {
+			out.buckets[k] += v
+		}
+		out.n += p.n
+	}
+	return out
+}

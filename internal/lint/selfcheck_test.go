@@ -27,8 +27,8 @@ func TestSelfCheck(t *testing.T) {
 		t.Fatalf("loaded only %d packages; the module walker is missing the tree", len(pkgs))
 	}
 	analyzers := lint.Analyzers()
-	if len(analyzers) != 6 {
-		t.Fatalf("expected the 6-analyzer suite, got %d", len(analyzers))
+	if len(analyzers) != 9 {
+		t.Fatalf("expected the 9-analyzer suite, got %d", len(analyzers))
 	}
 	for _, pkg := range pkgs {
 		for _, e := range pkg.Errors {

@@ -1,0 +1,12 @@
+package statesync_test
+
+import (
+	"testing"
+
+	"fullweb/internal/lint/linttest"
+	"fullweb/internal/lint/statesync"
+)
+
+func TestStatesync(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), statesync.Analyzer, "statesyncdata")
+}

@@ -1,0 +1,129 @@
+// Package statesyncdata exercises the statesync rule: checkpointed
+// types whose encode/decode/merge paths drop fields, plus the clean
+// shapes the rule must accept.
+package statesyncdata
+
+// --- the forgot-a-field checkpoint bug class ---
+
+// counter gains a field (b) whose codec was never updated: encode
+// forgets to set image field B, decode never reads it, and Merge
+// ignores live field b entirely.
+type counter struct {
+	a int64
+	b int64
+}
+
+type counterState struct {
+	A int64 `json:"a"`
+	B int64 `json:"b"`
+}
+
+func (c *counter) State() counterState { // want `encode path of counter never sets checkpoint image field\(s\) B` `field\(s\) b of counter are referenced by neither the encode nor the decode path`
+	return counterState{A: c.a}
+}
+
+func RestoreCounter(st counterState) *counter { // want `decode path of counter never reads checkpoint image field\(s\) B`
+	return &counter{a: st.A}
+}
+
+func (c *counter) Merge(o *counter) { // want `merge path of counter never references field\(s\) b`
+	c.a += o.a
+}
+
+// --- the clean counterpart ---
+
+type gauge struct {
+	v   float64
+	max float64
+}
+
+type gaugeState struct {
+	V   float64 `json:"v"`
+	Max float64 `json:"max"`
+}
+
+func (g *gauge) State() gaugeState {
+	return gaugeState{V: g.v, Max: g.max}
+}
+
+func RestoreGauge(st gaugeState) *gauge {
+	return &gauge{v: st.V, max: st.Max}
+}
+
+func (g *gauge) Merge(o *gauge) {
+	g.v += o.v
+	if o.max > g.max {
+		g.max = o.max
+	}
+}
+
+// --- whole-value coverage: a codec that copies aux structs wholesale ---
+
+// entry is an auxiliary struct carried by pair's image; the codec
+// never names entry's fields, it copies values whole — that covers
+// them.
+type entry struct {
+	key  string
+	hits int64
+}
+
+type pair struct {
+	items []entry
+}
+
+type pairState struct {
+	Items []entry `json:"items"`
+}
+
+func (p *pair) State() pairState {
+	out := make([]entry, len(p.items))
+	copy(out, p.items)
+	return pairState{Items: out}
+}
+
+func RestorePair(st pairState) *pair {
+	items := make([]entry, len(st.Items))
+	for i := range st.Items {
+		items[i] = st.Items[i]
+	}
+	return &pair{items: items}
+}
+
+// --- a checkpointed type with no decode path at all ---
+
+type orphan struct {
+	n int64
+}
+
+type orphanState struct {
+	N int64 `json:"n"`
+}
+
+func (o *orphan) State() orphanState { // want `orphan has a checkpoint image \(orphanState\) but no Restore\*/Resume\* decode path`
+	return orphanState{N: o.n}
+}
+
+// --- an aux struct dropped by the codec ---
+
+// moments is reached from tracker's image; its m2 field is carried by
+// neither direction.
+type moments struct {
+	mean float64
+	m2   float64
+}
+
+type tracker struct {
+	mom moments
+}
+
+type trackerState struct {
+	Mom moments `json:"mom"`
+}
+
+func (t *tracker) State() trackerState { // want `field\(s\) m2 of moments \(reached from tracker state\) are referenced by neither the encode nor the decode path`
+	return trackerState{Mom: moments{mean: t.mom.mean}}
+}
+
+func RestoreTracker(st trackerState) *tracker {
+	return &tracker{mom: moments{mean: st.Mom.mean}}
+}

@@ -1,7 +1,6 @@
 package session
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -38,18 +37,62 @@ type expiryEntry struct {
 	host string
 }
 
+// expiryHeap is a concrete min-heap on expiryEntry.at. It deliberately
+// does NOT implement container/heap.Interface: the stdlib driver boxes
+// every pushed entry and every popped result in an interface value —
+// two heap allocations per observed record on the streaming hot path.
+// The sift algorithms below are mechanical transcriptions of
+// container/heap's up/down with Less = at.Before, so the slice layout
+// after any push/pop sequence — including the tie-breaking order of
+// equal-time entries, which checkpoints store verbatim and which
+// decides session-close order — is bit-for-bit what the stdlib driver
+// would produce.
 type expiryHeap []expiryEntry
 
-func (h expiryHeap) Len() int            { return len(h) }
-func (h expiryHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
-func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *expiryHeap) Push(x interface{}) { *h = append(*h, x.(expiryEntry)) }
-func (h *expiryHeap) Pop() interface{} {
+func (h *expiryHeap) push(e expiryEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *expiryHeap) pop() expiryEntry {
 	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old[:n].down(0)
+	v := old[n]
+	*h = old[:n]
 	return v
+}
+
+func (h expiryHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h[j].at.Before(h[i].at) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h expiryHeap) down(i0 int) {
+	n := len(h)
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].at.Before(h[j1].at) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !h[j].at.Before(h[i].at) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // NewStreamer returns a streaming sessionizer with the given inactivity
@@ -105,6 +148,10 @@ func (s *Streamer) ObserveClamped(r weblog.Record) ([]Session, error) {
 // Observe feeds one record. Records must arrive in non-decreasing time
 // order (access logs are written that way). It returns any sessions
 // whose inactivity window closed at or before this record's timestamp.
+//
+//hot:path — one call per record; the concrete expiry heap exists so
+// this path allocates nothing but amortized session growth
+// (DESIGN.md §13).
 func (s *Streamer) Observe(r weblog.Record) ([]Session, error) {
 	if s.sawAny && r.Time.Before(s.lastTime) {
 		return nil, fmt.Errorf("session: streamer requires time-ordered input: %v after %v", r.Time, s.lastTime)
@@ -129,7 +176,7 @@ func (s *Streamer) Observe(r weblog.Record) ([]Session, error) {
 	} else {
 		cur.absorb(r)
 	}
-	heap.Push(&s.expiry, expiryEntry{at: r.Time.Add(s.threshold), host: r.Host})
+	s.expiry.push(expiryEntry{at: r.Time.Add(s.threshold), host: r.Host})
 	return closed, nil
 }
 
@@ -152,16 +199,22 @@ func (s *Streamer) Advance(now time.Time) []Session {
 
 // evict closes every session whose inactivity window ended strictly
 // before now.
+//
+//hot:path — called from Observe on every record; pops must not box.
 func (s *Streamer) evict(now time.Time) []Session {
 	var closed []Session
 	for len(s.expiry) > 0 && s.expiry[0].at.Before(now) {
-		entry := heap.Pop(&s.expiry).(expiryEntry)
+		entry := s.expiry.pop()
 		cur, ok := s.active[entry.host]
 		if !ok {
 			continue // session already closed
 		}
 		if now.Sub(cur.End) > s.threshold {
-			closed = append(closed, *cur)
+			// Growth is per closed session, not per record: eviction
+			// bursts are bounded by the active-session count and most
+			// calls close zero or one session, so a presized buffer
+			// would be pure waste.
+			closed = append(closed, *cur) //lint:allow hotalloc amortized per closed session, not per record
 			delete(s.active, entry.host)
 		}
 		// Otherwise the session saw later requests; a fresher expiry

@@ -177,11 +177,10 @@ func (e *Engine) state() engineState {
 		LastTime:     e.lastTime,
 		NextSnapshot: e.nextSnapshot,
 		Snapshots:    e.snapshots,
-		Ingest:       e.ingest,
+		Ingest:       e.ingest.detached(),
 		ReqArr:       e.reqArr.state(),
 		SessArr:      e.sessArr.state(),
 	}
-	st.Ingest.Samples = append([]string(nil), e.ingest.Samples...)
 	if e.quar != nil {
 		st.QuarantineOffset = e.quar.N
 	}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"time"
 
@@ -340,6 +339,14 @@ func (e *Engine) newShard(index, qcap int) (*engineShard, error) {
 	return sh, nil
 }
 
+// FNV-1a 64-bit parameters (the same constants hash/fnv uses); the
+// hash is inlined in shardFor because fnv.New64a heap-allocates its
+// state, which is one allocation per record on the sharded hot path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // shardFor maps a host to its partition: FNV-1a over the host bytes,
 // reduced mod the shard count — stable across runs, platforms and
 // shard-state restorations.
@@ -347,9 +354,12 @@ func (e *Engine) shardFor(host string) *engineShard {
 	if len(e.shards) == 1 {
 		return e.shards[0]
 	}
-	h := fnv.New64a()
-	io.WriteString(h, host)
-	return e.shards[h.Sum64()%uint64(len(e.shards))]
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(host); i++ {
+		h ^= uint64(host[i])
+		h *= fnvPrime64
+	}
+	return e.shards[h%uint64(len(e.shards))]
 }
 
 // Shards returns the number of hash partitions.
@@ -514,6 +524,9 @@ func (e *Engine) ProcessCtx(ctx context.Context, r io.Reader, emit func(*Snapsho
 // else sees the record (the per-second trackers would corrupt on
 // reversed time, and per-shard clamping would depend on the
 // partition), or rejected outright in strict mode.
+//
+//hot:path — the engine's per-record fold; every allocation here is
+// multiplied by the trace length (DESIGN.md §13).
 func (e *Engine) observe(ctx context.Context, rec weblog.Record, emit func(*Snapshot) error) error {
 	if e.started && rec.Time.Before(e.lastTime) {
 		if e.cfg.Mode == ModeStrict {

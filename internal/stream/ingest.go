@@ -111,6 +111,17 @@ type IngestStats struct {
 	Reasons  []string `json:"reasons,omitempty"`
 }
 
+// detached returns a copy sharing no storage with the receiver: the
+// Samples and Reasons backing arrays are duplicated, so a snapshot or
+// checkpoint image embedding the copy cannot be corrupted by the
+// engine appending to its live stats afterwards (the aliasing class
+// mergealias checks for).
+func (st IngestStats) detached() IngestStats {
+	st.Samples = append([]string(nil), st.Samples...)
+	st.Reasons = append([]string(nil), st.Reasons...)
+	return st
+}
+
 // Evaluate recomputes the DegradedInput verdict from the counters,
 // the budget and the record count (the reject-rate denominator is
 // records + rejects). Counters only grow and the rate's numerator

@@ -182,10 +182,10 @@ func (e *Engine) snapshot(at time.Time, final bool) (*Snapshot, error) {
 		SessionsClosed: e.closedSessions(),
 		SessionsActive: int64(e.activeSessions()),
 		SessionsOpened: e.openedSessions(),
-		Ingest:         e.ingest,
+		// Detached: the image must not share the sample/reason slices
+		// with the engine's still-appending live stats.
+		Ingest: e.ingest.detached(),
 	}
-	// Detach the sample slice from the engine's (still appending) one.
-	s.Ingest.Samples = append([]string(nil), e.ingest.Samples...)
 	s.Ingest.Evaluate(e.cfg.Mode, e.cfg.Budget, e.records)
 	fillArrival(&s.RequestArrivals, e.reqArr.est)
 	fillArrival(&s.SessionArrivals, e.sessArr.est)

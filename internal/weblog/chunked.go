@@ -197,26 +197,35 @@ func ReadChunksCtx(ctx context.Context, r io.Reader, pool *parallel.Pool, cfg Ch
 // malformed lines are collected, blank lines skipped. When
 // maxFieldBytes is positive, records with oversized host/path fields
 // are rejected as ParseErrors wrapping ErrOversized.
+//hot:path — runs once per input line; the parse loop's allocation
+// budget is the engine's throughput bound (DESIGN.md §13).
 func parseChunk(firstLine int, lines []string, maxFieldBytes int) Chunk {
 	ch := Chunk{FirstLine: firstLine, Lines: len(lines)}
-	reject := func(i int, line string, err error) {
-		ch.Errs = append(ch.Errs, ParseError{LineNumber: firstLine + i, Line: line, Err: err})
-		ch.ErrRecIndex = append(ch.ErrRecIndex, len(ch.Records))
-	}
+	// Presize for the common case (every line parses) so the append
+	// below never regrows mid-chunk.
+	ch.Records = make([]Record, 0, len(lines))
 	for i, line := range lines {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
 		rec, err := ParseCLF(line)
 		if err != nil {
-			reject(i, line, err)
+			ch.reject(firstLine+i, line, err)
 			continue
 		}
 		if err := Oversized(rec, maxFieldBytes); err != nil {
-			reject(i, line, err)
+			ch.reject(firstLine+i, line, err)
 			continue
 		}
 		ch.Records = append(ch.Records, rec)
 	}
 	return ch
+}
+
+// reject records one malformed line (the cold path of parseChunk; a
+// method rather than a closure so the hot loop allocates no function
+// object).
+func (ch *Chunk) reject(lineNo int, line string, err error) {
+	ch.Errs = append(ch.Errs, ParseError{LineNumber: lineNo, Line: line, Err: err})
+	ch.ErrRecIndex = append(ch.ErrRecIndex, len(ch.Records))
 }

@@ -14,6 +14,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode"
+	"unicode/utf8"
 
 	"fullweb/internal/obs"
 )
@@ -104,6 +106,10 @@ func sanitizeQuoted(s string) string {
 // ParseCLF parses one Common Log Format line:
 //
 //	host ident authuser [date] "request" status bytes
+//
+//hot:path — runs once per input line; field splitting is hand-rolled
+// (no strings.Fields/Split) to keep the per-record allocation budget
+// at the substrings the Record actually retains (DESIGN.md §13).
 func ParseCLF(line string) (Record, error) {
 	var rec Record
 	rest := strings.TrimSpace(line)
@@ -148,32 +154,70 @@ func ParseCLF(line string) (Record, error) {
 		return rec, fmt.Errorf("%w: unterminated request", ErrMalformed)
 	}
 	request := rest[1 : 1+end]
-	parts := strings.Split(request, " ")
-	if len(parts) != 3 {
+	// The request must be exactly three space-separated parts (empty
+	// parts are legal, as strings.Split would produce them); splitting by
+	// index keeps the hot parse path free of intermediate slices.
+	sp1 := strings.IndexByte(request, ' ')
+	if sp1 < 0 {
 		return rec, fmt.Errorf("%w: request line %q", ErrMalformed, request)
 	}
-	rec.Method, rec.Path, rec.Proto = parts[0], parts[1], parts[2]
+	sp2 := strings.IndexByte(request[sp1+1:], ' ')
+	if sp2 < 0 {
+		return rec, fmt.Errorf("%w: request line %q", ErrMalformed, request)
+	}
+	sp2 += sp1 + 1
+	if strings.IndexByte(request[sp2+1:], ' ') >= 0 {
+		return rec, fmt.Errorf("%w: request line %q", ErrMalformed, request)
+	}
+	rec.Method, rec.Path, rec.Proto = request[:sp1], request[sp1+1:sp2], request[sp2+1:]
 	rest = strings.TrimPrefix(rest[end+2:], " ")
-	// status bytes
-	fields := strings.Fields(rest)
-	if len(fields) < 2 {
+	// status bytes: the first two whitespace-separated fields, with the
+	// exact field boundaries strings.Fields would find (unicode spaces
+	// included) but without materializing the field slice.
+	statusField, next := nextField(rest, 0)
+	bytesField, _ := nextField(rest, next)
+	if statusField == "" || bytesField == "" {
 		return rec, fmt.Errorf("%w: missing status/bytes", ErrMalformed)
 	}
-	status, err := strconv.Atoi(fields[0])
+	status, err := strconv.Atoi(statusField)
 	if err != nil || status < 100 || status > 599 {
-		return rec, fmt.Errorf("%w: status %q", ErrMalformed, fields[0])
+		return rec, fmt.Errorf("%w: status %q", ErrMalformed, statusField)
 	}
 	rec.Status = status
-	if fields[1] == "-" {
+	if bytesField == "-" {
 		rec.BytesMissing = true
 	} else {
-		b, err := strconv.ParseInt(fields[1], 10, 64)
+		b, err := strconv.ParseInt(bytesField, 10, 64)
 		if err != nil || b < 0 {
-			return rec, fmt.Errorf("%w: bytes %q", ErrMalformed, fields[1])
+			return rec, fmt.Errorf("%w: bytes %q", ErrMalformed, bytesField)
 		}
 		rec.Bytes = b
 	}
 	return rec, nil
+}
+
+// nextField returns the first whitespace-delimited field of s at or
+// after byte offset i, plus the offset just past it. Field boundaries
+// are unicode.IsSpace runes — the same split strings.Fields performs —
+// so substituting nextField for Fields cannot change which lines parse.
+// An empty return means no further field exists.
+func nextField(s string, i int) (string, int) {
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		i += size
+	}
+	start := i
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsSpace(r) {
+			break
+		}
+		i += size
+	}
+	return s[start:i], i
 }
 
 // ParseError records a line that failed to parse, with its position.

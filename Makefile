@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-obs bench-stream bench-shard fuzz fuzz-smoke
+.PHONY: all build test race vet lint check bench bench-obs bench-stream bench-shard bench-serve fuzz fuzz-smoke
 
 all: build
 
@@ -60,6 +60,16 @@ bench-stream:
 # BENCH_pr6.json is one run of this target.
 bench-shard:
 	$(GO) test -run '^$$' -bench 'ShardedStream' -benchmem -count=3 . | tee BENCH_pr6.json
+
+# bench-serve captures the PR 8 benchmark evidence: the streaming
+# engine with the telemetry surface off versus fully on (registry
+# instruments, copy-on-publish holder, live HTTP scraper polling
+# /metrics and /snapshot throughout). The gate is no records/sec
+# regression and no per-record allocation growth — publication is
+# chunk-granular and scrapes read only published values. The committed
+# BENCH_pr8.json is one run of this target.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'ObsServe' -benchmem -count=3 . | tee BENCH_pr8.json
 
 # Short fuzz smoke (~15s total) over the checked-in corpora; part of
 # the tier-1 gate so parser and sessionizer regressions surface

@@ -1,0 +1,118 @@
+// Telemetry-service benchmark pair (PR 8 evidence, BENCH_pr8.json):
+// the identical CLF bytes through the streaming engine with the
+// telemetry surface off and with it fully on — registry instruments,
+// copy-on-publish holder, health rules and a live HTTP scraper polling
+// /metrics and /snapshot throughout the run. The gate is that serving
+// stays off the fold's hot path: publication happens at chunk
+// granularity and the scraper only ever reads published values, so
+// records/s must hold and -benchmem must not show per-record growth.
+//
+//	make bench-serve
+package fullweb_test
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"fullweb/internal/obs"
+	"fullweb/internal/stream"
+	"fullweb/internal/telemetry"
+)
+
+// BenchmarkObsServeOff is the baseline: no registry, no holder, no
+// listener — the exact configuration bench-stream measures.
+func BenchmarkObsServeOff(b *testing.B) {
+	text := benchStreamTrace(b)
+	cfg := stream.DefaultConfig()
+	cfg.SnapshotEvery = 0
+	var records int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := stream.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final, err := eng.ProcessCtx(context.Background(), bytes.NewReader(text), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = final.Records
+	}
+	b.StopTimer()
+	reportRecordsPerSec(b, records)
+}
+
+// BenchmarkObsServeOn runs the full telemetry stack under scrape load:
+// live registry instruments, runtime/snapshot publication into the
+// holder after every folded chunk, and one scraper goroutine polling
+// /metrics and /snapshot over real HTTP for the whole measurement.
+func BenchmarkObsServeOn(b *testing.B) {
+	text := benchStreamTrace(b)
+	reg := obs.NewRegistry()
+	holder := telemetry.NewHolder(obs.SystemClock())
+	health := telemetry.NewHealth(telemetry.HealthConfig{Mode: stream.ModeBudgeted}, holder, reg, obs.SystemClock())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := telemetry.NewServer(reg, holder, health)
+	srv.Serve(ln)
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var scrapes int64
+	wg.Add(1)
+	//lint:allow rawgo benchmark scraper thread; joined via WaitGroup before the benchmark returns
+	go func() {
+		defer wg.Done()
+		client := &http.Client{Timeout: time.Second}
+		base := "http://" + ln.Addr().String()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/snapshot", "/healthz"} {
+				resp, err := client.Get(base + path)
+				if err != nil {
+					continue
+				}
+				_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
+				resp.Body.Close()
+			}
+			scrapes++
+		}
+	}()
+
+	cfg := stream.DefaultConfig()
+	cfg.SnapshotEvery = 0
+	cfg.Metrics = reg
+	cfg.Telemetry = holder
+	var records int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := stream.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final, err := eng.ProcessCtx(context.Background(), bytes.NewReader(text), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = final.Records
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if scrapes == 0 {
+		b.Log("scraper completed no rounds (very fast run); records/s still valid")
+	}
+	reportRecordsPerSec(b, records)
+}

@@ -30,6 +30,7 @@ import (
 	"fullweb/internal/session"
 	"fullweb/internal/stats"
 	"fullweb/internal/stream"
+	"fullweb/internal/telemetry"
 	"fullweb/internal/weblog"
 	"fullweb/internal/workload"
 )
@@ -205,11 +206,13 @@ func cmdAnalyze(args []string, out io.Writer) (err error) {
 	quarantinePath := fs.String("quarantine", "", "write rejected raw lines to this file")
 	maxRejects := fs.Int64("max-rejects", 0, "budgeted mode: degrade after this many rejected lines (0 = no absolute cap)")
 	maxRejectRate := fs.Float64("max-reject-rate", 0, "budgeted mode: degrade when rejects/parse-attempts exceeds this rate (0 = no rate cap)")
+	reportPath := fs.String("report", "", "write the end-of-run JSON run report to this file")
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	obsCfg.WantRegistry = *reportPath != ""
 	if *logPath == "" {
 		return fmt.Errorf("analyze: -log is required")
 	}
@@ -248,7 +251,57 @@ func cmdAnalyze(args []string, out io.Writer) (err error) {
 	}
 	printModel(out, model)
 	printInputHealth(out, ingest)
+	if *reportPath != "" {
+		rep := telemetry.RunReport{
+			Tool:   "analyze",
+			Inputs: []string{*logPath},
+			Config: struct {
+				Server string        `json:"server"`
+				Mode   string        `json:"mode"`
+				Budget stream.Budget `json:"budget"`
+			}{*server, ingestMode.String(), budget},
+			Totals: telemetry.ReportTotals{
+				Records:     int64(model.Requests),
+				Sessions:    int64(model.Sessions),
+				Bytes:       model.BytesTransferred,
+				SpanSeconds: model.Span.Seconds(),
+			},
+			Ingest:          ingest,
+			Verdict:         telemetry.Verdict(ingest),
+			Characteristics: analyzeCharacteristics(model),
+			Obs:             sess.Metrics.Snapshot(),
+		}
+		if err := rep.WriteFile(*reportPath); err != nil {
+			return fmt.Errorf("analyze: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportPath)
+	}
 	return nil
+}
+
+// analyzeCharacteristics maps the model's whole-week tail rows into the
+// run report's shared characteristic shape (analyze has no streaming
+// quantile sketches, so only the tail fields are filled).
+func analyzeCharacteristics(m *core.FullWebModel) []telemetry.ReportCharacteristic {
+	chars := make([]telemetry.ReportCharacteristic, 0, len(core.AllCharacteristics()))
+	for _, name := range core.AllCharacteristics() {
+		tbl, ok := m.Tails[name]
+		if !ok {
+			continue
+		}
+		row, ok := tbl.Rows[core.IntervalWeek]
+		if !ok {
+			continue
+		}
+		chars = append(chars, telemetry.ReportCharacteristic{
+			Name:       name,
+			N:          int64(row.N),
+			HillOK:     row.Status != core.TailNA,
+			HillStable: row.Hill.Stable,
+			HillAlpha:  row.Hill.Alpha,
+		})
+	}
+	return chars
 }
 
 // printModel renders a FullWebModel as the paper-style report.

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"fullweb/internal/obs"
 	"fullweb/internal/session"
 	"fullweb/internal/stream"
+	"fullweb/internal/telemetry"
 	"fullweb/internal/weblog"
 )
 
@@ -59,6 +61,10 @@ func cmdStream(args []string, out io.Writer) (err error) {
 	maxClamped := fs.Int64("max-clamped", 0, "budgeted mode: degrade after this many clamped non-monotonic timestamps (0 = no cap)")
 	maxFieldBytes := fs.Int("max-field-bytes", 0, "reject records whose host or path exceeds this many bytes (0 = no limit)")
 	faultSpec := fs.String("faults", "", "deterministic fault-injection spec, e.g. 'stream.fold=hit:3;weblog.read=rate:0.01,seed:7' (default $FULLWEB_FAULTS)")
+	listen := fs.String("listen", "", "serve read-only live telemetry (/metrics, /snapshot, /healthz, /readyz) on this address for the run's lifetime (e.g. 127.0.0.1:9090; ':0' picks a free port)")
+	listenAddrFile := fs.String("listen-addr-file", "", "write the telemetry listener's bound address to this file (useful with -listen :0)")
+	reportPath := fs.String("report", "", "write the end-of-run JSON run report to this file")
+	linger := fs.Duration("linger", 0, "keep the process (and its -listen telemetry) alive this long after a successful run")
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +89,12 @@ func cmdStream(args []string, out io.Writer) (err error) {
 	if *shardDetail && *shards == 1 {
 		return fmt.Errorf("stream: -shard-detail requires -shards > 1")
 	}
+	if *listenAddrFile != "" && *listen == "" {
+		return fmt.Errorf("stream: -listen-addr-file requires -listen")
+	}
+	// The telemetry service and the run report both read live
+	// instruments, so they force a registry even without -metrics.
+	obsCfg.WantRegistry = *listen != "" || *reportPath != ""
 	osess, err := obsCfg.Start(obs.SystemClock(), os.Stderr)
 	if err != nil {
 		return err
@@ -181,6 +193,39 @@ func cmdStream(args []string, out io.Writer) (err error) {
 	cfg.Quarantine = quarantine
 	cfg.CheckpointPath = *checkpointPath
 	cfg.Metrics = osess.Metrics
+
+	// The live telemetry service: the engine publishes copy-on-publish
+	// views into the holder; the HTTP mux reads only published values
+	// and the (atomic) registry instruments, so scraping cannot perturb
+	// the run — output stays byte-identical with -listen on or off.
+	if *listen != "" {
+		holder := telemetry.NewHolder(obs.SystemClock())
+		hcfg := telemetry.HealthConfig{
+			Mode:          ingestMode,
+			Budget:        cfg.Budget,
+			ChunkWindow:   *chunkWindow,
+			Checkpointing: *checkpointPath != "",
+		}
+		if *quarantinePath != "" {
+			hcfg.MaxQuarantineRate = defaultMaxQuarantineRate
+		}
+		health := telemetry.NewHealth(hcfg, holder, osess.Metrics, obs.SystemClock())
+		ln, lerr := net.Listen("tcp", *listen)
+		if lerr != nil {
+			return fmt.Errorf("stream: telemetry listener: %w", lerr)
+		}
+		srv := telemetry.NewServer(osess.Metrics, holder, health)
+		srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/ (/metrics /snapshot /healthz /readyz)\n", ln.Addr())
+		if *listenAddrFile != "" {
+			if werr := os.WriteFile(*listenAddrFile, []byte(ln.Addr().String()+"\n"), 0o644); werr != nil {
+				return fmt.Errorf("stream: writing -listen-addr-file: %w", werr)
+			}
+		}
+		cfg.Telemetry = holder
+	}
+
 	var engine *stream.Engine
 	if cp != nil {
 		engine, err = stream.ResumeEngine(cfg, cp)
@@ -220,8 +265,38 @@ func cmdStream(args []string, out io.Writer) (err error) {
 	for _, st := range faults.Stats() {
 		fmt.Fprintf(out, "fault site %s: hits=%d fires=%d\n", st.Site, st.Hits, st.Fires)
 	}
+	if perr == nil && *reportPath != "" {
+		totals, chars, verdict := telemetry.StreamReportParts(final)
+		rep := &telemetry.RunReport{
+			Tool:            "stream",
+			Inputs:          logs,
+			Config:          cfg.Fingerprint(),
+			Totals:          totals,
+			Ingest:          final.Ingest,
+			Verdict:         verdict,
+			Snapshots:       engine.Snapshots(),
+			Characteristics: chars,
+			Faults:          faults.Stats(),
+			Obs:             osess.Metrics.Snapshot(),
+		}
+		if werr := rep.WriteFile(*reportPath); werr != nil {
+			return fmt.Errorf("stream: %w", werr)
+		}
+	}
+	// Lingering keeps the telemetry endpoints (and the run report on
+	// disk) available after a successful run — how the CI smoke job
+	// scrapes final state before killing the process.
+	if perr == nil && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "lingering %v before exit (telemetry stays up)\n", *linger)
+		time.Sleep(*linger)
+	}
 	return perr
 }
+
+// defaultMaxQuarantineRate bounds quarantine growth for the health
+// rule when a quarantine sink is configured: a sustained megabyte per
+// second of rejected lines means the input is mostly garbage.
+const defaultMaxQuarantineRate = 1 << 20
 
 // openQuarantine prepares the quarantine file: fresh runs truncate,
 // resumed runs cut back to the checkpointed offset and append.

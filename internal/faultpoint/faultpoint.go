@@ -255,9 +255,9 @@ func bernoulli(seed uint64, hit int64, p float64) bool {
 
 // SiteStats is the fire accounting of one armed site.
 type SiteStats struct {
-	Site  string
-	Hits  int64
-	Fires int64
+	Site  string `json:"site"`
+	Hits  int64  `json:"hits"`
+	Fires int64  `json:"fires"`
 }
 
 // Stats returns per-site hit/fire counts in site-name order — the

@@ -8,7 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof handlers on the default mux
+	"net/http/pprof"
 	"os"
 )
 
@@ -26,6 +26,11 @@ type CLIConfig struct {
 	// PprofAddr serves net/http/pprof on this address for the run's
 	// lifetime (e.g. "localhost:6060").
 	PprofAddr string
+	// WantRegistry forces a live metrics registry even when -metrics is
+	// not set. Front ends that scrape the registry while the run is in
+	// flight (fullweb stream -listen, run reports) set it before Start
+	// so instruments exist to read.
+	WantRegistry bool
 }
 
 // RegisterFlags adds the observability flags to a flag set.
@@ -63,7 +68,7 @@ type Session struct {
 // inert: Context is the identity and Close a no-op.
 func (c *CLIConfig) Start(clock Clock, stderr io.Writer) (*Session, error) {
 	s := &Session{stderr: stderr, metrics: c.MetricsPath}
-	if c.MetricsPath != "" {
+	if c.MetricsPath != "" || c.WantRegistry {
 		s.Metrics = NewRegistry()
 	}
 	var sinks MultiSink
@@ -97,9 +102,34 @@ func (c *CLIConfig) Start(clock Clock, stderr io.Writer) (*Session, error) {
 		s.pprofLn = ln
 		fmt.Fprintf(stderr, "pprof: http://%s/debug/pprof/\n", ln.Addr())
 		//lint:allow rawgo pprof server lifecycle, not an analysis fan-out; bounded to one goroutine that dies with the listener
-		go func() { _ = http.Serve(ln, nil) }()
+		go func() { _ = http.Serve(ln, PprofMux()) }()
 	}
 	return s, nil
+}
+
+// PprofMux builds a dedicated mux carrying only the net/http/pprof
+// handlers. The profiling surface is deliberately never registered on
+// http.DefaultServeMux (the old blank-import approach did, which meant
+// any other handler in the process serving the default mux exposed
+// pprof too); with an explicit mux, -pprof and the stream telemetry
+// listener are isolated in both directions.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// PprofAddr returns the bound address of the -pprof listener, or ""
+// when pprof is not being served.
+func (s *Session) PprofAddr() string {
+	if s == nil || s.pprofLn == nil {
+		return ""
+	}
+	return s.pprofLn.Addr().String()
 }
 
 // Context returns ctx with the session's tracer and registry attached
@@ -153,11 +183,13 @@ func (s *Session) Close() error {
 }
 
 // stageDurations feeds every finished span into a per-stage duration
-// histogram, so -metrics carries the time breakdown even without -trace.
+// histogram, so -metrics carries the time breakdown even without
+// -trace. Stages are a label on one family (stage.duration_seconds)
+// rather than a name suffix, so the Prometheus exposition groups them.
 type stageDurations struct{ reg *Registry }
 
 func (s stageDurations) SpanStart(d *SpanData) {}
 
 func (s stageDurations) SpanEnd(d *SpanData) {
-	s.reg.Histogram("stage." + d.Name).ObserveDuration(d.End.Sub(d.Start))
+	s.reg.Histogram(LabeledName("stage.duration_seconds", "stage", d.Name)).ObserveDuration(d.End.Sub(d.Start))
 }

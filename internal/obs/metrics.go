@@ -82,6 +82,42 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// LabeledName canonicalizes an instrument name carrying labels into
+// the registry's flat key space: `base{k1="v1",k2="v2"}` with keys in
+// sorted order, so the same label set always produces the same
+// instrument. kv is alternating key, value pairs; with no pairs the
+// base name is returned unchanged. The canonical form is what snapshot
+// ordering sorts on (name then labels, since the labels are part of
+// the name) and what the Prometheus exposition parses back apart.
+func LabeledName(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: LabeledName requires alternating key, value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b []byte
+	b = append(b, base...)
+	b = append(b, '{')
+	for i, p := range pairs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, p.k...)
+		b = append(b, '=', '"')
+		b = append(b, p.v...)
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
 // Counter is a monotonically increasing integer metric. Nil receivers
 // no-op; operations are atomic.
 type Counter struct{ v atomic.Int64 }

@@ -247,8 +247,10 @@ func TestCLISessionLifecycle(t *testing.T) {
 	if len(snap.Counters) != 1 || snap.Counters[0].Name != "demo" {
 		t.Errorf("metrics snapshot wrong: %+v", snap)
 	}
-	// The span landed in a stage-duration histogram via the metrics feed.
-	if len(snap.Histograms) != 1 || snap.Histograms[0].Name != "stage.work" {
+	// The span landed in the labeled stage-duration histogram via the
+	// metrics feed.
+	want := obs.LabeledName("stage.duration_seconds", "stage", "work")
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Name != want {
 		t.Errorf("stage histogram missing: %+v", snap.Histograms)
 	}
 	if !strings.Contains(stderr.String(), "✓ work") {

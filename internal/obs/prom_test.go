@@ -1,0 +1,172 @@
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fullweb/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func TestLabeledName(t *testing.T) {
+	if got := obs.LabeledName("plain"); got != "plain" {
+		t.Errorf("no-label passthrough: got %q", got)
+	}
+	got := obs.LabeledName("stream.shard.records", "shard", "3")
+	if got != `stream.shard.records{shard="3"}` {
+		t.Errorf("single label: got %q", got)
+	}
+	// Keys are sorted, so argument order cannot change the canonical name.
+	a := obs.LabeledName("m", "b", "2", "a", "1")
+	b := obs.LabeledName("m", "a", "1", "b", "2")
+	if a != b || a != `m{a="1",b="2"}` {
+		t.Errorf("canonicalization unstable: %q vs %q", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd key/value list did not panic")
+		}
+	}()
+	obs.LabeledName("m", "dangling")
+}
+
+// goldenRegistry builds a registry whose snapshot exercises the
+// ordering contract: plain and labeled instruments registered in
+// deliberately shuffled order, multiple labels, multiple samples per
+// family.
+func goldenRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter(obs.LabeledName("stream.shard.records", "shard", "1")).Add(70)
+	reg.Counter("weblog.records_parsed").Add(120)
+	reg.Counter(obs.LabeledName("stream.shard.records", "shard", "0")).Add(50)
+	reg.Counter("stream.chunks_folded").Add(9)
+	reg.Gauge(obs.LabeledName("pool.occupancy", "pool", "parse")).Set(3)
+	reg.Gauge("stream.active_sessions").Set(17)
+	reg.Gauge(obs.LabeledName("pool.occupancy", "pool", "fold")).Set(1)
+	h := reg.Histogram(obs.LabeledName("stage.duration_seconds", "stage", "parse"))
+	h.ObserveDuration(1500 * time.Microsecond)
+	h.ObserveDuration(40 * time.Millisecond)
+	reg.Histogram(obs.LabeledName("stage.duration_seconds", "stage", "fold")).ObserveDuration(3 * time.Millisecond)
+	return reg
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestSnapshotJSONGolden pins the -metrics JSON ordering contract:
+// counters, gauges and histograms each sorted by canonical name — base
+// name then labels, since LabeledName embeds labels in the name.
+func TestSnapshotJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.json.golden", buf.Bytes())
+}
+
+// TestPrometheusGolden pins the /metrics exposition: family grouping,
+// fullweb_ prefix, name sanitization, label rendering, gauge _max
+// companions and histogram bucket/sum/count triplets.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom.golden", buf.Bytes())
+}
+
+// TestSnapshotStableWhileIdle scrapes the same registry twice: both
+// renderings must be byte-identical — the stability half of the
+// ordering contract.
+func TestSnapshotStableWhileIdle(t *testing.T) {
+	reg := goldenRegistry()
+	var a, b bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("consecutive scrapes of an idle registry differ")
+	}
+	var ja, jb bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Error("consecutive JSON snapshots of an idle registry differ")
+	}
+}
+
+// TestPprofIsolation proves the satellite fix: the -pprof listener
+// serves a dedicated mux, not http.DefaultServeMux. Anything another
+// library registers on the default mux must be invisible on the pprof
+// port (the old `http.Serve(ln, nil)` exposed it), and the dedicated
+// mux must carry nothing but the profiler.
+func TestPprofIsolation(t *testing.T) {
+	// A canary handler on the process-global default mux, standing in
+	// for whatever other packages register there (net/http/pprof's own
+	// init does exactly this).
+	http.HandleFunc("/obs-isolation-canary", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+
+	cfg := obs.CLIConfig{PprofAddr: "127.0.0.1:0"}
+	var stderr bytes.Buffer
+	sess, err := cfg.Start(obs.SystemClock(), &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	addr := sess.PprofAddr()
+	if addr == "" {
+		t.Fatal("pprof session reports no bound address")
+	}
+
+	get := func(path string) int {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index not served on -pprof listener: status %d", code)
+	}
+	if code := get("/obs-isolation-canary"); code != http.StatusNotFound {
+		t.Errorf("-pprof listener serves DefaultServeMux registrations (status %d); dedicated mux lost", code)
+	}
+
+	// And the mux itself carries only the profiler: no catch-all root.
+	rec := httptest.NewRecorder()
+	obs.PprofMux().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("pprof mux answers non-pprof paths: status %d", rec.Code)
+	}
+}

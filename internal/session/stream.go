@@ -121,6 +121,19 @@ func (s *Streamer) PeakActiveSessions() int { return s.peakActive }
 // known at open time rather than at close time.
 func (s *Streamer) OpenedTotal() int64 { return s.opened }
 
+// NextExpiry returns the earliest scheduled expiry check and whether
+// one is pending — the eviction frontier a live telemetry view shows
+// next to the stream clock. Entries are lazily invalidated (a session
+// that saw more requests reschedules rather than rewrites), so the
+// returned time is a lower bound on the next actual close, never an
+// exact prediction.
+func (s *Streamer) NextExpiry() (time.Time, bool) {
+	if len(s.expiry) == 0 {
+		return time.Time{}, false
+	}
+	return s.expiry[0].at, true
+}
+
 // Clamped returns how many records ObserveClamped pulled forward to
 // the stream clock because their timestamps ran backwards.
 func (s *Streamer) Clamped() int64 { return s.clamped }

@@ -39,14 +39,14 @@ const (
 	checkpointVersion = 2
 )
 
-// checkpointConfig is the engine-config fingerprint embedded in every
-// checkpoint. Resume requires an exact match: these are the parameters
-// that shape the online state itself. Workers and chunk geometry are
+// ConfigFingerprint is the engine-config fingerprint embedded in
+// every checkpoint and in run reports. Resume requires an exact
+// match: these are the parameters that shape the online state itself. Workers and chunk geometry are
 // deliberately absent — the determinism contract makes results
 // identical across them, so a run may resume with a different pool
 // size or chunk shape. Shards, by contrast, shapes the partitioned
 // state and must match.
-type checkpointConfig struct {
+type ConfigFingerprint struct {
 	Threshold        time.Duration `json:"threshold"`
 	SnapshotEvery    time.Duration `json:"snapshot_every"`
 	Shards           int           `json:"shards"`
@@ -61,14 +61,19 @@ type checkpointConfig struct {
 	MaxFieldBytes    int           `json:"max_field_bytes"`
 }
 
+// Fingerprint derives the resume-compatibility fingerprint of the
+// config, normalizing defaulted values — also what run reports embed
+// as the run's configuration record.
+func (cfg Config) Fingerprint() ConfigFingerprint { return fingerprint(cfg) }
+
 // fingerprint derives the resume-compatibility fingerprint of a
 // config, normalizing defaulted values.
-func fingerprint(cfg Config) checkpointConfig {
+func fingerprint(cfg Config) ConfigFingerprint {
 	levels := cfg.AggVarLevels
 	if levels <= 0 {
 		levels = lrd.DefaultAggVarLevels
 	}
-	return checkpointConfig{
+	return ConfigFingerprint{
 		Threshold:        cfg.Threshold,
 		SnapshotEvery:    cfg.SnapshotEvery,
 		Shards:           normalizeShards(cfg.Shards),
@@ -135,7 +140,7 @@ type shardCheckpoint struct {
 // engineState is the full serialized engine: the global clocks, totals
 // and arrival estimators, plus every shard verbatim.
 type engineState struct {
-	Config           checkpointConfig  `json:"config"`
+	Config           ConfigFingerprint  `json:"config"`
 	Lines            int64             `json:"lines"`
 	QuarantineOffset int64             `json:"quarantine_offset"`
 	Records          int64             `json:"records"`
@@ -263,6 +268,7 @@ func (e *Engine) saveCheckpointCtx(ctx context.Context) error {
 	if err := e.SaveCheckpoint(e.cfg.CheckpointPath); err != nil {
 		return err
 	}
+	e.noteCheckpoint()
 	obs.MetricsFrom(ctx).Counter("stream.checkpoints").Inc()
 	return nil
 }

@@ -87,6 +87,12 @@ type Config struct {
 	// snapshots, live-session gauge) and its parse pool. Nil costs and
 	// changes nothing.
 	Metrics *obs.Registry
+	// Telemetry, when non-nil, receives live runtime stats at chunk
+	// granularity and every assembled snapshot — the copy-on-publish
+	// feed behind `fullweb stream -listen`. Publication never feeds
+	// back into engine state, so output is byte-identical with or
+	// without it.
+	Telemetry Telemetry
 	// Mode selects strict, budgeted or lenient ingestion; the zero
 	// value is ModeBudgeted.
 	Mode Mode
@@ -239,6 +245,12 @@ type Engine struct {
 	// quar wraps cfg.Quarantine to track the byte offset that goes
 	// into checkpoints (nil when no sink is configured).
 	quar *weblog.CountingWriter
+
+	// tele is the engine's live-telemetry state: precomputed labeled
+	// gauge handles plus fold/checkpoint accounting. Always non-nil;
+	// transient observability state, never checkpointed (a resumed run
+	// re-counts from its resume point).
+	tele *engineTelemetry
 }
 
 // shardSeedStride and charSeedStride derive the per-shard,
@@ -293,6 +305,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Quarantine != nil {
 		e.quar = &weblog.CountingWriter{W: cfg.Quarantine}
 	}
+	e.tele = newEngineTelemetry(cfg.Metrics, nshards)
 	e.pool.Instrument(cfg.Metrics)
 	var err error
 	if e.reqArr.est, err = lrd.NewOnlineAggVar(cfg.AggVarLevels); err != nil {
@@ -364,6 +377,10 @@ func (e *Engine) shardFor(host string) *engineShard {
 
 // Shards returns the number of hash partitions.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// Snapshots returns the number of snapshots emitted so far (periodic
+// plus, after ProcessCtx returns, the final one).
+func (e *Engine) Snapshots() int64 { return e.snapshots }
 
 // PeakActiveSessions returns the summed sessionizer live-state
 // high-water marks — the quantity that bounds the engine's memory.
@@ -468,6 +485,7 @@ func (e *Engine) ProcessCtx(ctx context.Context, r io.Reader, emit func(*Snapsho
 				return err
 			}
 		}
+		e.noteChunkFolded()
 		return nil
 	})
 	if err != nil {
@@ -505,6 +523,8 @@ func (e *Engine) ProcessCtx(ctx context.Context, r io.Reader, emit func(*Snapsho
 		return nil, err
 	}
 	e.snapshots++
+	e.publishSnapshot(final)
+	e.publishRuntime()
 	closed := e.closedSessions()
 	sp.SetInt("records", e.records)
 	sp.SetInt("sessions", closed)
@@ -555,6 +575,7 @@ func (e *Engine) observe(ctx context.Context, rec weblog.Record, emit func(*Snap
 			return err
 		}
 		e.snapshots++
+		e.publishSnapshot(snap)
 		for !rec.Time.Before(e.nextSnapshot) {
 			e.nextSnapshot = e.nextSnapshot.Add(e.cfg.SnapshotEvery)
 		}

@@ -61,6 +61,17 @@ func (s *QuantileSketch) Cap() int { return s.cap }
 // N returns the observation count.
 func (s *QuantileSketch) N() int64 { return s.n }
 
+// Stored returns the number of retained items across the level-0
+// buffer and the compacted ladder — the sketch's live memory footprint
+// in items, surfaced as a telemetry gauge.
+func (s *QuantileSketch) Stored() int {
+	n := len(s.buf)
+	for _, lv := range s.levels {
+		n += len(lv)
+	}
+	return n
+}
+
 // Observe feeds one value.
 func (s *QuantileSketch) Observe(v float64) {
 	s.n++

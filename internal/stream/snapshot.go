@@ -16,35 +16,41 @@ type ArrivalEstimate struct {
 	// OK reports whether enough aggregation levels have filled for a
 	// variance-time regression; the other fields are meaningful only
 	// when set.
-	OK bool
+	OK bool `json:"ok"`
 	// H is the streaming aggregated-variance Hurst estimate; R2 its
 	// regression fit.
-	H, R2 float64
+	H  float64 `json:"h"`
+	R2 float64 `json:"r2"`
 	// Levels is the number of dyadic levels contributing.
-	Levels int
+	Levels int `json:"levels"`
 	// Seconds is the number of complete one-second bins folded in.
-	Seconds int64
+	Seconds int64 `json:"seconds"`
 }
 
 // CharSnapshot is the online summary of one intra-session
 // characteristic over the sessions finalized so far.
 type CharSnapshot struct {
-	Name string
+	Name string `json:"name"`
 	// N is the number of finalized sessions observed.
-	N int64
+	N int64 `json:"n"`
 	// Welford moments and extremes.
-	Mean, StdDev, Min, Max float64
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
 	// Mergeable quantile-sketch estimates.
-	P50, P90, P99 float64
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
 	// Hill tail state: HillOK reports the estimator ran (enough positive
 	// observations); Stable mirrors the batch read-off ("NS" otherwise);
 	// Alpha is the tail index over the stable window; Sample and Seen
 	// are the reservoir size and the positive observations fed.
-	HillOK     bool
-	HillStable bool
-	HillAlpha  float64
-	HillSample int
-	HillSeen   int64
+	HillOK     bool    `json:"hill_ok"`
+	HillStable bool    `json:"hill_stable"`
+	HillAlpha  float64 `json:"hill_alpha"`
+	HillSample int     `json:"hill_sample"`
+	HillSeen   int64   `json:"hill_seen"`
 }
 
 // Snapshot is one deterministic report of the engine state: everything
@@ -56,34 +62,35 @@ type CharSnapshot struct {
 type Snapshot struct {
 	// At is the trace-time boundary (for periodic snapshots) or the last
 	// record's timestamp (final).
-	At time.Time
+	At time.Time `json:"at"`
 	// Final marks the end-of-stream snapshot, which includes the flushed
 	// still-open sessions.
-	Final bool
-	// Totals over the stream so far.
-	Records     int64
-	ParseErrors int64
-	Bytes       int64
-	Span        time.Duration
+	Final bool `json:"final"`
+	// Totals over the stream so far. Span serializes in nanoseconds
+	// (Go's time.Duration encoding).
+	Records     int64         `json:"records"`
+	ParseErrors int64         `json:"parse_errors"`
+	Bytes       int64         `json:"bytes"`
+	Span        time.Duration `json:"span_ns"`
 	// Session accounting: Closed counts finalized sessions (on the final
 	// snapshot this equals the batch sessionizer's count exactly),
 	// Active the still-open ones, Opened their sum.
-	SessionsClosed int64
-	SessionsActive int64
-	SessionsOpened int64
+	SessionsClosed int64 `json:"sessions_closed"`
+	SessionsActive int64 `json:"sessions_active"`
+	SessionsOpened int64 `json:"sessions_opened"`
 	// Ingest is the input-health accounting at this boundary,
 	// including the DegradedInput verdict when the stream breached its
 	// error budget.
-	Ingest IngestStats
+	Ingest IngestStats `json:"ingest"`
 	// Arrival-process LRD state, from the engine's global estimators
 	// (fed in input order at dispatch, so independent of the shard
 	// partition).
-	RequestArrivals ArrivalEstimate
-	SessionArrivals ArrivalEstimate
+	RequestArrivals ArrivalEstimate `json:"request_arrivals"`
+	SessionArrivals ArrivalEstimate `json:"session_arrivals"`
 	// Chars holds the per-characteristic summaries in the fixed
 	// Characteristics() order (a slice, not a map, so rendering never
 	// depends on map iteration order).
-	Chars []CharSnapshot
+	Chars []CharSnapshot `json:"chars"`
 }
 
 // mergeSeedStride offsets the sub-seed of snapshot-time reservoir

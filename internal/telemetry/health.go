@@ -1,0 +1,286 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"fullweb/internal/obs"
+	"fullweb/internal/stream"
+	"fullweb/internal/weblog"
+)
+
+// Health-rule defaults. Warn thresholds deliberately trip before fail
+// thresholds so a scraper sees the burn coming.
+const (
+	// DefaultMaxCheckpointAge fails /healthz when a checkpointing run
+	// has not persisted a checkpoint for this long.
+	DefaultMaxCheckpointAge = 10 * time.Minute
+	// budgetWarnFraction warns when any error-budget dimension has
+	// burned this fraction of its allowance.
+	budgetWarnFraction = 0.8
+)
+
+// RuleResult is one health rule's verdict: status "ok", "warn" or
+// "fail" plus a human-readable detail line.
+type RuleResult struct {
+	Rule   string `json:"rule"`
+	Status string `json:"status"`
+	Detail string `json:"detail"`
+}
+
+// HealthReport is the /healthz body: the overall verdict plus every
+// rule's result in a fixed order.
+type HealthReport struct {
+	// Healthy is false when any rule failed (the /healthz 503 signal);
+	// warnings do not unhealth the process.
+	Healthy bool `json:"healthy"`
+	// Ready reports whether the engine has published at least one
+	// runtime view (the /readyz signal).
+	Ready bool         `json:"ready"`
+	Rules []RuleResult `json:"rules"`
+}
+
+// HealthConfig parameterizes the health rules from the run's
+// configuration.
+type HealthConfig struct {
+	// Mode and Budget mirror the engine's ingestion config; the
+	// error-budget rule re-evaluates the engine's own verdict logic
+	// against the live counters.
+	Mode   stream.Mode
+	Budget stream.Budget
+	// ChunkWindow is the parser's backpressure bound (chunks in
+	// flight); 0 means weblog.DefaultChunkWindow.
+	ChunkWindow int
+	// Checkpointing enables the checkpoint-staleness rule.
+	Checkpointing bool
+	// MaxCheckpointAge overrides DefaultMaxCheckpointAge.
+	MaxCheckpointAge time.Duration
+	// MaxQuarantineRate bounds quarantine growth in bytes/second
+	// between consecutive runtime publications; 0 disables the rule.
+	MaxQuarantineRate float64
+	// MaxFoldLag bounds how many parsed chunks may wait unfolded; 0
+	// means the chunk window (the parser cannot run further ahead than
+	// its backpressure bound, so exceeding it means accounting broke).
+	MaxFoldLag int64
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.ChunkWindow <= 0 {
+		c.ChunkWindow = weblog.DefaultChunkWindow
+	}
+	if c.MaxCheckpointAge <= 0 {
+		c.MaxCheckpointAge = DefaultMaxCheckpointAge
+	}
+	if c.MaxFoldLag <= 0 {
+		c.MaxFoldLag = int64(c.ChunkWindow)
+	}
+	return c
+}
+
+// Health evaluates the live health rules against the holder's latest
+// publications and the metrics registry. Evaluation is read-only and
+// safe to run concurrently with publication.
+type Health struct {
+	cfg    HealthConfig
+	holder *Holder
+	reg    *obs.Registry
+	clock  obs.Clock
+}
+
+// NewHealth builds a health evaluator. reg may be nil (the
+// parser-side rules then read zero counters).
+func NewHealth(cfg HealthConfig, holder *Holder, reg *obs.Registry, clock obs.Clock) *Health {
+	return &Health{cfg: cfg.withDefaults(), holder: holder, reg: reg, clock: clock}
+}
+
+// Evaluate runs every rule, in the fixed order of the DESIGN.md §14
+// table: ingest-budget, backpressure, fold-lag, checkpoint,
+// quarantine.
+func (h *Health) Evaluate() HealthReport {
+	cur, prev, ready := h.holder.LatestRuntime()
+	rep := HealthReport{Healthy: true, Ready: ready}
+	rep.Rules = []RuleResult{
+		h.ruleIngestBudget(cur, ready),
+		h.ruleBackpressure(),
+		h.ruleFoldLag(),
+		h.ruleCheckpoint(ready),
+		h.ruleQuarantine(cur, prev, ready),
+	}
+	for _, r := range rep.Rules {
+		if r.Status == "fail" {
+			rep.Healthy = false
+		}
+	}
+	return rep
+}
+
+// ruleIngestBudget re-evaluates the engine's degradation verdict from
+// the live counters and reports the budget burn fraction. A budget
+// exactly exhausted is warn, not fail — the engine's own breach
+// comparisons are strictly greater-than, so "at the limit" is still
+// within budget.
+func (h *Health) ruleIngestBudget(cur PublishedRuntime, ready bool) RuleResult {
+	r := RuleResult{Rule: "ingest-budget", Status: "ok"}
+	if !ready {
+		r.Detail = "no runtime published yet"
+		return r
+	}
+	st := cur.Stats.Ingest
+	st.Evaluate(h.cfg.Mode, h.cfg.Budget, cur.Stats.Records)
+	if st.Degraded {
+		r.Status = "fail"
+		r.Detail = "error budget breached: " + joinReasons(st.Reasons)
+		return r
+	}
+	burn, dims := h.budgetBurn(st, cur.Stats.Records)
+	if dims == 0 {
+		r.Detail = "no error budget configured"
+		return r
+	}
+	switch {
+	case burn >= 1:
+		r.Status = "warn"
+		r.Detail = fmt.Sprintf("error budget exactly exhausted (burn %.0f%%)", burn*100)
+	case burn >= budgetWarnFraction:
+		r.Status = "warn"
+		r.Detail = fmt.Sprintf("error budget burn %.0f%%", burn*100)
+	default:
+		r.Detail = fmt.Sprintf("error budget burn %.0f%%", burn*100)
+	}
+	return r
+}
+
+// budgetBurn returns the worst burned fraction across the configured
+// budget dimensions and how many dimensions are configured.
+func (h *Health) budgetBurn(st stream.IngestStats, records int64) (burn float64, dims int) {
+	b := h.cfg.Budget
+	if h.cfg.Mode != stream.ModeBudgeted {
+		return 0, 0
+	}
+	acc := func(used, allowed float64) {
+		dims++
+		if f := used / allowed; f > burn {
+			burn = f
+		}
+	}
+	if b.MaxRejects > 0 {
+		acc(float64(st.Rejected), float64(b.MaxRejects))
+	}
+	if b.MaxRejectRate > 0 {
+		if den := records + st.Rejected; den > 0 {
+			acc(float64(st.Rejected)/float64(den), b.MaxRejectRate)
+		} else {
+			dims++
+		}
+	}
+	if b.MaxClamped > 0 {
+		acc(float64(st.Clamped), float64(b.MaxClamped))
+	}
+	return burn, dims
+}
+
+// ruleBackpressure reports the parser's in-flight chunk depth against
+// its window. Saturation is the design operating point under load, so
+// this rule warns and never fails.
+func (h *Health) ruleBackpressure() RuleResult {
+	r := RuleResult{Rule: "backpressure", Status: "ok"}
+	depth := h.reg.Gauge("weblog.chunks_in_flight").Value()
+	window := int64(h.cfg.ChunkWindow)
+	r.Detail = fmt.Sprintf("parse queue depth %d of window %d", depth, window)
+	if depth >= window {
+		r.Status = "warn"
+		r.Detail = fmt.Sprintf("parse window saturated (depth %d of %d)", depth, window)
+	}
+	return r
+}
+
+// ruleFoldLag compares chunks parsed against chunks folded. The fold
+// drains the parse window in order, so lag beyond the window means the
+// fold stalled (or accounting broke): warn past the bound, fail past
+// twice the bound.
+func (h *Health) ruleFoldLag() RuleResult {
+	r := RuleResult{Rule: "fold-lag", Status: "ok"}
+	parsed := h.reg.Counter("weblog.chunks_parsed").Value()
+	folded := h.reg.Counter("stream.chunks_folded").Value()
+	lag := parsed - folded
+	r.Detail = fmt.Sprintf("%d chunks parsed, %d folded (lag %d)", parsed, folded, lag)
+	switch {
+	case lag > 2*h.cfg.MaxFoldLag:
+		r.Status = "fail"
+		r.Detail = fmt.Sprintf("fold stalled: lag %d exceeds twice the bound %d", lag, h.cfg.MaxFoldLag)
+	case lag > h.cfg.MaxFoldLag:
+		r.Status = "warn"
+		r.Detail = fmt.Sprintf("fold lagging: %d chunks behind (bound %d)", lag, h.cfg.MaxFoldLag)
+	}
+	return r
+}
+
+// ruleCheckpoint fails a checkpointing run whose last persisted
+// checkpoint is older than the configured age — the signal that a
+// crash now would replay an unbounded amount of input. Warns at half
+// the age. Runs without checkpointing always pass.
+func (h *Health) ruleCheckpoint(ready bool) RuleResult {
+	r := RuleResult{Rule: "checkpoint", Status: "ok"}
+	if !h.cfg.Checkpointing {
+		r.Detail = "checkpointing disabled"
+		return r
+	}
+	if !ready {
+		r.Detail = "no runtime published yet"
+		return r
+	}
+	age := h.clock.Now().Sub(h.holder.LastCheckpointAt())
+	r.Detail = fmt.Sprintf("last checkpoint %s ago (max %s)", age.Round(time.Second), h.cfg.MaxCheckpointAge)
+	switch {
+	case age > h.cfg.MaxCheckpointAge:
+		r.Status = "fail"
+		r.Detail = fmt.Sprintf("checkpoint stale: %s since last persist (max %s)", age.Round(time.Second), h.cfg.MaxCheckpointAge)
+	case age > h.cfg.MaxCheckpointAge/2:
+		r.Status = "warn"
+		r.Detail = fmt.Sprintf("checkpoint aging: %s since last persist (max %s)", age.Round(time.Second), h.cfg.MaxCheckpointAge)
+	}
+	return r
+}
+
+// ruleQuarantine bounds quarantine growth between the last two runtime
+// publications: warn past the configured bytes/second, fail past twice
+// it. Disabled (always ok) when no rate is configured.
+func (h *Health) ruleQuarantine(cur PublishedRuntime, prev *PublishedRuntime, ready bool) RuleResult {
+	r := RuleResult{Rule: "quarantine", Status: "ok"}
+	if h.cfg.MaxQuarantineRate <= 0 {
+		r.Detail = "no quarantine growth bound configured"
+		return r
+	}
+	if !ready || prev == nil {
+		r.Detail = "warming up (fewer than two publications)"
+		return r
+	}
+	dt := cur.At.Sub(prev.At).Seconds()
+	if dt <= 0 {
+		r.Detail = "warming up (publications not yet time-separated)"
+		return r
+	}
+	rate := float64(cur.Stats.QuarantineBytes-prev.Stats.QuarantineBytes) / dt
+	r.Detail = fmt.Sprintf("quarantine growing at %.0f B/s (max %.0f)", rate, h.cfg.MaxQuarantineRate)
+	switch {
+	case rate > 2*h.cfg.MaxQuarantineRate:
+		r.Status = "fail"
+		r.Detail = fmt.Sprintf("quarantine flooding: %.0f B/s exceeds twice the bound %.0f B/s", rate, h.cfg.MaxQuarantineRate)
+	case rate > h.cfg.MaxQuarantineRate:
+		r.Status = "warn"
+	}
+	return r
+}
+
+// joinReasons renders the breach reasons as one detail line without
+// pulling in strings for a single call site.
+func joinReasons(reasons []string) string {
+	out := ""
+	for i, s := range reasons {
+		if i > 0 {
+			out += "; "
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"fullweb/internal/faultpoint"
+	"fullweb/internal/obs"
+	"fullweb/internal/stream"
+)
+
+// Run-report format identity. The report is self-describing: a
+// consumer checks Format and Version before reading anything else.
+const (
+	ReportFormat  = "fullweb-run-report"
+	ReportVersion = 1
+)
+
+// ReportTotals are the run's headline totals.
+type ReportTotals struct {
+	Records     int64   `json:"records"`
+	Sessions    int64   `json:"sessions"`
+	Bytes       int64   `json:"bytes"`
+	SpanSeconds float64 `json:"span_seconds"`
+}
+
+// ReportCharacteristic is one intra-session characteristic's final
+// summary in a run report — the shared shape both front ends emit
+// (stream fills the quantile fields, analyze the table-derived ones).
+type ReportCharacteristic struct {
+	Name   string  `json:"name"`
+	N      int64   `json:"n"`
+	Mean   float64 `json:"mean,omitempty"`
+	StdDev float64 `json:"std_dev,omitempty"`
+	P50    float64 `json:"p50,omitempty"`
+	P90    float64 `json:"p90,omitempty"`
+	P99    float64 `json:"p99,omitempty"`
+	// Hill tail state: HillOK means the estimator ran; Stable mirrors
+	// the "NS" read-off; Alpha is the tail index when stable.
+	HillOK     bool    `json:"hill_ok"`
+	HillStable bool    `json:"hill_stable"`
+	HillAlpha  float64 `json:"hill_alpha,omitempty"`
+}
+
+// RunReport is the self-describing end-of-run JSON artifact both
+// `fullweb analyze -report` and `fullweb stream -report` emit: the
+// config fingerprint, input identity, totals, ingest verdict,
+// fault-site stats, final characteristics and the full obs metrics
+// snapshot. The report carries wall-clock-derived observability data
+// (durations in the obs histograms), so unlike stdout it is NOT part
+// of the byte-identical determinism contract.
+type RunReport struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Tool is the emitting subcommand ("stream" or "analyze").
+	Tool string `json:"tool"`
+	// Inputs lists the log paths in the order they were read.
+	Inputs []string `json:"inputs"`
+	// Config is the run's configuration record — for stream, the
+	// resume-compatibility fingerprint (stream.ConfigFingerprint).
+	Config any `json:"config"`
+	// Totals, ingest accounting and the resulting verdict ("ok",
+	// "degraded" or "truncated,degraded"-style comma list).
+	Totals  ReportTotals       `json:"totals"`
+	Ingest  stream.IngestStats `json:"ingest"`
+	Verdict string             `json:"verdict"`
+	// Snapshots is the number of snapshots emitted (stream only).
+	Snapshots int64 `json:"snapshots,omitempty"`
+	// Characteristics holds the final per-characteristic summaries in
+	// the fixed core.AllCharacteristics order.
+	Characteristics []ReportCharacteristic `json:"characteristics"`
+	// Faults lists every armed fault site's hit/fire counts (empty
+	// when no faults were injected).
+	Faults []faultpoint.SiteStats `json:"faults,omitempty"`
+	// Obs is the final metrics snapshot (the -metrics payload inline).
+	Obs obs.Snapshot `json:"obs"`
+}
+
+// Verdict renders the ingest verdict string: "ok", or a comma list of
+// "degraded" and "truncated".
+func Verdict(st stream.IngestStats) string {
+	switch {
+	case st.Degraded && st.Truncated:
+		return "degraded,truncated"
+	case st.Degraded:
+		return "degraded"
+	case st.Truncated:
+		return "truncated"
+	default:
+		return "ok"
+	}
+}
+
+// StreamReportParts extracts the totals, characteristics and verdict
+// of a final stream snapshot for a run report.
+func StreamReportParts(final *stream.Snapshot) (ReportTotals, []ReportCharacteristic, string) {
+	t := ReportTotals{
+		Records:     final.Records,
+		Sessions:    final.SessionsClosed + final.SessionsActive,
+		Bytes:       final.Bytes,
+		SpanSeconds: final.Span.Seconds(),
+	}
+	chars := make([]ReportCharacteristic, 0, len(final.Chars))
+	for _, c := range final.Chars {
+		chars = append(chars, ReportCharacteristic{
+			Name:       c.Name,
+			N:          c.N,
+			Mean:       c.Mean,
+			StdDev:     c.StdDev,
+			P50:        c.P50,
+			P90:        c.P90,
+			P99:        c.P99,
+			HillOK:     c.HillOK,
+			HillStable: c.HillStable,
+			HillAlpha:  c.HillAlpha,
+		})
+	}
+	return t, chars, Verdict(final.Ingest)
+}
+
+// Write serializes the report with indentation and a trailing newline.
+func (r *RunReport) Write(w io.Writer) error {
+	r.Format = ReportFormat
+	r.Version = ReportVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path (truncating any existing file).
+func (r *RunReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: creating run report: %w", err)
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: writing run report: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: closing run report: %w", err)
+	}
+	return nil
+}

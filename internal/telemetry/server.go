@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+
+	"fullweb/internal/obs"
+)
+
+// Server is the read-only telemetry HTTP service behind `fullweb
+// stream -listen`. Endpoints:
+//
+//	/metrics   Prometheus text exposition of the obs registry
+//	/snapshot  latest published trace-time snapshot, JSON
+//	/healthz   health-rule report; 503 when any rule fails
+//	/readyz    200 once the engine has published a runtime view
+//
+// Every endpoint is GET/HEAD only and reads exclusively from the
+// copy-on-publish holder and the (atomic) registry instruments — the
+// mux never touches live engine state. The pprof surface lives on its
+// own mux (obs.PprofMux); this mux deliberately knows nothing about
+// /debug/pprof/.
+type Server struct {
+	handler http.Handler
+	srv     *http.Server
+}
+
+// NewServer wires the endpoints. reg may be nil (the /metrics body is
+// then an empty exposition); holder and health must be non-nil.
+func NewServer(reg *obs.Registry, holder *Holder, health *Health) *Server {
+	mux := http.NewServeMux()
+	handle := func(path string, fn http.HandlerFunc) {
+		hits := reg.Counter(obs.LabeledName("telemetry.http_requests", "path", path))
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				http.Error(w, "read-only telemetry endpoint", http.StatusMethodNotAllowed)
+				return
+			}
+			hits.Inc()
+			fn(w, r)
+		})
+	}
+
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+
+	handle("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap, ok := holder.LatestSnapshot()
+		if !ok {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"error": "no snapshot published yet",
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rep := health.Evaluate()
+		code := http.StatusOK
+		if !rep.Healthy {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, rep)
+	})
+
+	handle("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		cur, _, ok := holder.LatestRuntime()
+		if !ok {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ready": false,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ready":   true,
+			"seq":     cur.Seq,
+			"records": cur.Stats.Records,
+		})
+	})
+
+	handle("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "fullweb stream telemetry")
+		fmt.Fprintln(w, "  /metrics   Prometheus text exposition")
+		fmt.Fprintln(w, "  /snapshot  latest trace-time snapshot (JSON)")
+		fmt.Fprintln(w, "  /healthz   health rules (503 on failure)")
+		fmt.Fprintln(w, "  /readyz    readiness (503 until first publication)")
+	})
+
+	return &Server{handler: mux}
+}
+
+// Handler exposes the mux for in-process tests.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Serve starts serving on ln in the background. The goroutine exits
+// when the listener closes (via Close or externally).
+func (s *Server) Serve(ln net.Listener) {
+	s.srv = &http.Server{Handler: s.handler}
+	srv := s.srv
+	//lint:allow rawgo telemetry server lifecycle, not an analysis fan-out; one goroutine that dies with the listener
+	go func() { _ = srv.Serve(ln) }()
+}
+
+// Close shuts the server down immediately (in-flight scrapes are
+// aborted; the run's output is already on stdout by then).
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// writeJSON writes one indented JSON body with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -78,12 +78,21 @@ type ChunkConfig struct {
 	MaxFieldBytes int
 }
 
+// DefaultChunkLines and DefaultChunkWindow are the ChunkConfig zero-
+// value defaults. Exported so front ends can reason about the
+// backpressure bound (Window chunks in flight) when configuring
+// health rules.
+const (
+	DefaultChunkLines  = 4096
+	DefaultChunkWindow = 8
+)
+
 func (c ChunkConfig) withDefaults() ChunkConfig {
 	if c.Lines <= 0 {
-		c.Lines = 4096
+		c.Lines = DefaultChunkLines
 	}
 	if c.Window <= 0 {
-		c.Window = 8
+		c.Window = DefaultChunkWindow
 	}
 	return c
 }
@@ -114,6 +123,15 @@ func ReadChunksCtx(ctx context.Context, r io.Reader, pool *parallel.Pool, cfg Ch
 		parseErrs int64
 		chunks    int64
 	)
+	// Live counters move at chunk granularity so a telemetry scraper
+	// watches parse progress mid-run; chunks_in_flight is the
+	// backpressure queue depth — parsed chunks not yet drained by emit,
+	// bounded by cfg.Window.
+	reg := obs.MetricsFrom(ctx)
+	recordsC := reg.Counter("weblog.records_parsed")
+	parseErrsC := reg.Counter("weblog.parse_errors")
+	chunksC := reg.Counter("weblog.chunks_parsed")
+	inFlight := reg.Gauge("weblog.chunks_in_flight")
 	lineNo := 0
 	for int64(lineNo) < cfg.SkipLines {
 		if !scanner.Scan() {
@@ -168,13 +186,18 @@ func ReadChunksCtx(ctx context.Context, r io.Reader, pool *parallel.Pool, cfg Ch
 		if err != nil {
 			return err
 		}
+		inFlight.Set(int64(len(parsed)))
 		for _, ch := range parsed {
 			records += int64(len(ch.Records))
 			parseErrs += int64(len(ch.Errs))
 			chunks++
+			recordsC.Add(int64(len(ch.Records)))
+			parseErrsC.Add(int64(len(ch.Errs)))
+			chunksC.Inc()
 			if err := emit(ch); err != nil {
 				return err
 			}
+			inFlight.Add(-1)
 		}
 	}
 	if err := scanner.Err(); err != nil {
@@ -187,9 +210,6 @@ func ReadChunksCtx(ctx context.Context, r io.Reader, pool *parallel.Pool, cfg Ch
 	sp.SetInt("chunks", chunks)
 	sp.SetInt("records", records)
 	sp.SetInt("errors", parseErrs)
-	reg := obs.MetricsFrom(ctx)
-	reg.Counter("weblog.records_parsed").Add(records)
-	reg.Counter("weblog.parse_errors").Add(parseErrs)
 	return nil
 }
 

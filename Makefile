@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-obs bench-stream bench-shard bench-serve fuzz fuzz-smoke
+.PHONY: all build test race vet lint check bench bench-obs bench-stream bench-shard bench-serve bench-intake fuzz fuzz-smoke
 
 all: build
 
@@ -70,6 +70,16 @@ bench-shard:
 # BENCH_pr8.json is one run of this target.
 bench-serve:
 	$(GO) test -run '^$$' -bench 'ObsServe' -benchmem -count=3 . | tee BENCH_pr8.json
+
+# bench-intake captures the PR 9 benchmark evidence: the same CLF
+# bytes through the stream engine three ways — straight from a file
+# reader, through the serve HTTP /ingest path, and through the raw TCP
+# intake — at 1 and 4 shards. The gate is HTTP and TCP records/sec
+# within 20% of the file path: the intake queue and transport framing
+# must not be the bottleneck. The committed BENCH_pr9.json is one run
+# of this target.
+bench-intake:
+	$(GO) test -run '^$$' -bench 'Intake' -benchmem -count=3 . | tee BENCH_pr9.json
 
 # Short fuzz smoke (~15s total) over the checked-in corpora; part of
 # the tier-1 gate so parser and sessionizer regressions surface

@@ -1,0 +1,171 @@
+// Intake-path benchmark triple (PR 9 evidence, BENCH_pr9.json): the
+// same CLF bytes through the stream engine three ways — straight from
+// a file reader, through the serve HTTP /ingest path, and through the
+// raw TCP intake — at 1 and 4 shards. All report records/sec; the
+// acceptance bar is HTTP and TCP intake within 20% of the file path,
+// i.e. the intake queue and transport framing are not the bottleneck.
+//
+//	make bench-intake
+package fullweb_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+
+	"fullweb/internal/serve"
+	"fullweb/internal/stream"
+)
+
+// benchIntakeConfig is the shared engine geometry: final snapshot
+// only, so the measurement is intake + fold, not rendering.
+func benchIntakeConfig(shards int) stream.Config {
+	cfg := stream.DefaultConfig()
+	cfg.SnapshotEvery = 0
+	cfg.Shards = shards
+	return cfg
+}
+
+// BenchmarkIntakeFile is the baseline: the trace folded straight from
+// an in-memory reader, no intake queue.
+func BenchmarkIntakeFile(b *testing.B) {
+	text := benchStreamTrace(b)
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var records int64
+			b.SetBytes(int64(len(text)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := stream.NewEngine(benchIntakeConfig(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				final, err := eng.ProcessCtx(context.Background(), bytes.NewReader(text), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				records = final.Records
+			}
+			reportRecordsPerSec(b, records)
+		})
+	}
+}
+
+// benchServeRun pushes the trace through one serve run using feed to
+// deliver the bytes, returning the folded record count.
+func benchServeRun(b *testing.B, shards int, tcp bool, feed func(base, tcpAddr string)) int64 {
+	b.Helper()
+	s, err := serve.New(serve.Config{
+		Sources: []string{"bench"},
+		WantTCP: tcp,
+		Engine:  benchIntakeConfig(shards),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.StartHTTP(hln)
+	defer s.Close()
+	tcpAddr := ""
+	if tcp {
+		tln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.StartTCP(tln)
+		tcpAddr = tln.Addr().String()
+	}
+	type result struct {
+		records int64
+		err     error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		final, rerr := s.Run(context.Background(), nil)
+		if rerr != nil {
+			ch <- result{err: rerr}
+			return
+		}
+		ch <- result{records: final.Records}
+	}()
+	feed("http://"+hln.Addr().String(), tcpAddr)
+	res := <-ch
+	if res.err != nil {
+		b.Fatal(res.err)
+	}
+	return res.records
+}
+
+// BenchmarkIntakeHTTP measures the POST /ingest path: the trace
+// delivered in 256 KiB chunked posts to one source, then completed.
+func BenchmarkIntakeHTTP(b *testing.B) {
+	text := benchStreamTrace(b)
+	const chunk = 256 << 10
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var records int64
+			b.SetBytes(int64(len(text)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				records = benchServeRun(b, shards, false, func(base, _ string) {
+					client := &http.Client{}
+					for off := 0; off < len(text); off += chunk {
+						end := off + chunk
+						if end > len(text) {
+							end = len(text)
+						}
+						resp, err := client.Post(base+"/ingest?source=bench", "text/plain", bytes.NewReader(text[off:end]))
+						if err != nil {
+							b.Fatal(err)
+						}
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							b.Fatalf("ingest chunk: status %d", resp.StatusCode)
+						}
+					}
+					resp, err := client.Post(base+"/ingest?source=bench&complete=1", "text/plain", nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					resp.Body.Close()
+				})
+			}
+			reportRecordsPerSec(b, records)
+		})
+	}
+}
+
+// BenchmarkIntakeTCP measures the raw TCP intake: handshake, stream
+// the bytes over one connection, close to complete.
+func BenchmarkIntakeTCP(b *testing.B) {
+	text := benchStreamTrace(b)
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var records int64
+			b.SetBytes(int64(len(text)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				records = benchServeRun(b, shards, true, func(_, tcpAddr string) {
+					conn, err := net.Dial("tcp", tcpAddr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := fmt.Fprintf(conn, "fullweb-intake bench\n"); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := conn.Write(text); err != nil {
+						b.Fatal(err)
+					}
+					conn.Close()
+				})
+			}
+			reportRecordsPerSec(b, records)
+		})
+	}
+}

@@ -4,13 +4,15 @@
 //	fullweb analyze  -log wvu.log -server WVU
 //	fullweb sessions -log wvu.log
 //	fullweb stream   -log wvu.log -snapshot 6h
+//	fullweb serve    -source s1 -source s2 -listen 127.0.0.1:8080
 //
 // generate synthesizes a Common Log Format trace for one of the paper's
 // four server profiles; analyze runs the complete FULL-Web
 // characterization pipeline on any CLF log; sessions prints the
 // sessionization summary; stream runs the bounded-memory online
 // pipeline with periodic snapshots (accepts gzip-rotated segments and
-// stdin).
+// stdin); serve runs the live intake server with online what-if
+// capacity queries.
 package main
 
 import (
@@ -44,7 +46,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: fullweb <generate|analyze|sessions|stream> [flags]")
+		return fmt.Errorf("usage: fullweb <generate|analyze|sessions|stream|serve> [flags]")
 	}
 	switch args[0] {
 	case "generate":
@@ -61,8 +63,10 @@ func run(args []string, out io.Writer) error {
 		return cmdFit(args[1:], out)
 	case "stream":
 		return cmdStream(args[1:], out)
+	case "serve":
+		return cmdServe(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want generate, analyze, sessions, reliability, thresholds, fit or stream)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want generate, analyze, sessions, reliability, thresholds, fit, stream or serve)", args[0])
 	}
 }
 

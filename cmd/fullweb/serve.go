@@ -1,0 +1,284 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fullweb/internal/faultpoint"
+	"fullweb/internal/obs"
+	"fullweb/internal/serve"
+	"fullweb/internal/session"
+	"fullweb/internal/stream"
+	"fullweb/internal/telemetry"
+	"fullweb/internal/weblog"
+)
+
+// cmdServe is the live intake server: CLF lines arrive from declared
+// sources over HTTP (POST /ingest) and optionally raw TCP, flow
+// through the hardened ingestion path into the stream engine, and the
+// what-if layer answers capacity queries online (GET /whatif) from the
+// engine's published arrival series.
+//
+//	fullweb serve -source s1 -source s2 -listen 127.0.0.1:8080
+//	curl --data-binary @s1.log 'http://127.0.0.1:8080/ingest?source=s1&complete=1'
+//
+// Source order is the determinism contract (DESIGN.md §15): the same
+// lines over N sources in any delivery interleaving produce the same
+// final snapshot as `fullweb stream` over the sources concatenated in
+// declared order. SIGTERM/SIGINT begin a graceful drain: listeners
+// close, buffered input folds, the final snapshot prints.
+func cmdServe(args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var sources []string
+	fs.Func("source", "declare an intake source ID; repeat the flag in fold order (required)", func(v string) error {
+		if v == "" {
+			return fmt.Errorf("empty -source value")
+		}
+		sources = append(sources, v)
+		return nil
+	})
+	listen := fs.String("listen", "", "HTTP address for intake and telemetry (/ingest, /whatif, /metrics, /snapshot, /healthz, /readyz); ':0' picks a free port (required)")
+	listenAddrFile := fs.String("listen-addr-file", "", "write the HTTP listener's bound address to this file (useful with -listen :0)")
+	intakeTCP := fs.String("intake-tcp", "", "also accept raw line intake on this TCP address (protocol: 'fullweb-intake <source>\\n' then raw CLF lines; close = complete)")
+	intakeTCPAddrFile := fs.String("intake-tcp-addr-file", "", "write the TCP intake listener's bound address to this file")
+	bufferBytes := fs.Int64("buffer-bytes", serve.DefaultBufferBytes, "per-source intake buffer cap in bytes; a full buffer returns 429 on HTTP and blocks on TCP")
+	whatifWindow := fs.Int("whatif-window", stream.DefaultArrivalWindow, "trailing arrival-series window in trace seconds for /whatif")
+	staleAfter := fs.Duration("stale-after", telemetry.DefaultSourceStaleAfter, "source-staleness health rule: warn when an incomplete source has been silent this long")
+	threshold := fs.Duration("threshold", session.DefaultThreshold, "session inactivity threshold")
+	snapshotEvery := fs.Duration("snapshot", 6*time.Hour, "trace-time between snapshots (0 = final only)")
+	workers := fs.Int("parallel", 0, "parse worker pool size (0 = all CPUs, 1 = sequential); snapshots are identical at any setting")
+	shards := fs.Int("shards", 1, "hash-partition engine state by host into N mergeable shards")
+	reservoir := fs.Int("reservoir", 8192, "per-characteristic Hill reservoir capacity")
+	quantileCap := fs.Int("quantile-cap", stream.DefaultQuantileCap, "per-characteristic quantile sketch capacity (even, >= 16)")
+	seed := fs.Int64("seed", 1, "reservoir sampling seed")
+	chunkLines := fs.Int("chunk-lines", 0, "lines per parse chunk (0 = default)")
+	chunkWindow := fs.Int("chunk-window", 0, "parse chunks in flight (0 = default); bounds memory with -parallel")
+	mode := fs.String("mode", "budgeted", "ingestion mode: budgeted (count, quarantine, degrade), strict (fail on first reject) or lenient (count only)")
+	quarantinePath := fs.String("quarantine", "", "append rejected raw lines to this file (budgeted/lenient modes)")
+	checkpointPath := fs.String("checkpoint", "", "write a resumable engine checkpoint here at every snapshot boundary")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
+	maxRejects := fs.Int64("max-rejects", 0, "budgeted mode: degrade after this many rejected lines (0 = no absolute cap)")
+	maxRejectRate := fs.Float64("max-reject-rate", 0, "budgeted mode: degrade when rejects/parse-attempts exceeds this rate (0 = no rate cap)")
+	maxClamped := fs.Int64("max-clamped", 0, "budgeted mode: degrade after this many clamped non-monotonic timestamps (0 = no cap)")
+	maxFieldBytes := fs.Int("max-field-bytes", 0, "reject records whose host or path exceeds this many bytes (0 = no limit)")
+	faultSpec := fs.String("faults", "", "deterministic fault-injection spec, e.g. 'serve.read=hit:3' (default $FULLWEB_FAULTS)")
+	reportPath := fs.String("report", "", "write the end-of-run JSON run report (including the what-if capacity sweep) to this file")
+	var obsCfg obs.CLIConfig
+	obsCfg.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("serve: at least one -source is required")
+	}
+	if *listen == "" {
+		return fmt.Errorf("serve: -listen is required")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("serve: -parallel must be >= 0, got %d", *workers)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("serve: -shards must be >= 1, got %d", *shards)
+	}
+	if *whatifWindow < 1 {
+		return fmt.Errorf("serve: -whatif-window must be >= 1, got %d", *whatifWindow)
+	}
+	if *resume && *checkpointPath == "" {
+		return fmt.Errorf("serve: -resume requires -checkpoint")
+	}
+	if *intakeTCPAddrFile != "" && *intakeTCP == "" {
+		return fmt.Errorf("serve: -intake-tcp-addr-file requires -intake-tcp")
+	}
+	ingestMode, err := stream.ParseMode(*mode)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	// Serve always runs its telemetry surface, so the registry is
+	// always wanted.
+	obsCfg.WantRegistry = true
+	osess, err := obsCfg.Start(obs.SystemClock(), os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := osess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	ctx := osess.Context(context.Background())
+
+	spec := *faultSpec
+	if spec == "" {
+		spec = os.Getenv("FULLWEB_FAULTS")
+	}
+	var faults *faultpoint.Set
+	if spec != "" {
+		if faults, err = faultpoint.Parse(spec); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		ctx = faultpoint.With(ctx, faults)
+	}
+
+	// Load the checkpoint before touching any output state: a corrupt
+	// or mismatched checkpoint must abort with everything untouched.
+	var cp *stream.Checkpoint
+	if *resume {
+		if cp, err = stream.LoadCheckpoint(*checkpointPath); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			if cerr := c.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}()
+	var quarantine io.Writer
+	if *quarantinePath != "" {
+		var offset int64
+		if cp != nil {
+			offset = cp.QuarantineOffset()
+		}
+		qf, qerr := openQuarantine(*quarantinePath, offset)
+		if qerr != nil {
+			return fmt.Errorf("serve: %w", qerr)
+		}
+		closers = append(closers, qf)
+		quarantine = qf
+	}
+
+	cfg := stream.DefaultConfig()
+	cfg.Threshold = *threshold
+	cfg.SnapshotEvery = *snapshotEvery
+	cfg.Workers = *workers
+	cfg.Shards = *shards
+	cfg.ReservoirCap = *reservoir
+	cfg.QuantileCap = *quantileCap
+	cfg.Seed = *seed
+	cfg.Chunk = weblog.ChunkConfig{Lines: *chunkLines, Window: *chunkWindow, MaxFieldBytes: *maxFieldBytes}
+	cfg.Mode = ingestMode
+	cfg.Budget = stream.Budget{MaxRejects: *maxRejects, MaxRejectRate: *maxRejectRate, MaxClamped: *maxClamped}
+	cfg.Quarantine = quarantine
+	cfg.CheckpointPath = *checkpointPath
+	cfg.Metrics = osess.Metrics
+	cfg.ArrivalWindow = *whatifWindow
+
+	hcfg := telemetry.HealthConfig{
+		Mode:             ingestMode,
+		Budget:           cfg.Budget,
+		ChunkWindow:      *chunkWindow,
+		Checkpointing:    *checkpointPath != "",
+		SourceStaleAfter: *staleAfter,
+	}
+	if *quarantinePath != "" {
+		hcfg.MaxQuarantineRate = defaultMaxQuarantineRate
+	}
+
+	srv, err := serve.New(serve.Config{
+		Sources:     sources,
+		BufferBytes: *bufferBytes,
+		WantTCP:     *intakeTCP != "",
+		Engine:      cfg,
+		Checkpoint:  cp,
+		Health:      hcfg,
+		Clock:       obs.SystemClock(),
+		Log:         os.Stderr,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	ln, lerr := net.Listen("tcp", *listen)
+	if lerr != nil {
+		return fmt.Errorf("serve: HTTP listener: %w", lerr)
+	}
+	srv.StartHTTP(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "serve: intake http://%s/ingest?source=<id>  whatif http://%s/whatif\n", ln.Addr(), ln.Addr())
+	if *listenAddrFile != "" {
+		if werr := os.WriteFile(*listenAddrFile, []byte(ln.Addr().String()+"\n"), 0o644); werr != nil {
+			return fmt.Errorf("serve: writing -listen-addr-file: %w", werr)
+		}
+	}
+	if *intakeTCP != "" {
+		tln, terr := net.Listen("tcp", *intakeTCP)
+		if terr != nil {
+			return fmt.Errorf("serve: TCP intake listener: %w", terr)
+		}
+		srv.StartTCP(tln)
+		fmt.Fprintf(os.Stderr, "serve: raw TCP intake on %s\n", tln.Addr())
+		if *intakeTCPAddrFile != "" {
+			if werr := os.WriteFile(*intakeTCPAddrFile, []byte(tln.Addr().String()+"\n"), 0o644); werr != nil {
+				return fmt.Errorf("serve: writing -intake-tcp-addr-file: %w", werr)
+			}
+		}
+	}
+
+	// Graceful drain on SIGTERM/SIGINT: listeners close, whatever
+	// arrived folds in source order, the final snapshot prints, the
+	// process exits 0.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigCh)
+	//lint:allow rawgo signal-to-drain relay, one goroutine for the process lifetime
+	go func() {
+		if _, ok := <-sigCh; ok {
+			fmt.Fprintln(os.Stderr, "serve: draining (listeners closed, folding buffered input)")
+			srv.Drain()
+		}
+	}()
+
+	shardNote := ""
+	if *shards > 1 {
+		shardNote = fmt.Sprintf(", %d shards", *shards)
+	}
+	fmt.Fprintf(out, "serving %s (threshold %v, %s, %s mode%s)\n",
+		strings.Join(sources, ", "), *threshold, snapshotLabel(*snapshotEvery), ingestMode, shardNote)
+	if cp != nil {
+		fmt.Fprintf(out, "resumed from %s (skipping %d already-processed lines)\n", *checkpointPath, cp.SkipLines())
+	}
+	fmt.Fprintln(out)
+
+	final, perr := srv.Run(ctx, func(s *stream.Snapshot) error {
+		return s.Render(out)
+	})
+	if perr == nil {
+		perr = final.Render(out)
+	}
+	for _, st := range faults.Stats() {
+		fmt.Fprintf(out, "fault site %s: hits=%d fires=%d\n", st.Site, st.Hits, st.Fires)
+	}
+	if perr == nil && *reportPath != "" {
+		totals, chars, verdict := telemetry.StreamReportParts(final)
+		rep := &telemetry.RunReport{
+			Tool:            "serve",
+			Inputs:          sources,
+			Config:          cfg.Fingerprint(),
+			Totals:          totals,
+			Ingest:          final.Ingest,
+			Verdict:         verdict,
+			Characteristics: chars,
+			Faults:          faults.Stats(),
+			Obs:             osess.Metrics.Snapshot(),
+		}
+		if sweep := serve.WhatIfSweep(srv.Holder()); len(sweep) > 0 {
+			rep.WhatIf = sweep
+		}
+		if werr := rep.WriteFile(*reportPath); werr != nil {
+			return fmt.Errorf("serve: %w", werr)
+		}
+		fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportPath)
+	}
+	return perr
+}

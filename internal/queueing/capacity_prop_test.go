@@ -1,0 +1,162 @@
+package queueing_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fullweb/internal/dist"
+	"fullweb/internal/fgn"
+	"fullweb/internal/queueing"
+)
+
+// poissonSeries bins a Poisson arrival process into a per-second
+// counting series — the short-range-dependent reference workload.
+func poissonSeries(t *testing.T, lambda float64, n int, seed int64) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	times, err := dist.PoissonProcess(rng, lambda, float64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, n)
+	for _, at := range times {
+		if i := int(at); i >= 0 && i < n {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// lrdSeries builds a nonnegative long-range-dependent arrival series
+// from fractional Gaussian noise at Hurst h — the workload class the
+// paper shows real request arrivals belong to.
+func lrdSeries(t *testing.T, h, mean, sigma float64, n int, seed int64) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := fgn.Generate(rng, h, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, n)
+	for i, v := range g {
+		out[i] = math.Max(0, mean+sigma*v)
+	}
+	return out
+}
+
+// scaleSeries returns the series multiplied by k.
+func scaleSeries(s []float64, k float64) []float64 {
+	out := make([]float64, len(s))
+	for i, v := range s {
+		out[i] = v * k
+	}
+	return out
+}
+
+// TestFluidQueueMonotoneInCapacity is the capacity-sweep property
+// behind the what-if endpoint: on both Poisson and LRD arrival series,
+// every backlog statistic is monotone non-increasing as capacity
+// grows. The property is exact (the fluid recursion is pointwise
+// monotone in capacity), so the comparisons are strict inequalities on
+// floats, no tolerance.
+func TestFluidQueueMonotoneInCapacity(t *testing.T) {
+	const n = 4096
+	for _, tc := range []struct {
+		name   string
+		series []float64
+	}{
+		{"poisson", poissonSeries(t, 5, n, 1)},
+		{"lrd-h0.8", lrdSeries(t, 0.8, 5, 2, n, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mean := 0.0
+			for _, v := range tc.series {
+				mean += v
+			}
+			mean /= float64(len(tc.series))
+			prev := queueing.FluidResult{MeanBacklog: math.Inf(1), P99Backlog: math.Inf(1), MaxBacklog: math.Inf(1), BusyFraction: math.Inf(1)}
+			for _, factor := range []float64{0.5, 0.8, 0.95, 1.0, 1.05, 1.25, 1.5, 2, 4} {
+				res, err := queueing.FluidQueue(tc.series, factor*mean)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.MeanBacklog > prev.MeanBacklog {
+					t.Errorf("capacity %.2f×mean: mean backlog rose %v -> %v", factor, prev.MeanBacklog, res.MeanBacklog)
+				}
+				if res.P99Backlog > prev.P99Backlog {
+					t.Errorf("capacity %.2f×mean: p99 backlog rose %v -> %v", factor, prev.P99Backlog, res.P99Backlog)
+				}
+				if res.MaxBacklog > prev.MaxBacklog {
+					t.Errorf("capacity %.2f×mean: max backlog rose %v -> %v", factor, prev.MaxBacklog, res.MaxBacklog)
+				}
+				if res.BusyFraction > prev.BusyFraction {
+					t.Errorf("capacity %.2f×mean: busy fraction rose %v -> %v", factor, prev.BusyFraction, res.BusyFraction)
+				}
+				prev = res
+			}
+		})
+	}
+}
+
+// TestFluidQueueMonotoneInScale: at fixed capacity, scaling the
+// arrival series up (the what-if K) never decreases any backlog
+// statistic — again exact, pointwise.
+func TestFluidQueueMonotoneInScale(t *testing.T) {
+	const n = 4096
+	for _, tc := range []struct {
+		name   string
+		series []float64
+	}{
+		{"poisson", poissonSeries(t, 5, n, 3)},
+		{"lrd-h0.8", lrdSeries(t, 0.8, 5, 2, n, 4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			capacity := 8.0
+			prev := queueing.FluidResult{MeanBacklog: -1, P99Backlog: -1, MaxBacklog: -1, BusyFraction: -1}
+			for _, k := range []float64{0.25, 0.5, 1, 1.5, 2, 3, 5} {
+				res, err := queueing.FluidQueue(scaleSeries(tc.series, k), capacity)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.MeanBacklog < prev.MeanBacklog {
+					t.Errorf("scale %v: mean backlog fell %v -> %v", k, prev.MeanBacklog, res.MeanBacklog)
+				}
+				if res.P99Backlog < prev.P99Backlog {
+					t.Errorf("scale %v: p99 backlog fell %v -> %v", k, prev.P99Backlog, res.P99Backlog)
+				}
+				if res.MaxBacklog < prev.MaxBacklog {
+					t.Errorf("scale %v: max backlog fell %v -> %v", k, prev.MaxBacklog, res.MaxBacklog)
+				}
+				if res.BusyFraction < prev.BusyFraction {
+					t.Errorf("scale %v: busy fraction fell %v -> %v", k, prev.BusyFraction, res.BusyFraction)
+				}
+				prev = res
+			}
+		})
+	}
+}
+
+// TestMMCMonotoneInServers: splitting a FIXED total capacity c·mu
+// across more servers never reduces the wait probability below a
+// single fast server's (resource-pooling direction), and adding
+// servers at fixed per-server rate strictly reduces waiting.
+func TestMMCMonotoneInServers(t *testing.T) {
+	lambda := 8.0
+	mu := 1.0
+	prevWait := math.Inf(1)
+	for servers := 9; servers <= 40; servers += 3 {
+		q, err := queueing.NewMMC(lambda, mu, servers)
+		if err != nil {
+			t.Fatalf("servers=%d: %v", servers, err)
+		}
+		wait := q.ErlangC()
+		if wait > prevWait {
+			t.Errorf("servers=%d: wait probability rose %v -> %v", servers, prevWait, wait)
+		}
+		if wait < 0 || wait > 1 {
+			t.Errorf("servers=%d: wait probability %v outside [0,1]", servers, wait)
+		}
+		prevWait = wait
+	}
+}

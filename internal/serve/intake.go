@@ -1,0 +1,244 @@
+// The multi-source intake queue: bounded per-source byte buffers with
+// a declared fold order, reassembled into one io.Reader for the stream
+// engine. Source order is the determinism anchor (DESIGN.md §15): the
+// first incomplete source streams into the engine while later sources
+// buffer, so the engine always reads exactly the concatenation of the
+// per-source byte streams in declared order — byte-for-byte the file
+// `cat source1 source2 ...` would produce, regardless of how the
+// deliveries interleave on the wire.
+
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"fullweb/internal/obs"
+	"fullweb/internal/telemetry"
+)
+
+var (
+	// ErrBufferFull is returned by a non-blocking append when the
+	// source's buffer cannot take the delivery — the HTTP 429 signal.
+	ErrBufferFull = errors.New("serve: source buffer full")
+	// ErrUnknownSource is returned for a source ID that was not
+	// declared at startup.
+	ErrUnknownSource = errors.New("serve: unknown source")
+	// ErrSourceComplete is returned for a delivery to a completed
+	// source.
+	ErrSourceComplete = errors.New("serve: source already complete")
+	// ErrDraining is returned for deliveries after shutdown began.
+	ErrDraining = errors.New("serve: intake draining")
+	// ErrOversizedDelivery is returned for a single delivery larger
+	// than the per-source buffer — it could never be accepted whole.
+	ErrOversizedDelivery = errors.New("serve: delivery exceeds per-source buffer")
+)
+
+// source is one registered intake source: its undrained buffer and
+// accounting. All fields are guarded by the intake mutex.
+type source struct {
+	name     string
+	buf      []byte // undrained bytes (drained from the front by Read)
+	off      int    // read offset into buf
+	bytes    int64  // total bytes accepted
+	lines    int64  // total newlines accepted
+	requests int64  // accepted deliveries (HTTP bodies / TCP reads)
+	complete bool
+	lastAt   time.Time
+}
+
+// buffered is the source's current undrained byte count.
+func (s *source) buffered() int64 { return int64(len(s.buf) - s.off) }
+
+// intake is the bounded multi-source buffer feeding the engine. One
+// goroutine (the engine fold loop) reads; any number of connection
+// goroutines append. Implements io.Reader: Read serves the active
+// source's bytes in order, advances to the next source when the active
+// one completes and drains, and returns io.EOF once every source is
+// complete and empty.
+type intake struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	sources  []*source
+	byName   map[string]*source
+	active   int
+	bufCap   int64
+	clock    obs.Clock
+	holder   *telemetry.Holder
+	draining bool
+}
+
+// newIntake builds the queue over the declared sources in fold order.
+func newIntake(names []string, bufCap int64, clock obs.Clock, holder *telemetry.Holder) (*intake, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("serve: at least one source is required")
+	}
+	if bufCap <= 0 {
+		return nil, fmt.Errorf("serve: buffer capacity must be positive, got %d", bufCap)
+	}
+	in := &intake{
+		byName: make(map[string]*source, len(names)),
+		bufCap: bufCap,
+		clock:  clock,
+		holder: holder,
+	}
+	in.cond = sync.NewCond(&in.mu)
+	now := clock.Now()
+	for _, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("serve: empty source name")
+		}
+		if _, dup := in.byName[name]; dup {
+			return nil, fmt.Errorf("serve: duplicate source %q", name)
+		}
+		src := &source{name: name, lastAt: now}
+		in.sources = append(in.sources, src)
+		in.byName[name] = src
+	}
+	in.mu.Lock()
+	in.publishLocked()
+	in.mu.Unlock()
+	return in, nil
+}
+
+// append accepts one delivery for a source, atomically: either the
+// whole delivery is buffered or nothing is. With wait set (TCP
+// pushback) a full buffer blocks until the engine drains space or the
+// intake starts draining; without it (HTTP) a full buffer returns
+// ErrBufferFull for the handler's 429.
+func (in *intake) append(name string, data []byte, wait bool) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	src, ok := in.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSource, name)
+	}
+	if int64(len(data)) > in.bufCap {
+		return fmt.Errorf("%w: %d bytes, buffer %d", ErrOversizedDelivery, len(data), in.bufCap)
+	}
+	for {
+		if in.draining {
+			return ErrDraining
+		}
+		if src.complete {
+			return fmt.Errorf("%w: %q", ErrSourceComplete, name)
+		}
+		if src.buffered()+int64(len(data)) <= in.bufCap {
+			break
+		}
+		if !wait {
+			return fmt.Errorf("%w: %q at %d of %d bytes", ErrBufferFull, name, src.buffered(), in.bufCap)
+		}
+		in.cond.Wait()
+	}
+	if src.off > 0 && src.off == len(src.buf) {
+		src.buf = src.buf[:0]
+		src.off = 0
+	}
+	src.buf = append(src.buf, data...)
+	src.bytes += int64(len(data))
+	src.requests++
+	for _, b := range data {
+		if b == '\n' {
+			src.lines++
+		}
+	}
+	src.lastAt = in.clock.Now()
+	in.publishLocked()
+	in.cond.Broadcast()
+	return nil
+}
+
+// completeSource marks a source finished. Idempotent: completing a
+// completed source is a no-op, so delivery retries are safe.
+func (in *intake) completeSource(name string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	src, ok := in.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSource, name)
+	}
+	if src.complete {
+		return nil
+	}
+	src.complete = true
+	src.lastAt = in.clock.Now()
+	in.publishLocked()
+	in.cond.Broadcast()
+	return nil
+}
+
+// drain begins shutdown: every source is treated as complete (whatever
+// arrived is folded, in order) and all future deliveries are refused.
+func (in *intake) drain() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.draining = true
+	in.publishLocked()
+	in.cond.Broadcast()
+}
+
+// Read implements io.Reader for the engine's fold loop: it serves the
+// active source's buffered bytes, advances past completed-and-empty
+// sources in declared order, blocks while the active source is open
+// but empty, and returns io.EOF once every source is drained.
+func (in *intake) Read(p []byte) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for {
+		if in.active >= len(in.sources) {
+			return 0, io.EOF
+		}
+		src := in.sources[in.active]
+		if src.buffered() > 0 {
+			n := copy(p, src.buf[src.off:])
+			src.off += n
+			if src.off == len(src.buf) {
+				src.buf = src.buf[:0]
+				src.off = 0
+			}
+			in.publishLocked()
+			// Space freed: wake any TCP appender blocked on a full
+			// buffer.
+			in.cond.Broadcast()
+			return n, nil
+		}
+		if src.complete || in.draining {
+			in.active++
+			in.publishLocked()
+			continue
+		}
+		in.cond.Wait()
+	}
+}
+
+// publishLocked hands a copy-on-publish intake view to the holder.
+// Caller holds the intake mutex, which also serializes the holder's
+// intake sequence numbering.
+func (in *intake) publishLocked() {
+	if in.holder == nil {
+		return
+	}
+	st := telemetry.IntakeStats{
+		Sources:   make([]telemetry.IntakeSource, 0, len(in.sources)),
+		Active:    in.active,
+		BufferCap: in.bufCap,
+		Draining:  in.draining,
+	}
+	for _, src := range in.sources {
+		st.Sources = append(st.Sources, telemetry.IntakeSource{
+			Name:     src.name,
+			Bytes:    src.bytes,
+			Lines:    src.lines,
+			Requests: src.requests,
+			Buffered: src.buffered(),
+			Complete: src.complete,
+			LastAt:   src.lastAt,
+		})
+	}
+	in.holder.PublishIntake(st)
+}

@@ -1,0 +1,295 @@
+// The online what-if layer: GET /whatif answers "what happens to this
+// workload at K× the load against capacity C" by feeding the engine's
+// published arrival series into the trace-driven fluid queue, the
+// M/M/c waiting model and the Erlang-B session-loss system
+// (DESIGN.md §15). Every input is a copy-on-publish value read from
+// the holder — a what-if query never touches live engine state, and
+// recomputing it offline from the same published series reproduces the
+// answer exactly.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"fullweb/internal/admission"
+	"fullweb/internal/core"
+	"fullweb/internal/queueing"
+	"fullweb/internal/telemetry"
+)
+
+// ErrNoArrivals is returned when no arrival series has been published
+// yet — the what-if layer has nothing to compute from.
+var ErrNoArrivals = errors.New("serve: no arrival series published yet")
+
+// WhatIfQuery parameterizes one what-if evaluation.
+type WhatIfQuery struct {
+	// Scale multiplies the observed arrival series (K in "what if load
+	// were K×"); must be positive.
+	Scale float64 `json:"scale"`
+	// Capacity is the service capacity in requests per second shared by
+	// Servers; must be positive.
+	Capacity float64 `json:"capacity"`
+	// Servers splits Capacity into c equal servers for the M/M/c view;
+	// 0 means 1.
+	Servers int `json:"servers"`
+	// Slots, when positive, adds the Erlang-B session-loss view: the
+	// blocking probability with Slots concurrent-session slots.
+	Slots int `json:"slots,omitempty"`
+}
+
+// WhatIfMMC is the M/M/c portion of a what-if answer.
+type WhatIfMMC struct {
+	// Lambda and Mu are the scaled arrival rate and per-server service
+	// rate the model was built with.
+	Lambda float64 `json:"lambda"`
+	Mu     float64 `json:"mu"`
+	// WaitProb is the Erlang-C probability an arrival waits; MeanWait
+	// the mean queueing delay in seconds; MeanQueue the mean number
+	// waiting.
+	WaitProb  float64 `json:"wait_prob"`
+	MeanWait  float64 `json:"mean_wait_seconds"`
+	MeanQueue float64 `json:"mean_queue"`
+}
+
+// WhatIfBlocking is the Erlang-B session-loss portion of a what-if
+// answer (present only when the query asked for Slots and the engine
+// has a session-length estimate).
+type WhatIfBlocking struct {
+	// OfferedLoad is scaled session arrival rate × mean session length,
+	// in erlangs.
+	OfferedLoad float64 `json:"offered_load_erlangs"`
+	Slots       int     `json:"slots"`
+	// BlockProb is the Erlang-B blocking probability — exact for ANY
+	// session-length distribution with this mean (insensitivity).
+	BlockProb float64 `json:"block_prob"`
+}
+
+// WhatIfResult is one complete what-if answer, stamped with the
+// sequence numbers of the publications it derives from.
+type WhatIfResult struct {
+	Query WhatIfQuery `json:"query"`
+	// ArrivalsSeq/SnapshotSeq pin the published inputs; WindowSeconds
+	// is the arrival-series length the fluid replay covered.
+	ArrivalsSeq   int64 `json:"arrivals_seq"`
+	SnapshotSeq   int64 `json:"snapshot_seq,omitempty"`
+	WindowSeconds int   `json:"window_seconds"`
+	// MeanRequestRate and MeanSessionRate are the observed (unscaled)
+	// per-second means over the window.
+	MeanRequestRate float64 `json:"mean_request_rate"`
+	MeanSessionRate float64 `json:"mean_session_rate"`
+	// Utilization is scaled offered load over capacity.
+	Utilization float64 `json:"utilization"`
+	// Fluid is the trace-driven replay of the scaled series — the
+	// distribution-free view that remains honest under LRD arrivals.
+	Fluid queueing.FluidResult `json:"fluid"`
+	// Unstable is set when scaled load meets or exceeds capacity; the
+	// MMC view is then absent (no stationary distribution exists).
+	Unstable bool       `json:"unstable"`
+	MMC      *WhatIfMMC `json:"mmc,omitempty"`
+	// Blocking is the session-loss view; BlockingNote explains its
+	// absence when it could not be computed.
+	Blocking     *WhatIfBlocking `json:"blocking,omitempty"`
+	BlockingNote string          `json:"blocking_note,omitempty"`
+}
+
+// ComputeWhatIf evaluates one what-if query against the holder's
+// latest published arrival series and snapshot. It reads only
+// copy-on-publish values; calling it twice against the same
+// publications returns identical answers.
+func ComputeWhatIf(h *telemetry.Holder, q WhatIfQuery) (*WhatIfResult, error) {
+	if q.Scale <= 0 {
+		return nil, fmt.Errorf("serve: what-if scale must be positive, got %v", q.Scale)
+	}
+	if q.Capacity <= 0 {
+		return nil, fmt.Errorf("serve: what-if capacity must be positive, got %v", q.Capacity)
+	}
+	if q.Servers == 0 {
+		q.Servers = 1
+	}
+	if q.Servers < 0 {
+		return nil, fmt.Errorf("serve: what-if servers must be positive, got %d", q.Servers)
+	}
+	pub, ok := h.LatestArrivals()
+	if !ok || pub.Series == nil || len(pub.Series.Requests) == 0 {
+		return nil, ErrNoArrivals
+	}
+	series := pub.Series
+	scaled := make([]float64, len(series.Requests))
+	for i, v := range series.Requests {
+		scaled[i] = v * q.Scale
+	}
+	fluid, err := queueing.FluidQueue(scaled, q.Capacity)
+	if err != nil {
+		return nil, fmt.Errorf("serve: what-if fluid replay: %w", err)
+	}
+	meanReq, meanSess := series.MeanRates()
+	res := &WhatIfResult{
+		Query:           q,
+		ArrivalsSeq:     pub.Seq,
+		WindowSeconds:   series.Seconds(),
+		MeanRequestRate: meanReq,
+		MeanSessionRate: meanSess,
+		Utilization:     q.Scale * meanReq / q.Capacity,
+		Fluid:           fluid,
+	}
+
+	lambda := q.Scale * meanReq
+	mu := q.Capacity / float64(q.Servers)
+	if mmc, merr := queueing.NewMMC(lambda, mu, q.Servers); merr == nil {
+		res.MMC = &WhatIfMMC{
+			Lambda:    lambda,
+			Mu:        mu,
+			WaitProb:  mmc.ErlangC(),
+			MeanWait:  mmc.MeanWait(),
+			MeanQueue: mmc.MeanQueueLength(),
+		}
+	} else if errors.Is(merr, queueing.ErrUnstable) {
+		res.Unstable = true
+	} else {
+		return nil, fmt.Errorf("serve: what-if M/M/c: %w", merr)
+	}
+
+	if q.Slots > 0 {
+		res.blockingFrom(h, q)
+	}
+	return res, nil
+}
+
+// blockingFrom fills the Erlang-B session-loss view from the latest
+// published snapshot's session-length estimate, recording a note
+// instead when the estimate is unavailable.
+func (r *WhatIfResult) blockingFrom(h *telemetry.Holder, q WhatIfQuery) {
+	snap, ok := h.LatestSnapshot()
+	if !ok || snap.Snapshot == nil {
+		r.BlockingNote = "no snapshot published yet (session-length estimate unavailable)"
+		return
+	}
+	r.SnapshotSeq = snap.Seq
+	meanLen := 0.0
+	for _, c := range snap.Snapshot.Chars {
+		if c.Name == core.CharSessionLength && c.N > 0 {
+			meanLen = c.Mean
+			break
+		}
+	}
+	if meanLen <= 0 {
+		r.BlockingNote = "no finalized sessions in snapshot (session-length estimate unavailable)"
+		return
+	}
+	offered := q.Scale * r.MeanSessionRate * meanLen
+	if offered <= 0 {
+		r.BlockingNote = "no session arrivals observed in window"
+		return
+	}
+	bp, err := admission.ErlangB(offered, q.Slots)
+	if err != nil {
+		r.BlockingNote = fmt.Sprintf("erlang-b: %v", err)
+		return
+	}
+	r.Blocking = &WhatIfBlocking{OfferedLoad: offered, Slots: q.Slots, BlockProb: bp}
+}
+
+// handleWhatIf is GET /whatif?scale=K&capacity=C[&servers=N][&slots=S]:
+// the online capacity query. 503 before the first arrival publication,
+// 400 on bad parameters.
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "what-if endpoint is GET-only", http.StatusMethodNotAllowed)
+		return
+	}
+	var q WhatIfQuery
+	var err error
+	if q.Scale, err = parseFloatParam(r, "scale", 1); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if q.Capacity, err = parseFloatParam(r, "capacity", 0); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if q.Capacity == 0 {
+		http.Error(w, "missing required ?capacity= (requests per second)", http.StatusBadRequest)
+		return
+	}
+	if q.Servers, err = parseIntParam(r, "servers", 1); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if q.Slots, err = parseIntParam(r, "slots", 0); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := ComputeWhatIf(s.holder, q)
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case errors.Is(err, ErrNoArrivals):
+		writeJSONStatus(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	case err != nil:
+		writeJSONStatus(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, res)
+}
+
+// WhatIfSweep evaluates the standard end-of-run capacity sweep for the
+// run report: scale 1 against capacities at 1.05×, 1.25×, 1.5× and 2×
+// the observed mean request rate. Returns nil when no arrivals were
+// published (empty run).
+func WhatIfSweep(h *telemetry.Holder) []*WhatIfResult {
+	pub, ok := h.LatestArrivals()
+	if !ok || pub.Series == nil || len(pub.Series.Requests) == 0 {
+		return nil
+	}
+	meanReq, _ := pub.Series.MeanRates()
+	if meanReq <= 0 {
+		return nil
+	}
+	var out []*WhatIfResult
+	for _, factor := range []float64{1.05, 1.25, 1.5, 2} {
+		res, err := ComputeWhatIf(h, WhatIfQuery{Scale: 1, Capacity: factor * meanReq, Servers: 1})
+		if err != nil {
+			continue
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func parseFloatParam(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad ?%s=%q: %v", name, raw, err)
+	}
+	return v, nil
+}
+
+func parseIntParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad ?%s=%q: %v", name, raw, err)
+	}
+	return v, nil
+}
+
+// writeJSONStatus writes one indented JSON body with the given status.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

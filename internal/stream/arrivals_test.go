@@ -1,0 +1,226 @@
+package stream_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"fullweb/internal/faultpoint"
+	"fullweb/internal/stream"
+)
+
+// arrivalCapture implements stream.Telemetry and
+// stream.ArrivalPublisher, retaining the latest published values.
+type arrivalCapture struct {
+	series *stream.ArrivalSeries
+	pubs   int
+}
+
+func (c *arrivalCapture) PublishRuntime(stream.RuntimeStats) {}
+func (c *arrivalCapture) PublishSnapshot(*stream.Snapshot)   {}
+func (c *arrivalCapture) PublishArrivals(s *stream.ArrivalSeries) {
+	c.series = s
+	c.pubs++
+}
+
+// runWithArrivals streams text through an engine with the given
+// arrival window, returning the final snapshot and the last published
+// series.
+func runWithArrivals(t *testing.T, window int, text []byte) (*stream.Snapshot, *arrivalCapture) {
+	t.Helper()
+	cap := &arrivalCapture{}
+	cfg := stream.DefaultConfig()
+	cfg.ArrivalWindow = window
+	cfg.Telemetry = cap
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.ProcessCtx(context.Background(), bytes.NewReader(text), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final, cap
+}
+
+// TestArrivalSeriesTotals: with a window covering the whole trace, the
+// published per-second series sums exactly to the engine's request and
+// session totals, and the mean rates match totals over span.
+func TestArrivalSeriesTotals(t *testing.T) {
+	text := fixtureBytes(t)
+	final, cap := runWithArrivals(t, 400_000, text)
+	if cap.series == nil {
+		t.Fatal("no arrival series published")
+	}
+	s := cap.series
+	var reqSum, sessSum float64
+	for _, v := range s.Requests {
+		reqSum += v
+	}
+	for _, v := range s.Sessions {
+		sessSum += v
+	}
+	if int64(reqSum) != final.Records {
+		t.Errorf("series request sum %v, want %d records", reqSum, final.Records)
+	}
+	if int64(sessSum) != final.SessionsOpened {
+		t.Errorf("series session sum %v, want %d opened sessions", sessSum, final.SessionsOpened)
+	}
+	meanReq, meanSess := s.MeanRates()
+	if want := reqSum / float64(s.Seconds()); meanReq != want {
+		t.Errorf("mean request rate %v, want %v", meanReq, want)
+	}
+	if want := sessSum / float64(s.Seconds()); meanSess != want {
+		t.Errorf("mean session rate %v, want %v", meanSess, want)
+	}
+	if cap.pubs == 0 {
+		t.Error("no periodic arrival publications")
+	}
+}
+
+// TestArrivalWindowTrims: a window shorter than the trace span keeps
+// exactly the trailing window.
+func TestArrivalWindowTrims(t *testing.T) {
+	text := fixtureBytes(t)
+	fullFinal, full := runWithArrivals(t, 400_000, text)
+	_, trimmed := runWithArrivals(t, 3600, text)
+	if got := trimmed.series.Seconds(); got > 3600 {
+		t.Fatalf("trimmed series spans %d s, want <= 3600", got)
+	}
+	// The trailing seconds of the full series and the trimmed series
+	// agree, slot for slot.
+	fs, ts := full.series, trimmed.series
+	offset := fs.Seconds() - ts.Seconds()
+	if offset < 0 {
+		t.Fatalf("trimmed series longer than full: %d vs %d", ts.Seconds(), fs.Seconds())
+	}
+	if fs.Start+int64(offset) != ts.Start {
+		t.Fatalf("trimmed start %d, want %d", ts.Start, fs.Start+int64(offset))
+	}
+	for i := range ts.Requests {
+		if ts.Requests[i] != fs.Requests[offset+i] {
+			t.Fatalf("slot %d: trimmed %v, full %v", i, ts.Requests[i], fs.Requests[offset+i])
+		}
+	}
+	_ = fullFinal
+}
+
+// TestArrivalWindowValidation: a negative window is rejected; zero
+// disables the ring entirely.
+func TestArrivalWindowValidation(t *testing.T) {
+	cfg := stream.DefaultConfig()
+	cfg.ArrivalWindow = -1
+	if _, err := stream.NewEngine(cfg); !errors.Is(err, stream.ErrBadConfig) {
+		t.Fatalf("negative window: %v, want ErrBadConfig", err)
+	}
+	cap := &arrivalCapture{}
+	cfg = stream.DefaultConfig()
+	cfg.Telemetry = cap
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ProcessCtx(context.Background(), bytes.NewReader(fixtureBytes(t)), nil); err != nil {
+		t.Fatal(err)
+	}
+	if cap.series != nil || cap.pubs != 0 {
+		t.Fatal("window 0 still published an arrival series")
+	}
+}
+
+// TestArrivalCheckpointRoundTrip: crash at an injected fault, resume
+// from the checkpoint, and the final published arrival series is
+// identical to the uninterrupted run's — the ring state is part of the
+// checkpoint.
+func TestArrivalCheckpointRoundTrip(t *testing.T) {
+	text := fixtureBytes(t)
+	const window = 7200
+
+	base := func() stream.Config {
+		cfg := stream.DefaultConfig()
+		cfg.SnapshotEvery = 4 * time.Hour
+		cfg.Chunk.Lines = 64
+		cfg.ArrivalWindow = window
+		return cfg
+	}
+
+	wantCap := &arrivalCapture{}
+	cfg := base()
+	cfg.Telemetry = wantCap
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ProcessCtx(context.Background(), bytes.NewReader(text), nil); err != nil {
+		t.Fatal(err)
+	}
+	if wantCap.series == nil {
+		t.Fatal("baseline run published no arrival series")
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "arr.ckpt")
+	crashCfg := base()
+	crashCfg.CheckpointPath = ckpt
+	crashed, err := stream.NewEngine(crashCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, perr := crashed.ProcessCtx(faultCtx(t, "stream.fold=hit:20"), bytes.NewReader(text), nil)
+	if perr == nil || !faultpoint.IsFault(perr) {
+		t.Fatalf("crashed run did not die on the injected fault: %v", perr)
+	}
+
+	cp, err := stream.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCap := &arrivalCapture{}
+	resumeCfg := base()
+	resumeCfg.CheckpointPath = ckpt
+	resumeCfg.Telemetry = gotCap
+	resumed, err := stream.ResumeEngine(resumeCfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.ProcessCtx(context.Background(), bytes.NewReader(text), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCap.series, wantCap.series) {
+		t.Errorf("resumed arrival series differs from uninterrupted run:\ngot  %+v\nwant %+v", gotCap.series, wantCap.series)
+	}
+}
+
+// TestArrivalWindowFingerprint: the arrival window is part of the
+// resume-compatibility fingerprint — a checkpoint taken at one window
+// must not resume under another.
+func TestArrivalWindowFingerprint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fp.ckpt")
+	cfg := stream.DefaultConfig()
+	cfg.SnapshotEvery = 4 * time.Hour
+	cfg.ArrivalWindow = 3600
+	cfg.CheckpointPath = ckpt
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ProcessCtx(context.Background(), bytes.NewReader(fixtureBytes(t)), nil); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := stream.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.ArrivalWindow = 7200
+	if _, err := stream.ResumeEngine(other, cp); err == nil {
+		t.Fatal("resume with a different arrival window was accepted")
+	}
+	same := cfg
+	if _, err := stream.ResumeEngine(same, cp); err != nil {
+		t.Fatalf("resume with the same arrival window failed: %v", err)
+	}
+}

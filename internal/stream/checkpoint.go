@@ -34,9 +34,12 @@ import (
 // v2: per-shard state layout (Shards []shardCheckpoint), mergeable
 // quantile sketch replacing the three P² marker sets, and the Shards /
 // QuantileCap fingerprint fields.
+//
+// v3: the optional arrival-ring state (Arrivals) and the ArrivalWindow
+// fingerprint field behind the serve-mode what-if layer.
 const (
 	checkpointMagic   = "fullweb-checkpoint"
-	checkpointVersion = 2
+	checkpointVersion = 3
 )
 
 // ConfigFingerprint is the engine-config fingerprint embedded in
@@ -59,6 +62,7 @@ type ConfigFingerprint struct {
 	Mode             string        `json:"mode"`
 	Budget           Budget        `json:"budget"`
 	MaxFieldBytes    int           `json:"max_field_bytes"`
+	ArrivalWindow    int           `json:"arrival_window"`
 }
 
 // Fingerprint derives the resume-compatibility fingerprint of the
@@ -86,6 +90,7 @@ func fingerprint(cfg Config) ConfigFingerprint {
 		Mode:             cfg.Mode.String(),
 		Budget:           cfg.Budget,
 		MaxFieldBytes:    cfg.Chunk.MaxFieldBytes,
+		ArrivalWindow:    cfg.ArrivalWindow,
 	}
 }
 
@@ -153,6 +158,7 @@ type engineState struct {
 	Ingest           IngestStats       `json:"ingest"`
 	ReqArr           secondState       `json:"req_arr"`
 	SessArr          secondState       `json:"sess_arr"`
+	Arrivals         *arrivalState     `json:"arrivals,omitempty"`
 	Shards           []shardCheckpoint `json:"shards"`
 }
 
@@ -185,6 +191,10 @@ func (e *Engine) state() engineState {
 		Ingest:       e.ingest.detached(),
 		ReqArr:       e.reqArr.state(),
 		SessArr:      e.sessArr.state(),
+	}
+	if e.arrivals != nil {
+		ast := e.arrivals.state()
+		st.Arrivals = &ast
 	}
 	if e.quar != nil {
 		st.QuarantineOffset = e.quar.N
@@ -336,6 +346,13 @@ func ResumeEngine(cfg Config, cp *Checkpoint) (*Engine, error) {
 	}
 	if err := e.sessArr.restore(st.SessArr); err != nil {
 		return nil, fmt.Errorf("stream: restoring session arrivals: %w", err)
+	}
+	// The fingerprint match above guarantees the ring exists exactly
+	// when the checkpoint carries one (ArrivalWindow is part of it).
+	if e.arrivals != nil && st.Arrivals != nil {
+		if err := e.arrivals.restore(*st.Arrivals); err != nil {
+			return nil, err
+		}
 	}
 	for si, sc := range st.Shards {
 		sh := e.shards[si]

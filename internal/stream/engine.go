@@ -107,6 +107,12 @@ type Config struct {
 	// snapshot cadence (written atomically after the chunk that crossed
 	// the boundary, so the file always sits on an exact line boundary).
 	CheckpointPath string
+	// ArrivalWindow, when > 0, maintains a per-second arrival ring over
+	// the most recent ArrivalWindow trace seconds and publishes it
+	// through the Telemetry hook when it implements ArrivalPublisher —
+	// the live series behind `fullweb serve`'s what-if queries. Pure
+	// trace-time state (checkpointed, deterministic); 0 disables it.
+	ArrivalWindow int
 }
 
 // DefaultConfig returns the paper-aligned defaults.
@@ -251,6 +257,12 @@ type Engine struct {
 	// transient observability state, never checkpointed (a resumed run
 	// re-counts from its resume point).
 	tele *engineTelemetry
+
+	// arrivals is the per-second arrival ring behind serve's what-if
+	// layer (nil unless cfg.ArrivalWindow > 0); arrPub is cfg.Telemetry
+	// type-asserted to its optional arrival-publishing extension.
+	arrivals *arrivalRing
+	arrPub   ArrivalPublisher
 }
 
 // shardSeedStride and charSeedStride derive the per-shard,
@@ -299,11 +311,18 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.Budget.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.ArrivalWindow < 0 {
+		return nil, fmt.Errorf("%w: arrival window %d", ErrBadConfig, cfg.ArrivalWindow)
+	}
 	nshards := normalizeShards(cfg.Shards)
 	qcap := normalizeQuantileCap(cfg.QuantileCap)
 	e := &Engine{cfg: cfg, pool: parallel.NewPool(cfg.Workers)}
 	if cfg.Quarantine != nil {
 		e.quar = &weblog.CountingWriter{W: cfg.Quarantine}
+	}
+	if cfg.ArrivalWindow > 0 {
+		e.arrivals = newArrivalRing(cfg.ArrivalWindow)
+		e.arrPub, _ = cfg.Telemetry.(ArrivalPublisher)
 	}
 	e.tele = newEngineTelemetry(cfg.Metrics, nshards)
 	e.pool.Instrument(cfg.Metrics)
@@ -524,6 +543,7 @@ func (e *Engine) ProcessCtx(ctx context.Context, r io.Reader, emit func(*Snapsho
 	}
 	e.snapshots++
 	e.publishSnapshot(final)
+	e.publishArrivals(true)
 	e.publishRuntime()
 	closed := e.closedSessions()
 	sp.SetInt("records", e.records)
@@ -600,7 +620,8 @@ func (e *Engine) observe(ctx context.Context, rec weblog.Record, emit func(*Snap
 	// series would double the tracker cost of every unsharded run.
 	multi := len(e.shards) > 1
 	sec := rec.Time.Unix()
-	if sh.streamer.OpenedTotal() > openedBefore {
+	opened := sh.streamer.OpenedTotal() > openedBefore
+	if opened {
 		e.sessArr.observe(sec)
 		if multi {
 			sh.sessArr.observe(sec)
@@ -609,6 +630,9 @@ func (e *Engine) observe(ctx context.Context, rec weblog.Record, emit func(*Snap
 	e.reqArr.observe(sec)
 	if multi {
 		sh.reqArr.observe(sec)
+	}
+	if e.arrivals != nil {
+		e.arrivals.observe(sec, opened)
 	}
 	e.records++
 	e.bytes += rec.Bytes

@@ -93,6 +93,11 @@ type engineTelemetry struct {
 	chunksFolded       int64
 	checkpoints        int64
 	lastCheckpointLine int64
+	// arrPubLast and arrPubbed throttle arrival-series publication to
+	// once per advanced trace second (transient, like the rest of this
+	// struct: a resumed run republishes from its restored ring).
+	arrPubLast int64
+	arrPubbed  bool
 
 	foldedC      *obs.Counter
 	quarBytes    *obs.Gauge
@@ -108,6 +113,8 @@ func newEngineTelemetry(reg *obs.Registry, shards int) *engineTelemetry {
 		chunksFolded:       0,
 		checkpoints:        0,
 		lastCheckpointLine: 0,
+		arrPubLast:         0,
+		arrPubbed:          false,
 		foldedC:            reg.Counter("stream.chunks_folded"),
 		quarBytes:          reg.Gauge("stream.quarantine_bytes"),
 	}
@@ -147,6 +154,7 @@ func (e *Engine) noteChunkFolded() {
 			e.tele.quarBytes.Set(e.quar.N)
 		}
 	}
+	e.publishArrivals(false)
 	e.publishRuntime()
 }
 
@@ -163,6 +171,24 @@ func (e *Engine) publishRuntime() {
 		return
 	}
 	e.cfg.Telemetry.PublishRuntime(e.runtimeStats())
+}
+
+// publishArrivals hands a detached copy of the arrival ring to the
+// telemetry hook's ArrivalPublisher extension. Chunk-granular like the
+// runtime publication, and additionally throttled to rings whose trace
+// second advanced since the last publication (at most one copy per
+// trace second); force bypasses the throttle for the end-of-stream
+// publication.
+func (e *Engine) publishArrivals(force bool) {
+	if e.arrivals == nil || e.arrPub == nil || !e.arrivals.started {
+		return
+	}
+	if !force && e.tele.arrPubbed && e.tele.arrPubLast == e.arrivals.last {
+		return
+	}
+	e.tele.arrPubbed = true
+	e.tele.arrPubLast = e.arrivals.last
+	e.arrPub.PublishArrivals(e.arrivals.series())
 }
 
 // publishSnapshot hands one assembled snapshot to the telemetry hook.

@@ -18,6 +18,13 @@ const (
 	// budgetWarnFraction warns when any error-budget dimension has
 	// burned this fraction of its allowance.
 	budgetWarnFraction = 0.8
+	// DefaultSourceStaleAfter is the intake source-staleness bound: an
+	// incomplete source silent longer than this draws a warning.
+	DefaultSourceStaleAfter = 2 * time.Minute
+	// intakeBufferWarnFraction warns when any source's intake buffer
+	// occupancy reaches this fraction of the per-source cap; a
+	// completely full buffer fails.
+	intakeBufferWarnFraction = 0.8
 )
 
 // RuleResult is one health rule's verdict: status "ok", "warn" or
@@ -62,6 +69,12 @@ type HealthConfig struct {
 	// means the chunk window (the parser cannot run further ahead than
 	// its backpressure bound, so exceeding it means accounting broke).
 	MaxFoldLag int64
+	// Intake enables the serve-mode intake rules (source staleness,
+	// buffer occupancy), appended after the five stream rules in the
+	// fixed order. Off for `fullweb stream`, which has no intake.
+	Intake bool
+	// SourceStaleAfter overrides DefaultSourceStaleAfter.
+	SourceStaleAfter time.Duration
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -73,6 +86,9 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	}
 	if c.MaxFoldLag <= 0 {
 		c.MaxFoldLag = int64(c.ChunkWindow)
+	}
+	if c.SourceStaleAfter <= 0 {
+		c.SourceStaleAfter = DefaultSourceStaleAfter
 	}
 	return c
 }
@@ -95,7 +111,8 @@ func NewHealth(cfg HealthConfig, holder *Holder, reg *obs.Registry, clock obs.Cl
 
 // Evaluate runs every rule, in the fixed order of the DESIGN.md §14
 // table: ingest-budget, backpressure, fold-lag, checkpoint,
-// quarantine.
+// quarantine — then, in serve mode (cfg.Intake), source-staleness and
+// intake-buffer (DESIGN.md §15).
 func (h *Health) Evaluate() HealthReport {
 	cur, prev, ready := h.holder.LatestRuntime()
 	rep := HealthReport{Healthy: true, Ready: ready}
@@ -105,6 +122,12 @@ func (h *Health) Evaluate() HealthReport {
 		h.ruleFoldLag(),
 		h.ruleCheckpoint(ready),
 		h.ruleQuarantine(cur, prev, ready),
+	}
+	if h.cfg.Intake {
+		rep.Rules = append(rep.Rules,
+			h.ruleSourceStaleness(),
+			h.ruleIntakeBuffer(),
+		)
 	}
 	for _, r := range rep.Rules {
 		if r.Status == "fail" {
@@ -268,6 +291,82 @@ func (h *Health) ruleQuarantine(cur PublishedRuntime, prev *PublishedRuntime, re
 		r.Detail = fmt.Sprintf("quarantine flooding: %.0f B/s exceeds twice the bound %.0f B/s", rate, h.cfg.MaxQuarantineRate)
 	case rate > h.cfg.MaxQuarantineRate:
 		r.Status = "warn"
+	}
+	return r
+}
+
+// ruleSourceStaleness warns when any registered incomplete source has
+// delivered nothing for strictly longer than the staleness bound —
+// exactly at the bound is still fresh. Completed sources never age,
+// and a draining intake is force-completing everything, so neither
+// draws a warning. Staleness never fails: a silent source may simply
+// be done without having said so.
+func (h *Health) ruleSourceStaleness() RuleResult {
+	r := RuleResult{Rule: "source-staleness", Status: "ok"}
+	pub, ok := h.holder.LatestIntake()
+	if !ok {
+		r.Detail = "no intake published yet"
+		return r
+	}
+	if pub.Stats.Draining {
+		r.Detail = "draining"
+		return r
+	}
+	now := h.clock.Now()
+	stale, total := "", 0
+	for _, src := range pub.Stats.Sources {
+		if src.Complete {
+			continue
+		}
+		total++
+		if now.Sub(src.LastAt) > h.cfg.SourceStaleAfter {
+			if stale != "" {
+				stale += ", "
+			}
+			stale += src.Name
+		}
+	}
+	r.Detail = fmt.Sprintf("%d incomplete sources, none stale (bound %s)", total, h.cfg.SourceStaleAfter)
+	if stale != "" {
+		r.Status = "warn"
+		r.Detail = fmt.Sprintf("stale sources (silent > %s): %s", h.cfg.SourceStaleAfter, stale)
+	}
+	return r
+}
+
+// ruleIntakeBuffer reports the worst per-source intake buffer
+// occupancy against the per-source cap: warn at or above the warn
+// fraction, fail when any source's buffer is completely full —
+// senders are being refused and the engine is not draining it.
+func (h *Health) ruleIntakeBuffer() RuleResult {
+	r := RuleResult{Rule: "intake-buffer", Status: "ok"}
+	pub, ok := h.holder.LatestIntake()
+	if !ok {
+		r.Detail = "no intake published yet"
+		return r
+	}
+	capB := pub.Stats.BufferCap
+	if capB <= 0 {
+		r.Detail = "no intake buffer bound configured"
+		return r
+	}
+	var worst int64
+	worstName := ""
+	for _, src := range pub.Stats.Sources {
+		if src.Buffered > worst {
+			worst = src.Buffered
+			worstName = src.Name
+		}
+	}
+	frac := float64(worst) / float64(capB)
+	r.Detail = fmt.Sprintf("worst source buffer %.0f%% of %d bytes", frac*100, capB)
+	switch {
+	case worst >= capB:
+		r.Status = "fail"
+		r.Detail = fmt.Sprintf("intake buffer full: source %s at %d of %d bytes", worstName, worst, capB)
+	case frac >= intakeBufferWarnFraction:
+		r.Status = "warn"
+		r.Detail = fmt.Sprintf("intake buffer filling: source %s at %.0f%% of %d bytes", worstName, frac*100, capB)
 	}
 	return r
 }

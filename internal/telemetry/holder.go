@@ -9,6 +9,7 @@
 package telemetry
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,15 @@ type PublishedSnapshot struct {
 	Seq      int64            `json:"seq"`
 	At       time.Time        `json:"published_at"`
 	Snapshot *stream.Snapshot `json:"snapshot"`
+}
+
+// PublishedArrivals is one immutable arrival-series publication — the
+// copy-on-publish ring view the serve-mode what-if layer computes
+// from. Handlers read this copy and never the engine's live ring.
+type PublishedArrivals struct {
+	Seq    int64                 `json:"seq"`
+	At     time.Time             `json:"published_at"`
+	Series *stream.ArrivalSeries `json:"series"`
 }
 
 // runtimePair is the holder's runtime cell: the current publication,
@@ -56,6 +66,13 @@ type Holder struct {
 	started time.Time
 	runtime atomic.Pointer[runtimePair]
 	snap    atomic.Pointer[PublishedSnapshot]
+	arr     atomic.Pointer[PublishedArrivals]
+	// intake is the serve-mode intake publication cell. Unlike the
+	// engine cells it has multiple publishers (every intake connection
+	// goroutine), so its seq read-modify-write is serialized by
+	// intakeMu; readers stay lock-free on the atomic pointer.
+	intakeMu sync.Mutex
+	intake   atomic.Pointer[PublishedIntake]
 }
 
 // NewHolder builds a holder stamping publications with clock.
@@ -113,6 +130,29 @@ func (h *Holder) LatestRuntime() (cur PublishedRuntime, prev *PublishedRuntime, 
 		return PublishedRuntime{}, nil, false
 	}
 	return p.cur, p.prev, true
+}
+
+// PublishArrivals implements stream.ArrivalPublisher. Single-publisher
+// like the runtime cell: the engine's fold goroutine is the only
+// caller.
+func (h *Holder) PublishArrivals(s *stream.ArrivalSeries) {
+	next := &PublishedArrivals{At: h.clock.Now(), Series: s}
+	if old := h.arr.Load(); old != nil {
+		next.Seq = old.Seq + 1
+	} else {
+		next.Seq = 1
+	}
+	h.arr.Store(next)
+}
+
+// LatestArrivals returns the most recent arrival-series publication;
+// ok is false before the first one.
+func (h *Holder) LatestArrivals() (PublishedArrivals, bool) {
+	p := h.arr.Load()
+	if p == nil {
+		return PublishedArrivals{}, false
+	}
+	return *p, true
 }
 
 // LatestSnapshot returns the most recent snapshot publication; ok is

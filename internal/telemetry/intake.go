@@ -1,0 +1,77 @@
+// Serve-mode intake publications: the copy-on-publish view of the
+// multi-source intake queue's state (per-source totals, buffer
+// occupancy, completion) that the intake health rules and the serve
+// endpoints read. The intake publishes a fresh immutable value under
+// its own lock on every state change; readers never touch live intake
+// buffers (DESIGN.md §15).
+
+package telemetry
+
+import "time"
+
+// IntakeSource is one registered source's accounting in an intake
+// publication. Sources appear in their declared fold order.
+type IntakeSource struct {
+	// Name is the source ID (the /ingest ?source= value or the TCP
+	// handshake name).
+	Name string `json:"name"`
+	// Bytes and Lines are the totals accepted from this source so far;
+	// Requests counts accepted intake requests/connection reads.
+	Bytes    int64 `json:"bytes"`
+	Lines    int64 `json:"lines"`
+	Requests int64 `json:"requests"`
+	// Buffered is the source's current undrained buffer occupancy.
+	Buffered int64 `json:"buffered"`
+	// Complete is set once the source has been marked finished.
+	Complete bool `json:"complete"`
+	// LastAt is the wall-clock stamp of the source's last accepted
+	// delivery (its registration time before the first one) — the
+	// source-staleness rule's reference point.
+	LastAt time.Time `json:"last_at"`
+}
+
+// IntakeStats is one copy-on-publish view of the intake queue.
+type IntakeStats struct {
+	// Sources holds every registered source in fold order.
+	Sources []IntakeSource `json:"sources"`
+	// Active is the index of the source currently being drained into
+	// the engine (== len(Sources) once all are drained).
+	Active int `json:"active"`
+	// BufferCap is the per-source buffer bound in bytes.
+	BufferCap int64 `json:"buffer_cap"`
+	// Draining is set once shutdown has begun (listeners closed, every
+	// source force-completed).
+	Draining bool `json:"draining"`
+}
+
+// PublishedIntake is one immutable intake publication.
+type PublishedIntake struct {
+	Seq   int64       `json:"seq"`
+	At    time.Time   `json:"at"`
+	Stats IntakeStats `json:"stats"`
+}
+
+// PublishIntake stores a fresh intake publication. Multi-publisher
+// (every intake connection goroutine), so the seq read-modify-write is
+// serialized by the holder's intake lock.
+func (h *Holder) PublishIntake(st IntakeStats) {
+	h.intakeMu.Lock()
+	defer h.intakeMu.Unlock()
+	next := &PublishedIntake{At: h.clock.Now(), Stats: st}
+	if old := h.intake.Load(); old != nil {
+		next.Seq = old.Seq + 1
+	} else {
+		next.Seq = 1
+	}
+	h.intake.Store(next)
+}
+
+// LatestIntake returns the most recent intake publication; ok is false
+// before the first one.
+func (h *Holder) LatestIntake() (PublishedIntake, bool) {
+	p := h.intake.Load()
+	if p == nil {
+		return PublishedIntake{}, false
+	}
+	return *p, true
+}

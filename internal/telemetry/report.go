@@ -74,6 +74,10 @@ type RunReport struct {
 	// Faults lists every armed fault site's hit/fire counts (empty
 	// when no faults were injected).
 	Faults []faultpoint.SiteStats `json:"faults,omitempty"`
+	// WhatIf is the serve-mode end-of-run capacity sweep (the
+	// what-if answers at the standard capacity factors), absent for
+	// other tools.
+	WhatIf any `json:"whatif,omitempty"`
 	// Obs is the final metrics snapshot (the -metrics payload inline).
 	Obs obs.Snapshot `json:"obs"`
 }

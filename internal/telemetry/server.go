@@ -25,11 +25,16 @@ import (
 type Server struct {
 	handler http.Handler
 	srv     *http.Server
+	// gate is the optional extra readiness condition (serve mode:
+	// intake listeners bound). Set via SetReadyGate before Serve; nil
+	// means first-publication readiness alone.
+	gate func() (bool, string)
 }
 
 // NewServer wires the endpoints. reg may be nil (the /metrics body is
 // then an empty exposition); holder and health must be non-nil.
 func NewServer(reg *obs.Registry, holder *Holder, health *Health) *Server {
+	s := &Server{}
 	mux := http.NewServeMux()
 	handle := func(path string, fn http.HandlerFunc) {
 		hits := reg.Counter(obs.LabeledName("telemetry.http_requests", "path", path))
@@ -73,10 +78,24 @@ func NewServer(reg *obs.Registry, holder *Holder, health *Health) *Server {
 
 	handle("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		// The gate runs first: in serve mode readiness requires the
+		// intake listeners bound AND the first engine publication, so an
+		// unbound intake reports not-ready even after a publication
+		// (DESIGN.md §15).
+		if s.gate != nil {
+			if ok, reason := s.gate(); !ok {
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+					"ready":  false,
+					"reason": reason,
+				})
+				return
+			}
+		}
 		cur, _, ok := holder.LatestRuntime()
 		if !ok {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"ready": false,
+				"ready":  false,
+				"reason": "no runtime published yet",
 			})
 			return
 		}
@@ -100,11 +119,18 @@ func NewServer(reg *obs.Registry, holder *Holder, health *Health) *Server {
 		fmt.Fprintln(w, "  /readyz    readiness (503 until first publication)")
 	})
 
-	return &Server{handler: mux}
+	s.handler = mux
+	return s
 }
 
 // Handler exposes the mux for in-process tests.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// SetReadyGate installs an extra readiness condition consulted before
+// the first-publication check; reason is reported in the 503 body when
+// the gate is closed. Must be called before Serve (the field is read
+// without synchronization by handler goroutines).
+func (s *Server) SetReadyGate(gate func() (bool, string)) { s.gate = gate }
 
 // Serve starts serving on ln in the background. The goroutine exits
 // when the listener closes (via Close or externally).

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-obs bench-stream bench-shard bench-serve bench-intake fuzz fuzz-smoke
+.PHONY: all build test race vet lint check bench bench-obs bench-stream bench-shard bench-serve bench-intake bench-wal fuzz fuzz-smoke
 
 all: build
 
@@ -79,7 +79,17 @@ bench-serve:
 # must not be the bottleneck. The committed BENCH_pr9.json is one run
 # of this target.
 bench-intake:
-	$(GO) test -run '^$$' -bench 'Intake' -benchmem -count=3 . | tee BENCH_pr9.json
+	$(GO) test -run '^$$' -bench 'IntakeFile|IntakeHTTP|IntakeTCP' -benchmem -count=3 . | tee BENCH_pr9.json
+
+# bench-wal captures the PR 10 benchmark evidence: the serve HTTP
+# intake at one shard with the durable journal off and on, over
+# delivery-ID-stamped 256 KiB POSTs. The gate is WAL-on records/sec
+# within 10% of WAL-off: journaling a delivery before acknowledging
+# it (sha256 framing, segment writes, OS-writeback durability) must
+# not become the intake bottleneck. The committed BENCH_pr10.json is
+# one run of this target.
+bench-wal:
+	$(GO) test -run '^$$' -bench 'IntakeWAL' -benchmem -count=3 . | tee BENCH_pr10.json
 
 # Short fuzz smoke (~15s total) over the checked-in corpora; part of
 # the tier-1 gate so parser and sessionizer regressions surface

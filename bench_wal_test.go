@@ -1,0 +1,166 @@
+// WAL overhead benchmark pair (PR 10 evidence, BENCH_pr10.json): the
+// same CLF bytes through the serve HTTP /ingest path with the durable
+// intake journal off and on, at one shard. Both report records/sec;
+// the acceptance bar is WAL-on within 10% of WAL-off — journaling a
+// delivery before acknowledging it (sha256 framing, segment writes,
+// and the default rely-on-OS-writeback durability, which keeps forced
+// fsync off the intake path) must not become the intake bottleneck.
+//
+//	make bench-wal
+package fullweb_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fullweb/internal/serve"
+	"fullweb/internal/weblog"
+	"fullweb/internal/workload"
+)
+
+// benchWALServeRun is benchServeRun with an optional journal: it
+// waits for /readyz (journal open included) before feeding, so the
+// measurement starts at an acknowledging server either way.
+func benchWALServeRun(b *testing.B, wal *serve.WALConfig, feed func(base string)) int64 {
+	b.Helper()
+	s, err := serve.New(serve.Config{
+		Sources: []string{"bench"},
+		Engine:  benchIntakeConfig(1),
+		WAL:     wal,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.StartHTTP(hln)
+	defer s.Close()
+	base := "http://" + hln.Addr().String()
+	type result struct {
+		records int64
+		err     error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		final, rerr := s.Run(context.Background(), nil)
+		if rerr != nil {
+			ch <- result{err: rerr}
+			return
+		}
+		ch <- result{records: final.Records}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("server never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	feed(base)
+	res := <-ch
+	if res.err != nil {
+		b.Fatal(res.err)
+	}
+	return res.records
+}
+
+// benchWALTrace is a longer workload than benchStreamTrace: the WAL
+// pair measures steady-state intake overhead, and a multi-second
+// trace keeps the journal's per-run fixed costs (segment create +
+// directory fsync, completion fsync) from dominating a short run.
+func benchWALTrace(b *testing.B) []byte {
+	b.Helper()
+	trace, err := workload.Generate(workload.NASAPub2(), workload.Config{Scale: 0.5, Seed: benchSeed, Days: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := weblog.WriteAll(&buf, trace.Records); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkIntakeWAL: the HTTP intake path with the journal off and
+// on. Deliveries are 256 KiB chunks stamped with delivery IDs (the
+// journal's dedup key), matching how a retrying client would feed.
+func BenchmarkIntakeWAL(b *testing.B) {
+	text := benchWALTrace(b)
+	const chunk = 256 << 10
+	feed := func(base string) {
+		client := &http.Client{}
+		n := 0
+		for off := 0; off < len(text); off += chunk {
+			end := off + chunk
+			if end > len(text) {
+				end = len(text)
+			}
+			url := fmt.Sprintf("%s/ingest?source=bench&delivery=d%d", base, n)
+			n++
+			resp, err := client.Post(url, "text/plain", bytes.NewReader(text[off:end]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("ingest chunk: status %d", resp.StatusCode)
+			}
+		}
+		resp, err := client.Post(base+"/ingest?source=bench&complete=1", "text/plain", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	for _, on := range []bool{false, true} {
+		name := "wal=off"
+		if on {
+			name = "wal=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var records int64
+			b.SetBytes(int64(len(text)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wal *serve.WALConfig
+				var dir string
+				if on {
+					b.StopTimer()
+					var err error
+					dir, err = os.MkdirTemp(b.TempDir(), "wal")
+					if err != nil {
+						b.Fatal(err)
+					}
+					wal = &serve.WALConfig{Dir: filepath.Join(dir, "journal")}
+					b.StartTimer()
+				}
+				records = benchWALServeRun(b, wal, feed)
+				if on {
+					// Unlink each iteration's journal untimed: dropping
+					// the dirty pages keeps earlier iterations' kernel
+					// writeback from stealing CPU out of later ones.
+					b.StopTimer()
+					os.RemoveAll(dir)
+					b.StartTimer()
+				}
+			}
+			reportRecordsPerSec(b, records)
+		})
+	}
+}

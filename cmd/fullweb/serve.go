@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -64,7 +65,12 @@ func cmdServe(args []string, out io.Writer) (err error) {
 	mode := fs.String("mode", "budgeted", "ingestion mode: budgeted (count, quarantine, degrade), strict (fail on first reject) or lenient (count only)")
 	quarantinePath := fs.String("quarantine", "", "append rejected raw lines to this file (budgeted/lenient modes)")
 	checkpointPath := fs.String("checkpoint", "", "write a resumable engine checkpoint here at every snapshot boundary")
-	resume := fs.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint file and/or replay the -wal journal instead of starting fresh")
+	walDir := fs.String("wal", "", "durable intake journal directory: every delivery is journaled (sha256-framed segments) before acknowledgment; with -resume the journal replays on restart")
+	walSegmentBytes := fs.Int64("wal-segment-bytes", serve.DefaultWALSegmentBytes, "rotate a source's journal segment past this many bytes")
+	walSyncBytes := fs.Int64("wal-sync-bytes", serve.DefaultWALSyncBytes, "background-fsync a source's journal after this many unsynced bytes, bounding what a power loss can take (0 = OS writeback only: process crashes still lose nothing, forced writeback stays off the intake path)")
+	walDiskBudget := fs.Int64("wal-disk-budget", 0, "cap the journal's on-disk footprint; appends past it shed intake with 503 (0 = unbounded)")
+	walCheckpointBytes := fs.Int64("wal-checkpoint-bytes", serve.DefaultWALCheckpointBytes, "request an engine checkpoint whenever this many journaled bytes are not yet covered by one (requires -checkpoint)")
 	maxRejects := fs.Int64("max-rejects", 0, "budgeted mode: degrade after this many rejected lines (0 = no absolute cap)")
 	maxRejectRate := fs.Float64("max-reject-rate", 0, "budgeted mode: degrade when rejects/parse-attempts exceeds this rate (0 = no rate cap)")
 	maxClamped := fs.Int64("max-clamped", 0, "budgeted mode: degrade after this many clamped non-monotonic timestamps (0 = no cap)")
@@ -91,8 +97,8 @@ func cmdServe(args []string, out io.Writer) (err error) {
 	if *whatifWindow < 1 {
 		return fmt.Errorf("serve: -whatif-window must be >= 1, got %d", *whatifWindow)
 	}
-	if *resume && *checkpointPath == "" {
-		return fmt.Errorf("serve: -resume requires -checkpoint")
+	if *resume && *checkpointPath == "" && *walDir == "" {
+		return fmt.Errorf("serve: -resume requires -checkpoint or -wal")
 	}
 	if *intakeTCPAddrFile != "" && *intakeTCP == "" {
 		return fmt.Errorf("serve: -intake-tcp-addr-file requires -intake-tcp")
@@ -130,8 +136,15 @@ func cmdServe(args []string, out io.Writer) (err error) {
 	// Load the checkpoint before touching any output state: a corrupt
 	// or mismatched checkpoint must abort with everything untouched.
 	var cp *stream.Checkpoint
-	if *resume {
-		if cp, err = stream.LoadCheckpoint(*checkpointPath); err != nil {
+	if *resume && *checkpointPath != "" {
+		cp, err = stream.LoadCheckpoint(*checkpointPath)
+		switch {
+		case err == nil:
+		case errors.Is(err, os.ErrNotExist) && *walDir != "":
+			// The crash may predate the first checkpoint; the journal
+			// alone still replays everything from byte 0.
+			fmt.Fprintf(os.Stderr, "serve: no checkpoint at %s; recovering from the journal alone\n", *checkpointPath)
+		default:
 			return fmt.Errorf("serve: %w", err)
 		}
 	}
@@ -185,12 +198,25 @@ func cmdServe(args []string, out io.Writer) (err error) {
 		hcfg.MaxQuarantineRate = defaultMaxQuarantineRate
 	}
 
+	var walCfg *serve.WALConfig
+	if *walDir != "" {
+		walCfg = &serve.WALConfig{
+			Dir:             *walDir,
+			SegmentBytes:    *walSegmentBytes,
+			SyncBytes:       *walSyncBytes,
+			DiskBudgetBytes: *walDiskBudget,
+			CheckpointBytes: *walCheckpointBytes,
+			Resume:          *resume,
+		}
+	}
+
 	srv, err := serve.New(serve.Config{
 		Sources:     sources,
 		BufferBytes: *bufferBytes,
 		WantTCP:     *intakeTCP != "",
 		Engine:      cfg,
 		Checkpoint:  cp,
+		WAL:         walCfg,
 		Health:      hcfg,
 		Clock:       obs.SystemClock(),
 		Log:         os.Stderr,
@@ -274,6 +300,9 @@ func cmdServe(args []string, out io.Writer) (err error) {
 		}
 		if sweep := serve.WhatIfSweep(srv.Holder()); len(sweep) > 0 {
 			rep.WhatIf = sweep
+		}
+		if pub, ok := srv.Holder().LatestWAL(); ok {
+			rep.WAL = pub.Stats
 		}
 		if werr := rep.WriteFile(*reportPath); werr != nil {
 			return fmt.Errorf("serve: %w", werr)

@@ -80,14 +80,57 @@ func (o *OnlineAggVar) Add(v float64) {
 		l.partial += v
 		l.filled++
 		if l.filled == l.width {
-			m := l.partial / float64(l.width)
-			l.blocks++
-			d := m - l.mean
-			l.mean += d / float64(l.blocks)
-			l.m2 += d * (m - l.mean)
+			l.complete(l.partial / float64(l.width))
 			l.partial = 0
 			l.filled = 0
 		}
+	}
+}
+
+// complete folds one finished block mean into the level's Welford
+// moments.
+func (l *aggLevel) complete(m float64) {
+	l.blocks++
+	d := m - l.mean
+	l.mean += d / float64(l.blocks)
+	l.m2 += d * (m - l.mean)
+}
+
+// AddZeros folds k consecutive zero observations into every aggregation
+// level, bit-identical to calling Add(0) k times. Zeros never move a
+// block's partial sum, so the only sequential arithmetic left is the
+// Welford fold at each block completion: O(k/width) work per level,
+// ~2k operations total across the dyadic levels instead of k*levels.
+// Idle gaps in sparse traces are exactly such zero runs, and with
+// per-shard trackers the naive per-second loop is the dominant fold
+// cost (EXPERIMENTS.md, sharded-intake collapse).
+func (o *OnlineAggVar) AddZeros(k int64) {
+	if k <= 0 {
+		return
+	}
+	o.n += k
+	for j := range o.levels {
+		l := &o.levels[j]
+		left := k
+		if l.filled > 0 {
+			// Finish the in-progress block first: its mean still owes
+			// the pre-gap partial sum.
+			need := l.width - l.filled
+			if left < need {
+				l.filled += left
+				continue
+			}
+			left -= need
+			l.complete(l.partial / float64(l.width))
+			l.partial = 0
+			l.filled = 0
+		}
+		// Every further completed block is all zeros: mean exactly 0,
+		// same value Add's partial/width division produces.
+		for b := left / l.width; b > 0; b-- {
+			l.complete(0)
+		}
+		l.filled = left % l.width
 	}
 }
 

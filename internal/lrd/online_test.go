@@ -186,3 +186,46 @@ func TestOnlineAggVarLevelsCounter(t *testing.T) {
 		t.Errorf("after 256 observations Levels = %d, want 4", got)
 	}
 }
+
+// TestOnlineAggVarAddZerosBitIdentical is the contract AddZeros ships
+// under: any interleaving of Add and AddZeros must leave every level's
+// full state — partial, filled, blocks, mean, m2 — bit-for-bit equal to
+// the same run with AddZeros(k) spelled as k sequential Add(0) calls.
+// The engine's published Hurst bytes ride on this equivalence.
+func TestOnlineAggVarAddZerosBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		fast, err := NewOnlineAggVar(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := NewOnlineAggVar(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 40; step++ {
+			if rng.Intn(2) == 0 {
+				v := rng.ExpFloat64() * 20
+				fast.Add(v)
+				slow.Add(v)
+				continue
+			}
+			// Gap lengths spanning sub-block to many-block at every
+			// level, including the zero-length no-op.
+			k := rng.Int63n(1 << uint(rng.Intn(13)))
+			fast.AddZeros(k)
+			for i := int64(0); i < k; i++ {
+				slow.Add(0)
+			}
+		}
+		if fast.n != slow.n {
+			t.Fatalf("trial %d: n = %d, want %d", trial, fast.n, slow.n)
+		}
+		for j := range fast.levels {
+			f, s := fast.levels[j], slow.levels[j]
+			if f != s {
+				t.Fatalf("trial %d level %d: AddZeros state %+v, sequential Add(0) state %+v", trial, j, f, s)
+			}
+		}
+	}
+}

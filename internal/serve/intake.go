@@ -10,6 +10,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -37,17 +38,52 @@ var (
 	ErrOversizedDelivery = errors.New("serve: delivery exceeds per-source buffer")
 )
 
+// DuplicateDelivery reports a redelivery whose ID was already
+// accepted: the transport retried (at-least-once), the fold will not
+// (exactly-once). Carries the originally accepted byte count so the
+// client can reconcile its offset.
+type DuplicateDelivery struct {
+	Source string
+	ID     string
+	Bytes  int64
+}
+
+func (e *DuplicateDelivery) Error() string {
+	return fmt.Sprintf("serve: delivery %q to source %q already accepted (%d bytes)", e.ID, e.Source, e.Bytes)
+}
+
+// CompletedSource is the ErrSourceComplete carrier: it adds the
+// source's final accepted byte count so a retrying client can
+// reconcile a 409 against its own offset.
+type CompletedSource struct {
+	Source string
+	Bytes  int64
+}
+
+func (e *CompletedSource) Error() string {
+	return fmt.Sprintf("serve: source %q already complete at %d accepted bytes", e.Source, e.Bytes)
+}
+
+func (e *CompletedSource) Unwrap() error { return ErrSourceComplete }
+
 // source is one registered intake source: its undrained buffer and
 // accounting. All fields are guarded by the intake mutex.
 type source struct {
 	name     string
 	buf      []byte // undrained bytes (drained from the front by Read)
 	off      int    // read offset into buf
-	bytes    int64  // total bytes accepted
+	bytes    int64  // total bytes accepted (journal replay included)
 	lines    int64  // total newlines accepted
 	requests int64  // accepted deliveries (HTTP bodies / TCP reads)
 	complete bool
 	lastAt   time.Time
+	// seen dedups client-stamped delivery IDs (id → accepted payload
+	// bytes); seeded from the journal on resume so redeliveries across
+	// a restart stay exactly-once. One entry per stamped delivery.
+	seen map[string]int64
+	// replay, when non-nil, is the journal prefix Read serves before
+	// the live buffer — the crash-recovery splice.
+	replay *walReplay
 }
 
 // buffered is the source's current undrained byte count.
@@ -70,10 +106,18 @@ type intake struct {
 	clock    obs.Clock
 	holder   *telemetry.Holder
 	draining bool
+	// walWant is set when the server is configured with a journal; wal
+	// is attached by Run once the journal is open and replayed. Between
+	// listener bind and attach, deliveries are refused with
+	// ErrWALNotReady (durable ack would be impossible).
+	walWant bool
+	wal     *walManager
 }
 
 // newIntake builds the queue over the declared sources in fold order.
-func newIntake(names []string, bufCap int64, clock obs.Clock, holder *telemetry.Holder) (*intake, error) {
+// walWant declares that a journal will be attached before folding
+// starts; deliveries are refused until it is.
+func newIntake(names []string, bufCap int64, clock obs.Clock, holder *telemetry.Holder, walWant bool) (*intake, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("serve: at least one source is required")
 	}
@@ -81,10 +125,11 @@ func newIntake(names []string, bufCap int64, clock obs.Clock, holder *telemetry.
 		return nil, fmt.Errorf("serve: buffer capacity must be positive, got %d", bufCap)
 	}
 	in := &intake{
-		byName: make(map[string]*source, len(names)),
-		bufCap: bufCap,
-		clock:  clock,
-		holder: holder,
+		byName:  make(map[string]*source, len(names)),
+		bufCap:  bufCap,
+		clock:   clock,
+		holder:  holder,
+		walWant: walWant,
 	}
 	in.cond = sync.NewCond(&in.mu)
 	now := clock.Now()
@@ -95,7 +140,7 @@ func newIntake(names []string, bufCap int64, clock obs.Clock, holder *telemetry.
 		if _, dup := in.byName[name]; dup {
 			return nil, fmt.Errorf("serve: duplicate source %q", name)
 		}
-		src := &source{name: name, lastAt: now}
+		src := &source{name: name, lastAt: now, seen: make(map[string]int64)}
 		in.sources = append(in.sources, src)
 		in.byName[name] = src
 	}
@@ -105,12 +150,45 @@ func newIntake(names []string, bufCap int64, clock obs.Clock, holder *telemetry.
 	return in, nil
 }
 
+// attachWAL splices an opened journal into the queue: per-source
+// counters, dedup sets and completion flags are seeded from the scan,
+// and each source's replayable journal prefix becomes the head of its
+// byte stream. Called by Run before the engine reads a byte; until
+// then append refuses deliveries (ErrWALNotReady).
+func (in *intake) attachWAL(wal *walManager, recovered map[string]*walRecovered) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.wal = wal
+	for _, src := range in.sources {
+		rec := recovered[src.name]
+		if rec == nil {
+			continue
+		}
+		src.bytes = rec.bytes
+		src.lines = rec.lines
+		src.requests = rec.deliveries
+		src.complete = rec.complete
+		for id, n := range rec.seen {
+			src.seen[id] = n
+		}
+		if len(rec.parts) > 0 {
+			src.replay = newWALReplay(rec.parts)
+		}
+	}
+	in.publishLocked()
+	in.cond.Broadcast()
+}
+
 // append accepts one delivery for a source, atomically: either the
-// whole delivery is buffered or nothing is. With wait set (TCP
-// pushback) a full buffer blocks until the engine drains space or the
-// intake starts draining; without it (HTTP) a full buffer returns
-// ErrBufferFull for the handler's 429.
-func (in *intake) append(name string, data []byte, wait bool) error {
+// whole delivery is journaled and buffered or nothing is. id is the
+// client's delivery stamp ("" for unstamped deliveries): a stamped ID
+// already accepted returns *DuplicateDelivery — the transport retried
+// but the fold will not. With wait set (TCP pushback) a full buffer
+// blocks until the engine drains space or the intake starts draining;
+// without it (HTTP) a full buffer returns ErrBufferFull for the
+// handler's 429. ctx carries the fault-injection set for the journal
+// sites.
+func (in *intake) append(ctx context.Context, name, id string, data []byte, wait bool) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	src, ok := in.byName[name]
@@ -121,11 +199,26 @@ func (in *intake) append(name string, data []byte, wait bool) error {
 		return fmt.Errorf("%w: %d bytes, buffer %d", ErrOversizedDelivery, len(data), in.bufCap)
 	}
 	for {
+		// Dedup wins over every other refusal: a redelivery of an
+		// accepted ID is answered "already have it" even while the
+		// source is complete or the buffer is full — that is what makes
+		// blind client retries safe.
+		if id != "" {
+			if n, dup := src.seen[id]; dup {
+				if in.wal != nil {
+					in.wal.NoteDuplicate()
+				}
+				return &DuplicateDelivery{Source: name, ID: id, Bytes: n}
+			}
+		}
 		if in.draining {
 			return ErrDraining
 		}
 		if src.complete {
-			return fmt.Errorf("%w: %q", ErrSourceComplete, name)
+			return &CompletedSource{Source: name, Bytes: src.bytes}
+		}
+		if in.walWant && in.wal == nil {
+			return ErrWALNotReady
 		}
 		if src.buffered()+int64(len(data)) <= in.bufCap {
 			break
@@ -134,6 +227,14 @@ func (in *intake) append(name string, data []byte, wait bool) error {
 			return fmt.Errorf("%w: %q at %d of %d bytes", ErrBufferFull, name, src.buffered(), in.bufCap)
 		}
 		in.cond.Wait()
+	}
+	// Journal before buffering: the delivery is acknowledged only once
+	// it is durable, and a journal failure leaves the intake state
+	// untouched (the client retries against the shed 503).
+	if in.wal != nil {
+		if err := in.wal.Append(ctx, name, id, data); err != nil {
+			return err
+		}
 	}
 	if src.off > 0 && src.off == len(src.buf) {
 		src.buf = src.buf[:0]
@@ -147,15 +248,20 @@ func (in *intake) append(name string, data []byte, wait bool) error {
 			src.lines++
 		}
 	}
+	if id != "" {
+		src.seen[id] = int64(len(data))
+	}
 	src.lastAt = in.clock.Now()
 	in.publishLocked()
 	in.cond.Broadcast()
 	return nil
 }
 
-// completeSource marks a source finished. Idempotent: completing a
-// completed source is a no-op, so delivery retries are safe.
-func (in *intake) completeSource(name string) error {
+// completeSource marks a source finished, journaling the completion
+// first so a restart cannot reopen a source whose completion was
+// acknowledged. Idempotent: completing a completed source is a no-op,
+// so delivery retries are safe.
+func (in *intake) completeSource(ctx context.Context, name string) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	src, ok := in.byName[name]
@@ -164,6 +270,14 @@ func (in *intake) completeSource(name string) error {
 	}
 	if src.complete {
 		return nil
+	}
+	if in.walWant && in.wal == nil {
+		return ErrWALNotReady
+	}
+	if in.wal != nil {
+		if err := in.wal.Complete(ctx, name); err != nil {
+			return err
+		}
 	}
 	src.complete = true
 	src.lastAt = in.clock.Now()
@@ -194,6 +308,21 @@ func (in *intake) Read(p []byte) (int, error) {
 			return 0, io.EOF
 		}
 		src := in.sources[in.active]
+		// The journal prefix streams first: recovered bytes precede
+		// anything delivered after the restart, reproducing the exact
+		// concatenation the crashed run acknowledged.
+		if src.replay != nil {
+			n, err := src.replay.Read(p)
+			if n > 0 {
+				return n, nil
+			}
+			if err == io.EOF {
+				src.replay.Close()
+				src.replay = nil
+				continue
+			}
+			return 0, err
+		}
 		if src.buffered() > 0 {
 			n := copy(p, src.buf[src.off:])
 			src.off += n

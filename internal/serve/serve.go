@@ -69,6 +69,11 @@ type Config struct {
 	// Checkpoint, when non-nil, resumes the engine from it (the caller
 	// loads and validates the file).
 	Checkpoint *stream.Checkpoint
+	// WAL, when non-nil, enables the durable intake journal: every
+	// delivery is journaled before acknowledgment, redeliveries are
+	// deduplicated by delivery ID, and Run replays the journal into
+	// the fold on restart (DESIGN.md §16).
+	WAL *WALConfig
 	// Health parameterizes the health rules; Intake is forced on.
 	Health telemetry.HealthConfig
 	// Clock stamps publications; nil means obs.SystemClock().
@@ -97,6 +102,11 @@ type Server struct {
 	httpBound atomic.Bool
 	tcpBound  atomic.Bool
 
+	// wal is the durable intake journal, opened (and replayed) by Run;
+	// walReady gates /readyz until it is.
+	wal      *walManager
+	walReady atomic.Bool
+
 	httpSrv *http.Server
 	tcpLn   net.Listener
 }
@@ -114,15 +124,26 @@ func New(cfg Config) (*Server, error) {
 		cfg.Engine.ArrivalWindow = stream.DefaultArrivalWindow
 	}
 	cfg.Health.Intake = true
+	if cfg.WAL != nil {
+		w := cfg.WAL.withDefaults()
+		cfg.WAL = &w
+		cfg.Health.WAL = true
+	}
 	s := &Server{cfg: cfg}
 	s.holder = telemetry.NewHolder(cfg.Clock)
 	s.health = telemetry.NewHealth(cfg.Health, s.holder, cfg.Engine.Metrics, cfg.Clock)
-	in, err := newIntake(cfg.Sources, cfg.BufferBytes, cfg.Clock, s.holder)
+	in, err := newIntake(cfg.Sources, cfg.BufferBytes, cfg.Clock, s.holder, cfg.WAL != nil)
 	if err != nil {
 		return nil, err
 	}
 	s.intake = in
 	cfg.Engine.Telemetry = s.holder
+	if cfg.WAL != nil {
+		// The supervisor rides the fold goroutine's runtime
+		// publications: journal stats, gauges and the checkpoint
+		// cadence refresh exactly when the fold's own view does.
+		cfg.Engine.Telemetry = &walTelemetry{Holder: s.holder, srv: s}
+	}
 	if cfg.Checkpoint != nil {
 		s.engine, err = stream.ResumeEngine(cfg.Engine, cfg.Checkpoint)
 	} else {
@@ -158,6 +179,9 @@ func (s *Server) readyGate() (bool, string) {
 	}
 	if s.cfg.WantTCP && !s.tcpBound.Load() {
 		return false, "TCP intake listener not bound"
+	}
+	if s.cfg.WAL != nil && !s.walReady.Load() {
+		return false, "intake journal not open yet"
 	}
 	return true, ""
 }
@@ -204,11 +228,87 @@ func (s *Server) StartTCP(ln net.Listener) {
 // error; ctx carries the fault-injection set for the intake sites.
 func (s *Server) Run(ctx context.Context, emit func(*stream.Snapshot) error) (*stream.Snapshot, error) {
 	s.ctx.Store(&ctx)
+	if s.cfg.WAL != nil {
+		wal, recovered, err := openWAL(ctx, *s.cfg.WAL, s.cfg.Sources, s.logf)
+		if err != nil {
+			return nil, err
+		}
+		// A checkpoint is only resumable over this journal if the
+		// journal still holds every line the checkpoint skips —
+		// otherwise acknowledged bytes were lost (power loss past the
+		// sync horizon) and a silent splice would fold the wrong
+		// concatenation.
+		if s.cfg.Checkpoint != nil {
+			var journaled int64
+			for _, rec := range recovered {
+				journaled += rec.lines
+			}
+			if skip := s.cfg.Checkpoint.SkipLines(); journaled < skip {
+				wal.Close()
+				return nil, fmt.Errorf("serve: journal holds %d lines but the checkpoint resumes at line %d — the journal lost acknowledged bytes; restore it or drop the checkpoint", journaled, skip)
+			}
+		}
+		s.wal = wal
+		s.intake.attachWAL(wal, recovered)
+		s.walReady.Store(true)
+		defer func() {
+			if cerr := wal.Close(); cerr != nil {
+				s.logf("serve: wal close: %v", cerr)
+			}
+		}()
+		var resumed int64
+		if s.cfg.Checkpoint != nil {
+			resumed = s.cfg.Checkpoint.SkipLines()
+		}
+		s.holder.PublishWAL(wal.Stats(resumed, resumed))
+	}
 	// The engine's fold goroutine is the holder's single publisher;
 	// this initial publication (before any chunk folds) is what lets
 	// /readyz report ready on an idle, freshly bound server.
 	s.holder.PublishRuntime(stream.RuntimeStats{})
 	return s.engine.ProcessCtx(ctx, s.intake, emit)
+}
+
+// walTelemetry decorates the holder with the journal supervisor: the
+// fold goroutine's runtime publications also refresh the journal's
+// published stats, /metrics gauges and the WAL-growth checkpoint
+// cadence. Snapshot and arrival publications pass through untouched.
+type walTelemetry struct {
+	*telemetry.Holder
+	srv *Server
+}
+
+func (t *walTelemetry) PublishRuntime(rt stream.RuntimeStats) {
+	t.Holder.PublishRuntime(rt)
+	t.srv.superviseWAL(rt)
+}
+
+// superviseWAL is the supervisor's tick, run on each runtime
+// publication: publish the journal view, refresh gauges, and request
+// an engine checkpoint once enough journaled bytes are not yet
+// covered by one — auto-checkpointing on a cadence tied to WAL growth
+// so crash replay stays bounded.
+func (s *Server) superviseWAL(rt stream.RuntimeStats) {
+	wal := s.wal
+	if wal == nil {
+		return
+	}
+	st := wal.Stats(rt.Lines, rt.LastCheckpointLine)
+	s.holder.PublishWAL(st)
+	if reg := s.cfg.Engine.Metrics; reg != nil {
+		reg.Gauge("serve.wal_journaled_bytes").Set(st.JournaledBytes)
+		reg.Gauge("serve.wal_disk_bytes").Set(st.DiskBytes)
+		reg.Gauge("serve.wal_lag_bytes").Set(st.LagBytes)
+		reg.Gauge("serve.wal_segments").Set(st.Segments)
+		shedding := int64(0)
+		if st.Shedding {
+			shedding = 1
+		}
+		reg.Gauge("serve.wal_shedding").Set(shedding)
+	}
+	if s.cfg.Engine.CheckpointPath != "" && st.CheckpointLagBytes >= s.cfg.WAL.CheckpointBytes {
+		s.engine.RequestCheckpoint()
+	}
 }
 
 // Drain begins graceful shutdown: stop accepting (close the TCP
@@ -247,12 +347,15 @@ func (s *Server) logf(format string, args ...any) {
 	fmt.Fprintf(s.cfg.Log, format+"\n", args...)
 }
 
-// handleIngest is POST /ingest?source=NAME[&complete=1]: the body
-// (identity or gzip per Content-Encoding, chunked accepted) is
-// appended to the source's buffer atomically — all of it or none —
-// so a 429 always means "retry this exact delivery". complete=1 marks
-// the source finished after the append (an empty body with complete=1
-// is the pure completion signal).
+// handleIngest is POST /ingest?source=NAME[&delivery=ID][&complete=1]:
+// the body (identity or gzip per Content-Encoding, chunked accepted)
+// is journaled and appended to the source's buffer atomically — all
+// of it or none — so a 429 always means "retry this exact delivery".
+// delivery=ID stamps the delivery for idempotent redelivery: a retry
+// carrying an already-accepted ID is answered 200 with
+// "duplicate": true and folds nothing. complete=1 marks the source
+// finished after the append (an empty body with complete=1 is the
+// pure completion signal).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
@@ -269,6 +372,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing ?source=", http.StatusBadRequest)
 		return
 	}
+	delivery := r.URL.Query().Get("delivery")
 	body := io.Reader(http.MaxBytesReader(w, r.Body, s.cfg.BufferBytes+1))
 	if enc := r.Header.Get("Content-Encoding"); enc != "" {
 		switch enc {
@@ -296,8 +400,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusInternalServerError)
 		return
 	}
+	acceptedBytes := int64(len(data))
+	duplicate := false
 	if len(data) > 0 {
-		if err := s.intake.append(name, data, false); err != nil {
+		err := s.intake.append(ctx, name, delivery, data, false)
+		var dup *DuplicateDelivery
+		switch {
+		case err == nil:
+		case errors.As(err, &dup):
+			// Redelivery of an accepted delivery: acknowledge it again
+			// (the retry still wants its completion side effect below)
+			// but fold nothing.
+			duplicate = true
+			acceptedBytes = dup.Bytes
+		default:
 			writeIntakeError(w, err)
 			return
 		}
@@ -307,13 +423,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("completion flush refused: %v", err), http.StatusServiceUnavailable)
 			return
 		}
-		if err := s.intake.completeSource(name); err != nil {
+		if err := s.intake.completeSource(ctx, name); err != nil {
 			writeIntakeError(w, err)
 			return
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\n  \"source\": %q,\n  \"accepted_bytes\": %d\n}\n", name, len(data))
+	if duplicate {
+		fmt.Fprintf(w, "{\n  \"source\": %q,\n  \"accepted_bytes\": %d,\n  \"duplicate\": true\n}\n", name, acceptedBytes)
+		return
+	}
+	fmt.Fprintf(w, "{\n  \"source\": %q,\n  \"accepted_bytes\": %d\n}\n", name, acceptedBytes)
 }
 
 // readDelivery drains one delivery body in bounded chunks, consulting
@@ -337,8 +457,9 @@ func (s *Server) readDelivery(ctx context.Context, r io.Reader) ([]byte, error) 
 }
 
 // writeIntakeError maps intake errors to their HTTP statuses: 429 with
-// Retry-After for a full buffer, 404 for an undeclared source, 409 for
-// a completed one, 503 while draining.
+// Retry-After for a full buffer, 404 for an undeclared source, 409
+// (with the source's final accepted byte count) for a completed one,
+// 503 while draining or while the journal is shedding or not yet open.
 func writeIntakeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrBufferFull):
@@ -347,8 +468,20 @@ func writeIntakeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrUnknownSource):
 		http.Error(w, err.Error(), http.StatusNotFound)
 	case errors.Is(err, ErrSourceComplete):
+		var cs *CompletedSource
+		if errors.As(err, &cs) {
+			// The final accepted byte count lets a retrying client
+			// reconcile the 409 against its own offset.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			fmt.Fprintf(w, "{\n  \"error\": \"source already complete\",\n  \"source\": %q,\n  \"accepted_bytes\": %d\n}\n", cs.Source, cs.Bytes)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusConflict)
 	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrWALShed), errors.Is(err, ErrWALNotReady):
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, ErrOversizedDelivery):
 		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
@@ -370,7 +503,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	if len(rest) > 0 {
-		if err := s.intake.append(name, rest, true); err != nil {
+		if err := s.intake.append(ctx, name, "", rest, true); err != nil {
 			s.logf("serve: tcp %s: %v", name, err)
 			return
 		}
@@ -383,7 +516,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		n, rerr := conn.Read(chunk)
 		if n > 0 {
-			if aerr := s.intake.append(name, chunk[:n], true); aerr != nil {
+			if aerr := s.intake.append(ctx, name, "", chunk[:n], true); aerr != nil {
 				s.logf("serve: tcp %s: %v", name, aerr)
 				return
 			}
@@ -400,7 +533,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.logf("serve: tcp %s completion flush refused: %v", name, err)
 		return
 	}
-	if err := s.intake.completeSource(name); err != nil {
+	if err := s.intake.completeSource(ctx, name); err != nil {
 		s.logf("serve: tcp %s complete: %v", name, err)
 	}
 }

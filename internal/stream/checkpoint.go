@@ -399,6 +399,10 @@ func ResumeEngine(cfg Config, cp *Checkpoint) (*Engine, error) {
 	if e.quar != nil {
 		e.quar.N = st.QuarantineOffset
 	}
+	// ckptReq is runtime supervision state (serve's WAL cadence), never
+	// carried in the image: a resumed engine starts with no pending
+	// out-of-band checkpoint request.
+	e.ckptReq.Store(false)
 	e.cfg.Chunk.SkipLines = st.Lines
 	return e, nil
 }

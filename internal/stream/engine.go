@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"fullweb/internal/core"
@@ -172,9 +173,10 @@ func (t *secondTracker) observe(sec int64) {
 		return
 	}
 	t.est.Add(t.count)
-	for s := t.cur + 1; s < sec; s++ {
-		t.est.Add(0)
-	}
+	// Idle gaps are zero runs; AddZeros is bit-identical to per-second
+	// Add(0) but costs O(gap/width) per level, which is what keeps
+	// sparse traces with per-shard trackers affordable (EXPERIMENTS.md).
+	t.est.AddZeros(sec - t.cur - 1)
 	t.cur = sec
 	t.count = 1
 }
@@ -263,6 +265,12 @@ type Engine struct {
 	// type-asserted to its optional arrival-publishing extension.
 	arrivals *arrivalRing
 	arrPub   ArrivalPublisher
+
+	// ckptReq is the out-of-band checkpoint request flag (serve's WAL
+	// supervisor sets it); honored at the next chunk-fold boundary, an
+	// exact line boundary, so supervisor checkpoints are resume-correct
+	// and output-invariant.
+	ckptReq atomic.Bool
 }
 
 // shardSeedStride and charSeedStride derive the per-shard,
@@ -401,6 +409,14 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // plus, after ProcessCtx returns, the final one).
 func (e *Engine) Snapshots() int64 { return e.snapshots }
 
+// RequestCheckpoint asks the engine to persist a checkpoint at the
+// next chunk-fold boundary (a no-op without a checkpoint path). Safe
+// to call from any goroutine; requests coalesce until honored. Chunk
+// boundaries are exact line boundaries, so an extra checkpoint never
+// changes a published byte — serve's WAL supervisor uses this to
+// bound crash-replay by journal growth.
+func (e *Engine) RequestCheckpoint() { e.ckptReq.Store(true) }
+
 // PeakActiveSessions returns the summed sessionizer live-state
 // high-water marks — the quantity that bounds the engine's memory.
 func (e *Engine) PeakActiveSessions() int {
@@ -499,7 +515,8 @@ func (e *Engine) ProcessCtx(ctx context.Context, r io.Reader, emit func(*Snapsho
 		}
 		e.lines += int64(ch.Lines)
 		reg.Gauge("stream.active_sessions").Set(int64(e.activeSessions()))
-		if e.cfg.CheckpointPath != "" && e.snapshots > snapsBefore {
+		requested := e.ckptReq.Swap(false)
+		if e.cfg.CheckpointPath != "" && (e.snapshots > snapsBefore || requested) {
 			if err := e.saveCheckpointCtx(ctx); err != nil {
 				return err
 			}

@@ -25,6 +25,13 @@ const (
 	// occupancy reaches this fraction of the per-source cap; a
 	// completely full buffer fails.
 	intakeBufferWarnFraction = 0.8
+	// DefaultMaxWALLagBytes bounds journaled-but-unfolded intake: a
+	// crash now replays this much, so growth past it means the engine
+	// is not keeping up with acknowledged deliveries.
+	DefaultMaxWALLagBytes int64 = 256 << 20
+	// walDiskWarnFraction warns when the journal's on-disk footprint
+	// reaches this fraction of its budget; exhaustion (shedding) fails.
+	walDiskWarnFraction = 0.8
 )
 
 // RuleResult is one health rule's verdict: status "ok", "warn" or
@@ -75,6 +82,11 @@ type HealthConfig struct {
 	Intake bool
 	// SourceStaleAfter overrides DefaultSourceStaleAfter.
 	SourceStaleAfter time.Duration
+	// WAL enables the journal rules (wal-lag, wal-disk), appended after
+	// the intake rules. Off unless serve runs with a journal.
+	WAL bool
+	// MaxWALLagBytes overrides DefaultMaxWALLagBytes.
+	MaxWALLagBytes int64
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -89,6 +101,9 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	}
 	if c.SourceStaleAfter <= 0 {
 		c.SourceStaleAfter = DefaultSourceStaleAfter
+	}
+	if c.MaxWALLagBytes <= 0 {
+		c.MaxWALLagBytes = DefaultMaxWALLagBytes
 	}
 	return c
 }
@@ -127,6 +142,12 @@ func (h *Health) Evaluate() HealthReport {
 		rep.Rules = append(rep.Rules,
 			h.ruleSourceStaleness(),
 			h.ruleIntakeBuffer(),
+		)
+	}
+	if h.cfg.WAL {
+		rep.Rules = append(rep.Rules,
+			h.ruleWALLag(),
+			h.ruleWALDisk(),
 		)
 	}
 	for _, r := range rep.Rules {
@@ -367,6 +388,59 @@ func (h *Health) ruleIntakeBuffer() RuleResult {
 	case frac >= intakeBufferWarnFraction:
 		r.Status = "warn"
 		r.Detail = fmt.Sprintf("intake buffer filling: source %s at %.0f%% of %d bytes", worstName, frac*100, capB)
+	}
+	return r
+}
+
+// ruleWALLag bounds journaled-but-unfolded intake bytes: warn past
+// half the bound, fail past the bound — acknowledged durability is
+// outrunning the fold, so a crash now replays that much journal.
+func (h *Health) ruleWALLag() RuleResult {
+	r := RuleResult{Rule: "wal-lag", Status: "ok"}
+	pub, ok := h.holder.LatestWAL()
+	if !ok {
+		r.Detail = "no journal published yet"
+		return r
+	}
+	lag, bound := pub.Stats.LagBytes, h.cfg.MaxWALLagBytes
+	r.Detail = fmt.Sprintf("%d journaled bytes not yet folded (bound %d)", lag, bound)
+	switch {
+	case lag > bound:
+		r.Status = "fail"
+		r.Detail = fmt.Sprintf("journal lag %d bytes exceeds the bound %d: fold is not keeping up with acknowledged intake", lag, bound)
+	case lag > bound/2:
+		r.Status = "warn"
+		r.Detail = fmt.Sprintf("journal lag %d bytes past half the bound %d", lag, bound)
+	}
+	return r
+}
+
+// ruleWALDisk reports the journal's on-disk footprint against its
+// budget: warn at the warn fraction, fail once the journal sheds
+// intake (budget exhausted or disk fault) — deliveries are being
+// refused with 503 while the engine folds what it has.
+func (h *Health) ruleWALDisk() RuleResult {
+	r := RuleResult{Rule: "wal-disk", Status: "ok"}
+	pub, ok := h.holder.LatestWAL()
+	if !ok {
+		r.Detail = "no journal published yet"
+		return r
+	}
+	st := pub.Stats
+	if st.Shedding {
+		r.Status = "fail"
+		r.Detail = "journal shedding intake: " + st.ShedReason
+		return r
+	}
+	if st.DiskBudgetBytes <= 0 {
+		r.Detail = fmt.Sprintf("journal at %d bytes on disk, no budget configured", st.DiskBytes)
+		return r
+	}
+	frac := float64(st.DiskBytes) / float64(st.DiskBudgetBytes)
+	r.Detail = fmt.Sprintf("journal at %.0f%% of %d-byte disk budget", frac*100, st.DiskBudgetBytes)
+	if frac >= walDiskWarnFraction {
+		r.Status = "warn"
+		r.Detail = fmt.Sprintf("journal disk budget burning: %d of %d bytes (%.0f%%)", st.DiskBytes, st.DiskBudgetBytes, frac*100)
 	}
 	return r
 }

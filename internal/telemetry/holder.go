@@ -73,6 +73,9 @@ type Holder struct {
 	// intakeMu; readers stay lock-free on the atomic pointer.
 	intakeMu sync.Mutex
 	intake   atomic.Pointer[PublishedIntake]
+	// wal is the serve-mode journal publication cell; single-publisher
+	// (the supervisor on the fold goroutine) like the runtime cell.
+	wal atomic.Pointer[PublishedWAL]
 }
 
 // NewHolder builds a holder stamping publications with clock.

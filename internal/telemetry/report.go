@@ -78,6 +78,10 @@ type RunReport struct {
 	// what-if answers at the standard capacity factors), absent for
 	// other tools.
 	WhatIf any `json:"whatif,omitempty"`
+	// WAL is the serve-mode journal's final published state (set by
+	// cmd/fullweb when serve runs with -wal). Operational accounting
+	// only — never part of the analysis output.
+	WAL any `json:"wal,omitempty"`
 	// Obs is the final metrics snapshot (the -metrics payload inline).
 	Obs obs.Snapshot `json:"obs"`
 }

@@ -1,0 +1,78 @@
+// Serve-mode journal publications: the copy-on-publish view of the
+// durable intake journal (journaled bytes, disk footprint, fold/
+// checkpoint lag, shed state) that the wal-lag and wal-disk health
+// rules and the /metrics gauges read. The serve supervisor publishes a
+// fresh immutable value on every runtime publication; readers never
+// touch live journal state (DESIGN.md §16).
+
+package telemetry
+
+import "time"
+
+// WALStats is one copy-on-publish view of the durable intake journal.
+type WALStats struct {
+	// Dir is the journal directory.
+	Dir string `json:"dir"`
+	// JournaledBytes is the cumulative payload bytes journaled across
+	// all sources (including bytes recovered from a previous run).
+	JournaledBytes int64 `json:"journaled_bytes"`
+	// DiskBytes is the journal's on-disk footprint: record framing,
+	// payloads and quarantined segments; DiskBudgetBytes is its cap
+	// (0 = unbounded).
+	DiskBytes       int64 `json:"disk_bytes"`
+	DiskBudgetBytes int64 `json:"disk_budget_bytes"`
+	// Segments counts segment files ever opened; Deliveries counts
+	// journaled deliveries; Duplicates counts redeliveries dropped by
+	// delivery-ID dedup.
+	Segments   int64 `json:"segments"`
+	Deliveries int64 `json:"deliveries"`
+	Duplicates int64 `json:"duplicates"`
+	// ReplayedBytes is what restart recovery replayed from the journal;
+	// QuarantinedSegments and TornTruncatedBytes count what recovery
+	// had to set aside or cut.
+	ReplayedBytes       int64 `json:"replayed_bytes"`
+	QuarantinedSegments int64 `json:"quarantined_segments"`
+	TornTruncatedBytes  int64 `json:"torn_truncated_bytes"`
+	// LagBytes is journaled-but-not-yet-folded payload (the wal-lag
+	// rule's input); CheckpointLagBytes is journaled-but-not-yet-
+	// checkpointed payload (the supervisor's checkpoint trigger). Both
+	// round down to delivery boundaries, so they are conservative
+	// overestimates.
+	LagBytes           int64 `json:"lag_bytes"`
+	CheckpointLagBytes int64 `json:"checkpoint_lag_bytes"`
+	// Shedding is set once the journal latched into shed mode (disk
+	// fault or budget exhausted): intake refuses deliveries while the
+	// engine keeps folding what was journaled.
+	Shedding   bool   `json:"shedding"`
+	ShedReason string `json:"shed_reason,omitempty"`
+}
+
+// PublishedWAL is one immutable journal publication.
+type PublishedWAL struct {
+	Seq   int64     `json:"seq"`
+	At    time.Time `json:"at"`
+	Stats WALStats  `json:"stats"`
+}
+
+// PublishWAL stores a fresh journal publication. Single-publisher
+// like the runtime cell: the serve supervisor runs on the engine's
+// fold goroutine, so no CAS loop is needed.
+func (h *Holder) PublishWAL(st WALStats) {
+	next := &PublishedWAL{At: h.clock.Now(), Stats: st}
+	if old := h.wal.Load(); old != nil {
+		next.Seq = old.Seq + 1
+	} else {
+		next.Seq = 1
+	}
+	h.wal.Store(next)
+}
+
+// LatestWAL returns the most recent journal publication; ok is false
+// before the first one (and always for runs without a journal).
+func (h *Holder) LatestWAL() (PublishedWAL, bool) {
+	p := h.wal.Load()
+	if p == nil {
+		return PublishedWAL{}, false
+	}
+	return *p, true
+}
